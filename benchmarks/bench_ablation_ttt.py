@@ -1,0 +1,45 @@
+"""Section 3.6 ablation: the Tensor Transposition Table.
+
+Paper: a five-level 2048-core machine reaches only 3% of peak on
+ResNet-152 without the TTT (93.36% root-bandwidth utilization -- pure
+re-fetch traffic), and 62% with it: a 20x improvement.  We reproduce the
+direction and magnitude class: switching the TTT off multiplies the root
+traffic and collapses attained performance.
+"""
+
+from conftest import show
+from repro import cambricon_f100
+from repro.sim import FractalSimulator
+from repro.workloads import resnet152
+
+
+def run_ablation():
+    w = resnet152(batch=16)
+    results = {}
+    for label, flags in (("TTT on", {}), ("TTT off", {"use_ttt": False})):
+        machine = cambricon_f100().with_features(**flags) if flags else cambricon_f100()
+        rep = FractalSimulator(machine, collect_profiles=False).simulate(w.program)
+        results[label] = rep
+    return results
+
+
+def test_ablation_ttt(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    on, off = results["TTT on"], results["TTT off"]
+    machine_peak = cambricon_f100().peak_ops
+    speedup = off.total_time / on.total_time
+    traffic_cut = 1 - on.root_traffic / off.root_traffic
+    rows = [
+        f"{'config':8s} {'time':>10s} {'of peak':>9s} {'root traffic':>14s}",
+        f"{'TTT on':8s} {on.total_time * 1e3:8.2f}ms "
+        f"{on.peak_fraction(machine_peak):9.2%} "
+        f"{on.root_traffic / 2**30:12.2f}Gi",
+        f"{'TTT off':8s} {off.total_time * 1e3:8.2f}ms "
+        f"{off.peak_fraction(machine_peak):9.2%} "
+        f"{off.root_traffic / 2**30:12.2f}Gi",
+        f"speedup from TTT: {speedup:.2f}x; traffic cut {traffic_cut:.1%}",
+        "(paper: 3% -> 62% of peak on ResNet-152, a 20x improvement)",
+    ]
+    show("Ablation -- Tensor Transposition Table (ResNet-152)", rows)
+    assert speedup > 1.5
+    assert on.root_traffic < off.root_traffic * 0.7

@@ -1,0 +1,28 @@
+"""Fig 1: power efficiency of machine-learning accelerators, 2012-2018.
+
+Paper: efficiency keeps increasing ~3.2x per year; 1213x total improvement
+from NeuFlow (0.23 TOPS/W, 2012) to Conv-RAM (28.1 TOPS/W, 2018).
+"""
+
+from conftest import show
+from repro.cost.survey import ACCELERATOR_EFFICIENCY_TREND, efficiency_growth
+
+
+def build_table():
+    rows = [f"{'Year':>5s} {'Accelerator':14s} {'TOPS/W':>8s} {'Tech':>12s}"]
+    for p in ACCELERATOR_EFFICIENCY_TREND:
+        rows.append(f"{p.year:>5d} {p.name:14s} {p.tops_per_watt:8.2f} "
+                    f"{p.technology:>12s}")
+    first, last = (ACCELERATOR_EFFICIENCY_TREND[0],
+                   ACCELERATOR_EFFICIENCY_TREND[-1])
+    rows.append(f"annual growth: {efficiency_growth():.2f}x "
+                f"(paper: 3.2x); total: "
+                f"{last.tops_per_watt / first.tops_per_watt:.0f}x "
+                f"(paper: 1213x)")
+    return rows
+
+
+def test_fig01_efficiency_trend(benchmark):
+    rows = benchmark(build_table)
+    show("Figure 1 -- accelerator power-efficiency trend", rows)
+    assert efficiency_growth() > 2.0

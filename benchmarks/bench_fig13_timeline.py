@@ -1,0 +1,59 @@
+"""Fig 13: execution timeline of the Fig-11 k-NN program on the two
+Cambricon-F instances.
+
+Paper's shape: on Cambricon-F1 the execution is heavily decomposed and the
+tail (sorting/counting) is communication-dominated; on Cambricon-F100 the
+total time is dominated by top-level-hierarchy communication (the root link
+is the narrow resource while the 2048 cores idle).
+"""
+
+from conftest import show
+from repro import cambricon_f1, cambricon_f100
+from repro.sim import FractalSimulator
+from repro.sim.trace import flatten_timeline, level_busy_fractions, render_ascii
+from repro.workloads import knn_workload
+
+
+def run_instance(machine, level_names):
+    w = knn_workload()  # Table-5 scale: 262,144 x 512, 128 categories
+    sim = FractalSimulator(machine, collect_profiles=True)
+    rep = sim.simulate(w.program)
+    segs = flatten_timeline(rep.root, max_depth=2)
+    busy = level_busy_fractions(segs, rep.total_time)
+    art = render_ascii(rep, width=100, max_depth=2, level_names=level_names)
+    # the paper's zoom panels (Fig 13b / 13d): a 0.4 ms window
+    zoom = render_ascii(rep, width=100, max_depth=2, level_names=level_names,
+                        window=(0.0, min(0.4e-3, rep.total_time)))
+    return rep, busy, art + "\nzoom:\n" + zoom
+
+
+def build_tables():
+    f1_rep, f1_busy, f1_art = run_instance(
+        cambricon_f1(), ["Chip", "FMP", "Core"])
+    f100_rep, f100_busy, f100_art = run_instance(
+        cambricon_f100(), ["Server", "Card", "Chip", "FMP", "Core"])
+    return (f1_rep, f1_busy, f1_art), (f100_rep, f100_busy, f100_art)
+
+
+def test_fig13_knn_timeline(benchmark):
+    (f1_rep, f1_busy, f1_art), (f100_rep, f100_busy, f100_art) = \
+        benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    rows = [f"Cambricon-F1  total: {f1_rep.total_time * 1e3:.3f} ms "
+            f"(paper Fig 13a: ~3 ms scale)", f1_art, ""]
+    for lv, kinds in sorted(f1_busy.items()):
+        rows.append(f"  F1 L{lv} busy: " + "  ".join(
+            f"{k}={v:.1%}" for k, v in sorted(kinds.items())))
+    rows += ["", f"Cambricon-F100 total: {f100_rep.total_time * 1e3:.3f} ms "
+             f"(paper Fig 13c: ~1.8 ms scale)", f100_art, ""]
+    for lv, kinds in sorted(f100_busy.items()):
+        rows.append(f"  F100 L{lv} busy: " + "  ".join(
+            f"{k}={v:.1%}" for k, v in sorted(kinds.items())))
+    show("Figure 13 -- k-NN execution timelines", rows)
+
+    # Both runs land in the low-millisecond regime the paper plots.
+    assert 1e-4 < f1_rep.total_time < 0.1
+    assert 1e-4 < f100_rep.total_time < 0.1
+    # F100's top level is communication-dominated: root DMA busier than
+    # the fraction of time its own compute ceiling is the limiter.
+    f100_l1 = f100_busy.get(1, {})
+    assert f100_l1.get("dma", 0) > 0

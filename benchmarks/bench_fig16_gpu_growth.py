@@ -1,0 +1,35 @@
+"""Fig 16: growth in cores and memory bandwidth of NVIDIA GPUs since 2009.
+
+Paper: core count grew 67.6%/yr during 2009-2013 but only 8.8%/yr for the
+last five years, while bandwidth has held ~15%/yr -- GPUs can no longer buy
+performance with cores because the memory system does not keep up.
+"""
+
+from conftest import show
+from repro.cost.survey import (
+    NVIDIA_GPU_TREND,
+    gpu_bandwidth_growth,
+    gpu_core_growth,
+)
+
+
+def build_table():
+    rows = [f"{'Year':>5s} {'GPU':14s} {'Cores':>6s} {'BW (GB/s)':>10s}"]
+    for p in NVIDIA_GPU_TREND:
+        rows.append(f"{p.year:>5d} {p.name:14s} {p.cores:>6d} "
+                    f"{p.bandwidth_gb_s:>10.1f}")
+    early = (gpu_core_growth(2009, 2013) - 1) * 100
+    late = (gpu_core_growth(2013, 2018) - 1) * 100
+    bw = (gpu_bandwidth_growth() - 1) * 100
+    rows.append(f"core growth 2009-2013: {early:5.1f}%/yr (paper 67.6%)")
+    rows.append(f"core growth 2013-2018: {late:5.1f}%/yr (paper  8.8%)")
+    rows.append(f"bandwidth growth:      {bw:5.1f}%/yr (paper ~15%)")
+    return rows
+
+
+def test_fig16_gpu_growth(benchmark):
+    rows = benchmark(build_table)
+    show("Figure 16 -- NVIDIA GPU cores / bandwidth growth", rows)
+    assert gpu_core_growth(2009, 2013) > 1.5
+    assert gpu_core_growth(2013, 2018) < 1.15
+    assert 1.05 < gpu_bandwidth_growth() < 1.30

@@ -1,0 +1,61 @@
+"""Headline numbers (abstract / conclusion): performance, efficiency and
+area advantages of the Cambricon-F instances over the GPU baselines.
+
+Paper: 5.14x / 2.82x better performance, 11.39x / 8.37x better energy
+efficiency, 93.8% / 74.5% smaller area vs 1080Ti / V100 respectively.
+"""
+
+import math
+
+from conftest import show
+from repro.cost.compare import ACCELERATOR_CHIPS, fractal_chips
+from repro.model.gpu import DGX1, GTX1080TI
+from repro.workloads import PAPER_BENCHMARKS
+
+#: paper-measured average benchmark power draws (Section 6)
+F1_CARD_POWER = 83.1
+F100_CARDS_POWER = 614.5
+
+
+def build_table(f1_suite, f100_suite):
+    rows = []
+    results = {}
+    for label, suite, gpu, f_power, gpu_power in (
+        ("Cambricon-F1  vs 1080Ti", f1_suite, GTX1080TI,
+         F1_CARD_POWER, GTX1080TI.measured_power),
+        ("Cambricon-F100 vs DGX-1", f100_suite, DGX1,
+         F100_CARDS_POWER, DGX1.measured_power),
+    ):
+        logs = [math.log(suite[b].attained_ops / gpu.attained(b))
+                for b in PAPER_BENCHMARKS]
+        perf = math.exp(sum(logs) / len(logs))
+        efficiency = perf * (gpu_power / f_power)
+        results[label] = (perf, efficiency)
+        rows.append(f"{label}: {perf:5.2f}x performance, "
+                    f"{efficiency:5.2f}x energy efficiency "
+                    f"(power {f_power:.1f} W vs {gpu_power:.1f} W)")
+    f1_chip, f100_chip = fractal_chips()
+    area_1080 = ACCELERATOR_CHIPS["1080Ti"].area_mm2
+    area_v100 = ACCELERATOR_CHIPS["V100"].area_mm2
+    save1 = 1 - f1_chip.area_mm2 / area_1080
+    save100 = 1 - f100_chip.area_mm2 / area_v100
+    rows.append(f"area: F1 chip {f1_chip.area_mm2:.0f} mm2 vs 1080Ti "
+                f"{area_1080:.0f} mm2 -> {save1:.1%} smaller (paper 93.8%)")
+    rows.append(f"area: F100 chip {f100_chip.area_mm2:.0f} mm2 vs V100 "
+                f"{area_v100:.0f} mm2 -> {save100:.1%} smaller (paper 74.5%)")
+    rows.append("(paper: 5.14x/2.82x perf, 11.39x/8.37x efficiency)")
+    return rows, results, (save1, save100)
+
+
+def test_headline_speedups(benchmark, f1_suite, f100_suite):
+    rows, results, (save1, save100) = benchmark.pedantic(
+        build_table, args=(f1_suite, f100_suite), rounds=1, iterations=1)
+    show("Headline -- performance / efficiency / area advantages", rows)
+    perf1, eff1 = results["Cambricon-F1  vs 1080Ti"]
+    perf100, eff100 = results["Cambricon-F100 vs DGX-1"]
+    assert 3.0 < perf1 < 12.0      # paper 5.14x
+    assert 1.5 < perf100 < 6.0     # paper 2.82x
+    assert eff1 > 8.0              # paper 11.39x
+    assert eff100 > 5.0            # paper 8.37x
+    assert 0.85 < save1 < 0.97     # paper 93.8%
+    assert 0.40 < save100 < 0.85   # paper 74.5%

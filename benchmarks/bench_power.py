@@ -1,0 +1,60 @@
+"""Section 6 power measurements: average benchmark power of the
+Cambricon-F cards, from the energy model fed with simulated data movement
+(the paper's own methodology: traffic from the simulator, memory costs
+DESTINY-style, the rest from layout).
+
+Paper: the Cambricon-F1 card consumes 83.1 W on average across the
+benchmarks (1080Ti: 199.9 W); the four Cambricon-F100 cards consume
+614.5 W (eight V100-SXM2: 1986.5 W).
+"""
+
+import statistics
+
+from conftest import show
+from repro import cambricon_f1, cambricon_f100
+from repro.cost.energy import estimate_energy
+from repro.model.gpu import DGX1, GTX1080TI
+from repro.sim import FractalSimulator
+from repro.workloads import PAPER_BENCHMARKS, paper_benchmark
+
+PAPER_POWER = {"Cambricon-F1": 83.1, "Cambricon-F100": 614.5}
+
+
+def measure(machine, skip=()):
+    sim_powers = {}
+    for name in PAPER_BENCHMARKS:
+        if name in skip:
+            continue
+        rep = FractalSimulator(machine,
+                               collect_profiles=False).simulate(
+            paper_benchmark(name).program)
+        er = estimate_energy(machine, rep, name)
+        sim_powers[name] = er
+    return sim_powers
+
+
+def build_table():
+    out = {}
+    rows = []
+    for machine, skip in ((cambricon_f1(), ("MATMUL",)), (cambricon_f100(), ())):
+        reports = measure(machine, skip)
+        avg = statistics.mean(r.average_power_w for r in reports.values())
+        out[machine.name] = avg
+        rows.append(f"--- {machine.name} "
+                    f"(paper measured avg {PAPER_POWER[machine.name]} W) ---")
+        for name, er in reports.items():
+            bd = er.breakdown()
+            rows.append(f"  {name:11s} {er.average_power_w:7.1f} W  "
+                        f"(compute {bd['compute']:.0%}, memory {bd['memory']:.0%}, "
+                        f"static+DRAM {bd['static']:.0%})")
+        rows.append(f"  {'average':11s} {avg:7.1f} W")
+    rows.append(f"GPU baselines (paper-measured): 1080Ti "
+                f"{GTX1080TI.measured_power} W, DGX-1 GPUs {DGX1.measured_power} W")
+    return rows, out
+
+
+def test_power_model(benchmark):
+    rows, out = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    show("Section 6 -- average benchmark power (energy model)", rows)
+    assert abs(out["Cambricon-F1"] - 83.1) / 83.1 < 0.15
+    assert abs(out["Cambricon-F100"] - 614.5) / 614.5 < 0.25

@@ -1,0 +1,58 @@
+"""Table 1: decomposition of machine-learning techniques into computing
+primitives.
+
+The paper profiles CPU execution time; we use the library's CPU-time model
+(`repro.workloads.profile.cpu_time_shares`): GEMM-shaped primitives run at
+BLAS rates while element-wise/pooling/sorting passes are memory- or
+branch-bound, reproducing the table's structure -- CNN is CONV-dominated,
+DNN is pure MMM, k-NN/SVM are IP-dominated, LVQ is ELTW-heavy, k-means is
+IP/MMM with a small ELTW/COUNT tail.
+"""
+
+from conftest import show
+from repro.workloads import (
+    alexnet,
+    kmeans_workload,
+    knn_workload,
+    lvq_workload,
+    mlp,
+    svm_workload,
+)
+from repro.workloads.profile import PRIMITIVES, cpu_time_shares
+
+
+def build_table():
+    cases = [
+        ("CNN (AlexNet)", alexnet(batch=4, input_size=227)),
+        ("DNN (MLP)", mlp(batch=64)),
+        ("k-Means", kmeans_workload(n_samples=16384, dims=512, k=128,
+                                    batch=2048)),
+        ("k-NN", knn_workload(n_samples=16384, dims=512, categories=128,
+                              batch=2048)),
+        ("SVM", svm_workload(n_sv=1024, n_samples=8192, dims=512, batch=2048)),
+        ("LVQ", lvq_workload(n_samples=16384, dims=512, batch=2048)),
+    ]
+    rows = [f"{'ML technique':14s} " + " ".join(f"{c:>8s}" for c in PRIMITIVES)]
+    results = {}
+    for name, workload in cases:
+        shares = cpu_time_shares(workload.program)
+        results[name] = shares
+        rows.append(f"{name:14s} " + " ".join(
+            f"{shares[c]:8.2%}" if shares[c] else f"{'-':>8s}"
+            for c in PRIMITIVES))
+    rows.append("(CPU-time shares under a BLAS-vs-memory-bound throughput "
+                "model; compare paper Table 1)")
+    return rows, results
+
+
+def test_table1_primitive_breakdown(benchmark):
+    rows, results = benchmark(build_table)
+    show("Table 1 -- primitive breakdown of ML techniques", rows)
+    # qualitative checks against the paper's table
+    assert results["CNN (AlexNet)"]["CONV"] > 0.85        # paper: 94.7%
+    assert results["DNN (MLP)"]["MMM"] > 0.97             # paper: 99.9%
+    assert results["k-NN"]["IP"] > 0.90                   # paper: 99.6%
+    assert results["SVM"]["IP"] + results["SVM"]["MMM"] > 0.92  # paper: 99.3%
+    assert results["LVQ"]["ELTW"] > results["LVQ"]["IP"]  # paper: 59.8 vs 39.9
+    # paper folds the centroid-update GEMM into IP; count both columns
+    assert results["k-Means"]["IP"] + results["k-Means"]["MMM"] > 0.90

@@ -1,0 +1,62 @@
+"""Table 4: estimated power and performance of different Cambricon-F
+hierarchy designs at iso-capability (512 cores, 238 TFlops).
+
+Paper's shape: the flat 1-512 design attains the highest raw performance
+but pays an order of magnitude more power and area (its efficiency is
+~15x worse); 1-2-16-512 is the efficiency sweet spot; adding a fifth level
+costs a little performance for little benefit.
+"""
+
+from conftest import show
+from repro.cost.dse import explore_design_space
+from repro.sim import FractalSimulator
+from repro.workloads import matmul_workload, resnet152, vgg16
+
+PAPER = {
+    "1-512": (1035.02, 140.92, 0.14, 5662.72),
+    "1-2-16-512": (55.66, 113.34, 2.04, 184.91),
+    "1-4-16-512": (57.52, 107.12, 1.86, 263.64),
+    "1-4-16-64-512": (68.83, 104.94, 1.52, 208.72),
+}
+
+
+def _performance(machine) -> float:
+    """Geometric-mean attained ops/s over VGG-16 / ResNet-152 / MATMUL."""
+    workloads = [
+        vgg16(batch=8),
+        resnet152(batch=8),
+        matmul_workload(8192),
+    ]
+    prod = 1.0
+    for w in workloads:
+        rep = FractalSimulator(machine, collect_profiles=False).simulate(w.program)
+        prod *= rep.attained_ops
+    return prod ** (1.0 / len(workloads))
+
+
+def build_table():
+    points = explore_design_space(performance_fn=_performance)
+    rows = [f"{'Hierarchy':15s} {'Power(W)':>9s} {'Perf(Tops)':>11s} "
+            f"{'Eff(Tops/J)':>12s} {'Area(mm2)':>10s}   "
+            f"{'[paper: W / Tops / Tops/J / mm2]'}"]
+    for p in points:
+        paper = PAPER[p.hierarchy]
+        rows.append(
+            f"{p.hierarchy:15s} {p.power_w:9.2f} {p.performance_tops:11.2f} "
+            f"{p.efficiency_tops_per_j:12.3f} {p.area_mm2:10.1f}   "
+            f"[{paper[0]:.0f} / {paper[1]:.0f} / {paper[2]:.2f} / {paper[3]:.0f}]"
+        )
+    return rows, points
+
+
+def test_table4_design_space(benchmark):
+    rows, points = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    show("Table 4 -- design-space exploration @ 238 TFlops", rows)
+    by_name = {p.hierarchy: p for p in points}
+    flat = by_name["1-512"]
+    best = by_name["1-2-16-512"]
+    # the paper's qualitative conclusions
+    assert flat.power_w > 2 * best.power_w
+    assert flat.area_mm2 > 2 * best.area_mm2
+    assert best.efficiency_tops_per_j > 3 * flat.efficiency_tops_per_j
+    assert all(p.performance_tops > 0 for p in points)

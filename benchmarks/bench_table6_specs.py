@@ -1,0 +1,26 @@
+"""Table 6: specification of the Cambricon-F instances."""
+
+from conftest import show
+from repro import cambricon_f1, cambricon_f100
+from repro.core.machine import GB, TOPS
+
+
+def build_table():
+    rows = []
+    for m in (cambricon_f100(), cambricon_f1()):
+        rows.append(m.describe())
+        rows.append("")
+    return rows
+
+
+def test_table6_specs(benchmark):
+    rows = benchmark(build_table)
+    show("Table 6 -- Cambricon-F instance specifications", rows)
+    f100, f1 = cambricon_f100(), cambricon_f1()
+    # Table-6 anchor values
+    assert f100.total_cores == 2048
+    assert abs(f100.peak_ops / TOPS - 956) < 5
+    assert f100.root_bandwidth == 128 * GB
+    assert f1.total_cores == 32
+    assert abs(f1.peak_ops / TOPS - 14.9) < 0.2
+    assert f1.root_bandwidth == 512 * GB

@@ -1,0 +1,34 @@
+"""Table 7: Cambricon-F layout characteristics (45 nm).
+
+The leaf-core breakdown is the published layout; the chip totals are our
+cost-model roll-up, shown against the paper's placed-and-routed numbers.
+"""
+
+import pytest
+
+from conftest import show
+from repro import cambricon_f1, cambricon_f100
+from repro.cost.layout import chip_cost, table7_rows
+
+
+def build_table():
+    rows = table7_rows(cambricon_f1(), cambricon_f100())
+    f1 = chip_cost(cambricon_f1(), "FMP")
+    f100 = chip_cost(cambricon_f100(), "Chip")
+    rows.append("")
+    rows.append(f"model vs paper: F1 chip {f1.area_mm2:.1f} mm2 / "
+                f"{f1.power_w:.2f} W  (paper 29.21 / 4.94)")
+    rows.append(f"model vs paper: F100 chip {f100.area_mm2:.1f} mm2 / "
+                f"{f100.power_w:.2f} W  (paper 415.11 / 42.87)")
+    return rows
+
+
+def test_table7_layout(benchmark):
+    rows = benchmark(build_table)
+    show("Table 7 -- layout characteristics", rows)
+    f1 = chip_cost(cambricon_f1(), "FMP")
+    f100 = chip_cost(cambricon_f100(), "Chip")
+    assert f1.area_mm2 == pytest.approx(29.21, rel=0.10)
+    assert f1.power_w == pytest.approx(4.935, rel=0.10)
+    assert f100.area_mm2 == pytest.approx(415.1, rel=0.10)
+    assert f100.power_w == pytest.approx(42.87, rel=0.10)

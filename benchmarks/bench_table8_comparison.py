@@ -1,0 +1,43 @@
+"""Table 8: hardware characteristics comparison vs GPUs and ASICs.
+
+Paper's headline: Cambricon-F1 has the highest power efficiency
+(3.02 Tops/W) and area efficiency (0.51 Tops/mm2); the F100 chip is
+comparable to the TPU in area efficiency at slightly lower power
+efficiency.
+"""
+
+import pytest
+
+from conftest import show
+from repro.cost.compare import CARD_COMPARISON, chip_comparison_table, fractal_chips
+
+
+def build_table():
+    rows = chip_comparison_table()
+    rows.append("")
+    rows.append(f"{'Card':10s} {'DRAM':>6s} {'Peak':>7s} {'Power':>8s}")
+    for name, c in CARD_COMPARISON.items():
+        power = "-" if c["power_w"] != c["power_w"] else f"{c['power_w']:.2f}"
+        rows.append(f"{name:10s} {c['dram_gb']:4.0f}GB {c['peak_tops']:6.1f}T "
+                    f"{power:>8s}")
+    return rows
+
+
+def test_table8_comparison(benchmark):
+    rows = benchmark(build_table)
+    show("Table 8 -- hardware characteristics comparison", rows)
+    f1, f100 = fractal_chips()
+    assert f1.power_efficiency == pytest.approx(3.02, rel=0.08)
+    assert f1.area_efficiency == pytest.approx(0.51, rel=0.10)
+    assert f100.area_efficiency == pytest.approx(0.29, rel=0.15)
+    # card-level claims: F1 card has 40.57% more peak at 45.11% of the
+    # 1080Ti's power; the F100 card 1.90x the V100's peak at 67.34% power
+    cards = CARD_COMPARISON
+    assert cards["Cam-F1"]["peak_tops"] / cards["1080Ti"]["peak_tops"] == \
+        pytest.approx(1.4057, rel=0.01)
+    assert cards["Cam-F1"]["power_w"] / cards["1080Ti"]["power_w"] == \
+        pytest.approx(0.4511, rel=0.01)
+    assert cards["Cam-F100"]["peak_tops"] / cards["V100"]["peak_tops"] == \
+        pytest.approx(1.90, rel=0.02)
+    assert cards["Cam-F100"]["power_w"] / cards["V100"]["power_w"] == \
+        pytest.approx(0.6734, rel=0.01)

@@ -1,0 +1,73 @@
+"""Shared machinery for the reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper and
+prints it (run ``pytest benchmarks/ --benchmark-only -s`` to see the
+output).  Expensive simulations are shared through session-scoped fixtures
+so the whole harness stays in the minutes range.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+sys.stdout.reconfigure(line_buffering=True)
+
+from repro import cambricon_f1, cambricon_f100
+from repro.sim import FractalSimulator
+from repro.workloads import PAPER_BENCHMARKS, paper_benchmark
+
+
+@dataclass
+class BenchResult:
+    """One (machine, benchmark) simulation outcome."""
+
+    name: str
+    machine: str
+    total_time: float
+    attained_ops: float
+    operational_intensity: float
+    root_traffic: int
+    peak_fraction: float
+
+
+def _simulate_suite(machine) -> Dict[str, BenchResult]:
+    out: Dict[str, BenchResult] = {}
+    for name in PAPER_BENCHMARKS:
+        w = paper_benchmark(name)
+        sim = FractalSimulator(machine, collect_profiles=False)
+        rep = sim.simulate(w.program)
+        out[name] = BenchResult(
+            name=name,
+            machine=machine.name,
+            total_time=rep.total_time,
+            attained_ops=rep.attained_ops,
+            operational_intensity=rep.operational_intensity,
+            root_traffic=rep.root_traffic,
+            peak_fraction=rep.peak_fraction(machine.peak_ops),
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def f1_suite():
+    """All seven paper benchmarks simulated on Cambricon-F1."""
+    return _simulate_suite(cambricon_f1())
+
+
+@pytest.fixture(scope="session")
+def f100_suite():
+    """All seven paper benchmarks simulated on Cambricon-F100."""
+    return _simulate_suite(cambricon_f100())
+
+
+def show(title: str, rows) -> None:
+    """Print a benchmark table with a recognizable banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+    for row in rows:
+        print(row)
+    print(bar)

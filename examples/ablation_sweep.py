@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Systematic ablation sweep: both machine instances x the Section-3.6
+feature variants x three benchmarks, exported as a table and CSV.
+
+Shows the whole optimization story in one grid: what the TTT, operand
+broadcasting and pipeline concatenation are each worth on each instance.
+"""
+
+from repro import cambricon_f1, cambricon_f100
+from repro.sim.sweep import FEATURE_VARIANTS, format_table, run_sweep, to_csv
+from repro.workloads import knn_workload, resnet152, vgg16
+
+
+def main():
+    machines = {
+        "Cambricon-F1": cambricon_f1(),
+        "Cambricon-F100": cambricon_f100(),
+    }
+    workloads = {
+        "VGG-16": vgg16(batch=8).program,
+        "ResNet-152": resnet152(batch=8).program,
+        "K-NN": knn_workload(n_samples=65_536).program,
+    }
+    variants = {k: FEATURE_VARIANTS[k]
+                for k in ("baseline", "no-ttt", "no-broadcast",
+                          "no-concat", "no-optimizations")}
+
+    records = run_sweep(machines, workloads, variants,
+                        progress=lambda cell: print(f"  simulating {cell}"))
+    print()
+    print(format_table(records))
+
+    with open("ablation_sweep.csv", "w", encoding="utf-8") as f:
+        f.write(to_csv(records))
+    print("\nwrote ablation_sweep.csv")
+
+    # the headline: what do all three optimizations buy together?
+    base = {(r.machine, r.workload): r.total_time
+            for r in records if r.variant == "baseline"}
+    none = {(r.machine, r.workload): r.total_time
+            for r in records if r.variant == "no-optimizations"}
+    print("\ncombined Section-3.6 speedup (no-optimizations / baseline):")
+    for key in sorted(base):
+        print(f"  {key[0]:15s} {key[1]:11s} {none[key] / base[key]:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Design-space exploration: why Cambricon-F is fractal.
+
+Sweeps hierarchy shapes at iso-capability (the paper's Table 4 plus extra
+points), sizing each level's memory with the MBOI rule, and prints
+area/power/attained-performance so the flat-vs-layered trade-off is
+visible: a flat machine starves its cores of bandwidth unless every core
+gets an enormous private memory, and its interconnect explodes; layering
+restores locality.
+"""
+
+from repro.cost.dse import TABLE4_HIERARCHIES, explore_design_space
+from repro.sim import FractalSimulator
+from repro.workloads import matmul_workload, vgg16
+
+
+def performance(machine) -> float:
+    """Geometric mean over a compute-heavy and a memory-heavy workload."""
+    total = 1.0
+    for w in (vgg16(batch=8), matmul_workload(8192)):
+        rep = FractalSimulator(machine, collect_profiles=False).simulate(w.program)
+        total *= rep.attained_ops
+    return total ** 0.5
+
+
+def main():
+    hierarchies = dict(TABLE4_HIERARCHIES)
+    hierarchies["1-8-512"] = [8, 64]          # an extra two-level point
+    hierarchies["1-2-8-64-512"] = [2, 4, 8, 8]  # an extra five-level point
+
+    print(f"{'hierarchy':16s} {'area mm2':>9s} {'power W':>8s} "
+          f"{'perf Tops':>10s} {'Tops/J':>7s}   per-level memory")
+    for p in explore_design_space(performance_fn=performance,
+                                  hierarchies=hierarchies):
+        mems = " ".join(f"{lv.mem_bytes / 2**20:.2f}M"
+                        for lv in p.machine.levels)
+        print(f"{p.hierarchy:16s} {p.area_mm2:9.1f} {p.power_w:8.2f} "
+              f"{p.performance_tops:10.2f} {p.efficiency_tops_per_j:7.3f}   "
+              f"[{mems}]")
+    print("\n(Table 4's conclusion: fewer levels buy raw performance at an "
+          "impractical memory/area/power cost; 1-2-16-512 is the sweet spot)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: build a Cambricon-F machine, run one program on it --
+functionally (numbers) and for time (the performance simulator).
+
+The point of the fractal architecture is that the *same* sequential FISA
+program runs unmodified on machines of any scale; this script runs one
+matrix multiplication on three machines, checks the numbers agree, and
+compares the simulated execution times.
+"""
+
+import numpy as np
+
+from repro import (
+    FractalExecutor,
+    Instruction,
+    Opcode,
+    Tensor,
+    TensorStore,
+    cambricon_f1,
+    cambricon_f100,
+    custom_machine,
+)
+from repro.sim import FractalSimulator
+
+
+def main():
+    # -- 1. write a FISA program (one instruction here) ---------------------
+    m, k, n = 512, 512, 512
+    a = Tensor("A", (m, k))
+    b = Tensor("B", (k, n))
+    c = Tensor("C", (m, n))
+    program = [Instruction(Opcode.MATMUL, (a.region(), b.region()),
+                           (c.region(),))]
+
+    # -- 2. run it functionally on differently-shaped machines --------------
+    rng = np.random.default_rng(0)
+    arrays = {a: rng.normal(size=a.shape), b: rng.normal(size=b.shape)}
+    reference = arrays[a] @ arrays[b]
+
+    machines = [
+        custom_machine("pocket", [4], [1 << 22, 1 << 18], [8e9, 8e9]),
+        cambricon_f1(),
+        cambricon_f100(),
+    ]
+    print("functional execution (same binary, three machines):")
+    for machine in machines:
+        store = TensorStore()
+        for t, arr in arrays.items():
+            store.bind(t, arr)
+        executor = FractalExecutor(machine, store)
+        executor.run_program(program)
+        err = np.abs(store.read(c.region()) - reference).max()
+        print(f"  {machine.name:16s} kernels={executor.stats.kernel_calls:6d} "
+              f"max_err={err:.2e}")
+
+    # -- 3. simulate the execution time on the paper's two instances --------
+    print("\ntiming simulation:")
+    for machine in (cambricon_f1(), cambricon_f100()):
+        rep = FractalSimulator(machine, collect_profiles=False).simulate(program)
+        print(f"  {machine.name:16s} {rep.total_time * 1e6:9.1f} us  "
+              f"{rep.attained_ops / 1e12:6.2f} Tops "
+              f"({rep.peak_fraction(machine.peak_ops):.1%} of peak), "
+              f"root traffic {rep.root_traffic / 2**20:.1f} MiB")
+
+    print("\n(the program never mentions hierarchy depth, memory sizes or "
+          "core counts -- that is the paper's programming-productivity "
+          "claim in action)")
+
+
+if __name__ == "__main__":
+    main()

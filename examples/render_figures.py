@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Render every paper figure as an SVG file (Fig 1, 10, 13, 15, 16).
+
+Writes into ./figures/ by default; simulation-backed figures (the k-NN
+timelines and both rooflines) run the real benchmark programs, so this
+takes a couple of minutes.
+"""
+
+import sys
+
+from repro.viz import render_all
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "figures"
+    paths = render_all(out_dir)
+    for name, path in sorted(paths.items()):
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for environments without the `wheel` package (PEP 660 editable
+installs need bdist_wheel); `pip install -e . --no-build-isolation
+--no-use-pep517` falls back to `setup.py develop` through this file."""
+from setuptools import setup
+
+setup()

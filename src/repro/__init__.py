@@ -1,0 +1,50 @@
+"""repro -- a reproduction of Cambricon-F (ISCA 2019).
+
+Cambricon-F is a series of machine-learning computers with a *fractal von
+Neumann architecture*: every node is a von Neumann machine whose processing
+components are smaller Cambricon-F machines running the same ISA.  This
+package rebuilds the whole system in Python:
+
+* :mod:`repro.core` -- FISA (the fractal ISA), region algebra, the Table-2
+  decomposition rules, machine configurations and a functional executor.
+* :mod:`repro.ops` -- numpy reference semantics for every FISA operation.
+* :mod:`repro.sim` -- the 5-stage FISA pipeline timing simulator (TTT,
+  broadcasting, pipeline concatenation, the Fig-9 memory allocator).
+* :mod:`repro.model` -- roofline, MBOI and GPU baseline analytic models.
+* :mod:`repro.cost` -- eDRAM/layout/energy cost models and the Table-4
+  design-space explorer.
+* :mod:`repro.workloads` -- the seven paper benchmarks compiled to FISA.
+* :mod:`repro.frontend` -- a FISA text assembler (Fig-11 style programs).
+"""
+
+from .core import (
+    FractalExecutor,
+    Instruction,
+    Machine,
+    Opcode,
+    Region,
+    Tensor,
+    TensorStore,
+    cambricon_f1,
+    cambricon_f100,
+    custom_machine,
+)
+from .core.verify import verify_program, verify_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FractalExecutor",
+    "Instruction",
+    "Machine",
+    "Opcode",
+    "Region",
+    "Tensor",
+    "TensorStore",
+    "cambricon_f1",
+    "cambricon_f100",
+    "custom_machine",
+    "verify_program",
+    "verify_suite",
+    "__version__",
+]

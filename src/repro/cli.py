@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    specs                           print the instance specifications (Table 6)
+    simulate  -m f1 -b VGG-16       simulate a benchmark, print the report
+    timeline  -m f100 -b K-NN       ASCII execution timeline (Fig 13)
+    trace     -b K-NN -o t.json     Chrome/Perfetto trace of a simulation
+    figures   -o figures/           render every paper figure as SVG
+    dse                             Table-4 hierarchy sweep (costs only)
+    assemble  prog.fisa -o prog.bin assemble FISA text to the binary format
+    disasm    prog.bin              disassemble a FISA binary
+    run       prog.fisa             assemble + execute with random inputs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core.machine import Machine, cambricon_f1, cambricon_f100
+
+MACHINES = {"f1": cambricon_f1, "f100": cambricon_f100}
+
+
+def _machine(args) -> Machine:
+    machine = MACHINES[args.machine]()
+    flags = {}
+    if getattr(args, "no_ttt", False):
+        flags["use_ttt"] = False
+    if getattr(args, "no_broadcast", False):
+        flags["use_broadcast"] = False
+    if getattr(args, "no_concat", False):
+        flags["use_concatenation"] = False
+    return machine.with_features(**flags) if flags else machine
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-m", "--machine", choices=sorted(MACHINES), default="f1")
+    p.add_argument("--no-ttt", action="store_true",
+                   help="disable the tensor transposition table")
+    p.add_argument("--no-broadcast", action="store_true",
+                   help="disable data broadcasting")
+    p.add_argument("--no-concat", action="store_true",
+                   help="disable pipeline concatenation")
+
+
+def cmd_specs(args) -> int:
+    for factory in (cambricon_f100, cambricon_f1):
+        print(factory().describe())
+        print()
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .sim import FractalSimulator
+    from .workloads import paper_benchmark
+
+    machine = _machine(args)
+    w = paper_benchmark(args.benchmark)
+    rep = FractalSimulator(machine, collect_profiles=False).simulate(w.program)
+    print(f"{args.benchmark} on {machine.name}:")
+    print(f"  time                {rep.total_time * 1e3:12.3f} ms")
+    print(f"  attained            {rep.attained_ops / 1e12:12.2f} Tops "
+          f"({rep.peak_fraction(machine.peak_ops):.1%} of peak)")
+    print(f"  operational intensity {rep.operational_intensity:10.1f} ops/B")
+    print(f"  root traffic        {rep.root_traffic / 2**20:12.1f} MiB")
+    print(f"  TTT elided          {rep.stats.elided_bytes / 2**20:12.1f} MiB")
+    print(f"  pre-assignable      {rep.stats.preassign_fraction:12.1%}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from .sim import FractalSimulator
+    from .sim.trace import render_ascii
+    from .workloads import paper_benchmark
+
+    machine = _machine(args)
+    w = paper_benchmark(args.benchmark)
+    rep = FractalSimulator(machine, collect_profiles=True).simulate(w.program)
+    names = [lv.name for lv in machine.levels]
+    print(render_ascii(rep, width=args.width, max_depth=args.depth,
+                       level_names=names))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from .core.verify import verify_suite
+
+    machine = _machine(args)
+    reports = verify_suite(machine=machine, seed=args.seed)
+    failed = 0
+    for report in reports:
+        print(report.summary())
+        failed += not report.passed
+    return 1 if failed else 0
+
+
+def cmd_cost(args) -> int:
+    from .cost.report import format_cost_report
+
+    print(format_cost_report(_machine(args)))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .sim import FractalSimulator, write_chrome_trace
+    from .workloads import paper_benchmark
+
+    machine = _machine(args)
+    w = paper_benchmark(args.benchmark)
+    rep = FractalSimulator(machine, collect_profiles=True).simulate(w.program)
+    names = [lv.name for lv in machine.levels]
+    write_chrome_trace(rep, args.out, level_names=names,
+                       max_depth=args.depth)
+    print(f"wrote {args.out} ({rep.total_time * 1e3:.3f} ms simulated; "
+          f"open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from .viz import render_all
+
+    paths = render_all(args.out)
+    for name, path in sorted(paths.items()):
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_dse(args) -> int:
+    from .cost.dse import explore_design_space
+
+    print(f"{'hierarchy':16s} {'area mm2':>9s} {'power W':>8s}  per-level memory")
+    for p in explore_design_space():
+        mems = " ".join(f"{lv.mem_bytes / 2**20:.2f}M"
+                        for lv in p.machine.levels)
+        print(f"{p.hierarchy:16s} {p.area_mm2:9.1f} {p.power_w:8.2f}  [{mems}]")
+    return 0
+
+
+def cmd_assemble(args) -> int:
+    from .frontend import assemble, encode_program
+
+    with open(args.source, encoding="utf-8") as f:
+        w = assemble(f.read(), name=args.source)
+    data = encode_program(w.program)
+    out = args.out or (args.source + ".bin")
+    with open(out, "wb") as f:
+        f.write(data)
+    print(f"assembled {len(w.program)} instructions "
+          f"({len(data)} bytes) -> {out}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from .frontend import decode_program, disassemble
+
+    with open(args.binary, "rb") as f:
+        _, program = decode_program(f.read())
+    sys.stdout.write(disassemble(program))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .core.executor import FractalExecutor
+    from .core.store import TensorStore
+    from .frontend import assemble
+
+    machine = _machine(args)
+    with open(args.source, encoding="utf-8") as f:
+        w = assemble(f.read(), name=args.source)
+    rng = np.random.default_rng(args.seed)
+    store = TensorStore()
+    for t in w.inputs.values():
+        store.bind(t, rng.normal(size=t.shape))
+    executor = FractalExecutor(machine, store)
+    executor.run_program(w.program)
+    print(f"ran {len(w.program)} instructions on {machine.name} "
+          f"({executor.stats.kernel_calls} leaf kernels)")
+    for name, t in w.outputs.items():
+        arr = store.read(t.region())
+        print(f"  {name}: shape {arr.shape}, "
+              f"mean {arr.mean():.4g}, max {arr.max():.4g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cambricon-F reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("specs", help="Table-6 instance specifications") \
+        .set_defaults(fn=cmd_specs)
+
+    p = sub.add_parser("simulate", help="simulate a paper benchmark")
+    _add_machine_args(p)
+    p.add_argument("-b", "--benchmark", required=True)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("timeline", help="ASCII execution timeline (Fig 13)")
+    _add_machine_args(p)
+    p.add_argument("-b", "--benchmark", required=True)
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--depth", type=int, default=2)
+    p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser("verify", help="differentially verify the benchmark "
+                                      "suite (fractal vs reference kernels)")
+    _add_machine_args(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("cost", help="silicon cost breakdown per level")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_cost)
+
+    p = sub.add_parser("trace", help="write a Chrome/Perfetto trace")
+    _add_machine_args(p)
+    p.add_argument("-b", "--benchmark", required=True)
+    p.add_argument("-o", "--out", default="trace.json")
+    p.add_argument("--depth", type=int, default=2)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("figures", help="render every figure as SVG")
+    p.add_argument("-o", "--out", default="figures")
+    p.set_defaults(fn=cmd_figures)
+
+    sub.add_parser("dse", help="Table-4 hierarchy sweep (costs)") \
+        .set_defaults(fn=cmd_dse)
+
+    p = sub.add_parser("assemble", help="FISA text -> binary")
+    p.add_argument("source")
+    p.add_argument("-o", "--out")
+    p.set_defaults(fn=cmd_assemble)
+
+    p = sub.add_parser("disasm", help="FISA binary -> text")
+    p.add_argument("binary")
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("run", help="assemble and execute a FISA program")
+    _add_machine_args(p)
+    p.add_argument("source")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_run)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

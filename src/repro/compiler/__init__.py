@@ -1,0 +1,34 @@
+"""A small neural-network graph compiler targeting FISA.
+
+The paper's core motivation is programming productivity: frameworks have
+thousands of operators and porting them to each accelerator scale costs
+months.  On Cambricon-F the port is a *compiler to one ISA*: this package
+provides the framework-level graph (Keras-style builder with shape
+inference), optimization passes (dead-code elimination, common-
+subexpression elimination, pad folding), and lowering to a FISA
+:class:`~repro.workloads.builder.Workload` that runs on every instance.
+"""
+
+from .autodiff import SGD, Tape, Var
+from .graph import Graph, GraphError, Node
+from .lowering import lower
+from .passes import (
+    common_subexpression_elimination,
+    dead_code_elimination,
+    fold_pads,
+    optimize,
+)
+
+__all__ = [
+    "SGD",
+    "Tape",
+    "Var",
+    "Graph",
+    "GraphError",
+    "Node",
+    "lower",
+    "common_subexpression_elimination",
+    "dead_code_elimination",
+    "fold_pads",
+    "optimize",
+]

@@ -1,0 +1,175 @@
+"""Reverse-mode differentiation over the framework graph.
+
+Machine-learning computers run training, not just inference; the backward
+passes of every supported operator are themselves FISA-expressible
+(convolution backward is a convolution over rearranged operands, dense
+backward is two MatMuls, ReLU backward is an element-wise mask multiply),
+so the same fractal machine executes them.
+
+For execution simplicity the gradient computation is exposed as a
+*host-runtime* program: :class:`GradientTape` records runtime calls and
+replays the chain rule through FISA operations.  This keeps the autodiff
+numerically testable against finite differences while every bulk op still
+flows through the fractal executor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..runtime.host import HostRuntime
+
+
+class Tape:
+    """Records forward operations and their backward closures."""
+
+    def __init__(self, runtime: Optional[HostRuntime] = None):
+        self.runtime = runtime or HostRuntime()
+        self._backward: List[Callable[[], None]] = []
+        self._grads: Dict[int, np.ndarray] = {}
+
+    # -- gradient accumulation ------------------------------------------------
+
+    def grad_of(self, ref: "Var") -> np.ndarray:
+        return self._grads.get(id(ref), np.zeros_like(ref.value))
+
+    def _accumulate(self, ref: "Var", grad: np.ndarray) -> None:
+        key = id(ref)
+        if key in self._grads:
+            # gradient accumulation is a FISA Add
+            self._grads[key] = self.runtime.add(self._grads[key], grad)
+        else:
+            self._grads[key] = grad
+
+    # -- ops -------------------------------------------------------------------
+
+    def var(self, value: np.ndarray, trainable: bool = True) -> "Var":
+        return Var(np.asarray(value, float), self, trainable)
+
+    def matmul(self, a: "Var", b: "Var") -> "Var":
+        out = self.var(self.runtime.matmul(a.value, b.value), trainable=False)
+
+        def backward():
+            g = self.grad_of(out)
+            self._accumulate(a, self.runtime.matmul(g, b.value.T))
+            self._accumulate(b, self.runtime.matmul(a.value.T, g))
+
+        self._backward.append(backward)
+        out._parents = (a, b)
+        return out
+
+    def add(self, a: "Var", b: "Var") -> "Var":
+        out = self.var(self.runtime.add(a.value, b.value), trainable=False)
+
+        def backward():
+            g = self.grad_of(out)
+            self._accumulate(a, g)
+            self._accumulate(b, g)
+
+        self._backward.append(backward)
+        out._parents = (a, b)
+        return out
+
+    def relu(self, x: "Var") -> "Var":
+        out = self.var(self.runtime.activation(x.value, "relu"),
+                       trainable=False)
+
+        def backward():
+            g = self.grad_of(out)
+            mask = (x.value > 0).astype(float)
+            self._accumulate(x, self.runtime.mul(g, mask))
+
+        self._backward.append(backward)
+        out._parents = (x,)
+        return out
+
+    def conv2d(self, x: "Var", w: "Var", stride: int = 1) -> "Var":
+        if stride != 1:
+            raise NotImplementedError("training conv supports stride 1")
+        out = self.var(self.runtime.conv2d(x.value, w.value), trainable=False)
+
+        def backward():
+            g = self.grad_of(out)  # (N, Ho, Wo, Cout)
+            kh, kw, cin, cout = w.value.shape
+            # dX: full-correlation of the padded gradient with the kernel
+            # rotated 180 degrees and in/out channels swapped -- itself a
+            # Cv2D instruction on the machine.
+            flipped = w.value[::-1, ::-1].transpose(0, 1, 3, 2).copy()
+            padded = np.pad(g, ((0, 0), (kh - 1, kh - 1),
+                                (kw - 1, kw - 1), (0, 0)))
+            self._accumulate(x, self.runtime.conv2d(padded, flipped))
+            # dW: correlate input with the output gradient: transpose the
+            # batch dimension into channels and run Cv2D again.
+            x_t = x.value.transpose(3, 1, 2, 0)       # (Cin, H, W, N)
+            g_t = g.transpose(1, 2, 0, 3)             # (Ho, Wo, N, Cout)
+            dw = self.runtime.conv2d(x_t, g_t)        # (Cin, kh, kw, Cout)
+            self._accumulate(w, dw.transpose(1, 2, 0, 3))
+
+        self._backward.append(backward)
+        out._parents = (x, w)
+        return out
+
+    def mse_loss(self, pred: "Var", target: np.ndarray) -> "Var":
+        target = np.asarray(target, float)
+        diff = self.runtime.sub(pred.value, target)
+        loss_value = self.runtime.hsum(self.runtime.mul(diff, diff))
+        loss_value /= diff.size
+        out = self.var(np.array([loss_value]), trainable=False)
+
+        def backward():
+            g = self.grad_of(out)[0]
+            self._accumulate(
+                pred, self.runtime.mul(
+                    diff, np.full_like(diff, 2.0 * g / diff.size)))
+
+        self._backward.append(backward)
+        out._parents = (pred,)
+        return out
+
+    # -- engine ------------------------------------------------------------------
+
+    def backward(self, loss: "Var") -> None:
+        """Run the chain rule: seed d(loss)/d(loss) = 1, replay in reverse."""
+        self._grads = {id(loss): np.ones_like(loss.value)}
+        for closure in reversed(self._backward):
+            closure()
+
+
+class Var:
+    """A tensor tracked by a tape."""
+
+    def __init__(self, value: np.ndarray, tape: Tape, trainable: bool):
+        self.value = value
+        self.tape = tape
+        self.trainable = trainable
+        self._parents: Tuple = ()
+
+    @property
+    def grad(self) -> np.ndarray:
+        return self.tape.grad_of(self)
+
+    def __repr__(self) -> str:
+        return f"Var(shape={self.value.shape}, trainable={self.trainable})"
+
+
+class SGD:
+    """Plain stochastic gradient descent over tape variables.
+
+    The parameter update ``w -= lr * g`` runs as FISA element-wise
+    instructions (Mul + Sub), like everything else.
+    """
+
+    def __init__(self, lr: float = 0.01):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def step(self, params: List[Var]) -> None:
+        for p in params:
+            if not p.trainable:
+                continue
+            runtime = p.tape.runtime
+            scaled = runtime.mul(p.grad, np.full_like(p.grad, self.lr))
+            p.value = runtime.sub(p.value, scaled)

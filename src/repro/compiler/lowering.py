@@ -1,0 +1,75 @@
+"""Lowering: framework graph -> FISA Workload.
+
+Walks the graph in topological order and emits the FISA instruction
+sequence through :class:`~repro.workloads.builder.ProgramBuilder` --
+exactly what a Cambricon-F framework backend would be, and (the paper's
+point) the *only* backend needed for every machine scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.isa import Opcode
+from ..core.tensor import Region
+from ..workloads.builder import ProgramBuilder, Workload
+from .graph import Graph, GraphError
+
+
+def lower(graph: Graph) -> Workload:
+    """Compile a validated graph into a runnable Workload.
+
+    Graph inputs become Workload inputs; conv/dense weights become params;
+    marked outputs become Workload outputs.
+    """
+    graph.validate()
+    b = ProgramBuilder(graph.name)
+    values: Dict[str, Region] = {}
+
+    for node in graph.topological():
+        p = node.param_dict
+        if node.op == "input":
+            t = b.input(str(p["name"]), node.shape)
+            values[node.id] = t.region()
+        elif node.op == "conv2d":
+            values[node.id] = b.conv2d(
+                values[node.inputs[0]], int(p["filters"]),
+                int(p["kernel"]), int(p["kernel"]),
+                stride=int(p["stride"]), pad=int(p.get("padding", 0)))
+        elif node.op == "maxpool":
+            values[node.id] = b.pool2d(
+                values[node.inputs[0]], Opcode.MAX2D, k=int(p["size"]),
+                stride=int(p["stride"]), pad=int(p.get("padding", 0)))
+        elif node.op == "avgpool":
+            values[node.id] = b.pool2d(
+                values[node.inputs[0]], Opcode.AVG2D, k=int(p["size"]),
+                stride=int(p["stride"]), pad=int(p.get("padding", 0)))
+        elif node.op == "lrn":
+            values[node.id] = b.lrn(values[node.inputs[0]],
+                                    size=int(p["size"]))
+        elif node.op == "activation":
+            out = b.tensor("act", values[node.inputs[0]].shape)
+            b.emit(Opcode.ACT1D, (values[node.inputs[0]],), (out.region(),),
+                   {"func": str(p["func"])})
+            values[node.id] = out.region()
+        elif node.op == "add":
+            values[node.id] = b.add(values[node.inputs[0]],
+                                    values[node.inputs[1]])
+        elif node.op == "pad":
+            values[node.id] = b.pad2d(values[node.inputs[0]],
+                                      int(p["amount"]))
+        elif node.op == "flatten":
+            values[node.id] = b.flatten(values[node.inputs[0]])
+        elif node.op == "dense":
+            values[node.id] = b.fc(values[node.inputs[0]], int(p["units"]))
+        else:
+            raise GraphError(f"no lowering for op {node.op!r}")
+
+        if values[node.id].shape != node.shape:
+            raise GraphError(
+                f"lowering shape mismatch at {node.id}: graph says "
+                f"{node.shape}, builder produced {values[node.id].shape}")
+
+    for nid in graph.outputs:
+        b.mark_output(values[nid].tensor)
+    return b.build(compiled_from=graph.name, nodes=len(graph))

@@ -1,0 +1,113 @@
+"""Graph optimization passes.
+
+Each pass maps Graph -> Graph (a fresh graph; passes never mutate their
+input) and reports what it changed.  :func:`optimize` runs the standard
+pipeline to fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .graph import Graph, Node
+
+
+def _rebuild(graph: Graph, keep: List[Node],
+             remap: Dict[str, str]) -> Graph:
+    """Copy ``keep`` (in order) into a new graph, rewriting input refs."""
+    out = Graph(graph.name)
+    for node in keep:
+        inputs = tuple(remap.get(r, r) for r in node.inputs)
+        out.nodes[node.id] = Node(node.id, node.op, inputs, node.shape,
+                                  node.params)
+        out.order.append(node.id)
+    out.inputs = [remap.get(n, n) for n in graph.inputs
+                  if remap.get(n, n) in out.nodes]
+    out.outputs = [remap.get(n, n) for n in graph.outputs]
+    return out
+
+
+def dead_code_elimination(graph: Graph) -> Tuple[Graph, int]:
+    """Drop nodes that no output transitively depends on."""
+    graph.validate()
+    live = set(graph.outputs)
+    for node in reversed(graph.topological()):
+        if node.id in live:
+            live.update(node.inputs)
+    keep = [n for n in graph.topological() if n.id in live]
+    removed = len(graph) - len(keep)
+    return _rebuild(graph, keep, {}), removed
+
+
+def common_subexpression_elimination(graph: Graph) -> Tuple[Graph, int]:
+    """Merge structurally identical nodes (same op, params and inputs).
+
+    NN graphs hit this frequently: shared stems, duplicated pre-processing,
+    repeated padding of the same tensor.
+    """
+    graph.validate()
+    remap: Dict[str, str] = {}
+    seen: Dict[Tuple, str] = {}
+    keep: List[Node] = []
+    for node in graph.topological():
+        inputs = tuple(remap.get(r, r) for r in node.inputs)
+        sig = (node.op, inputs, node.params)
+        if node.op != "input" and sig in seen:
+            remap[node.id] = seen[sig]
+            continue
+        seen[sig] = node.id
+        keep.append(Node(node.id, node.op, inputs, node.shape, node.params))
+    merged = len(graph) - len(keep)
+    return _rebuild(graph, keep, remap), merged
+
+
+def fold_pads(graph: Graph) -> Tuple[Graph, int]:
+    """Fold explicit ``pad`` nodes into their sole conv/pool consumer's
+    ``padding`` parameter (one materialized padded tensor instead of two)."""
+    graph.validate()
+    consumers = graph.consumers()
+    remap: Dict[str, str] = {}
+    folded: Dict[str, int] = {}  # consumer id -> extra padding
+    drop = set()
+    for node in graph.topological():
+        if node.op != "pad" or node.id in graph.outputs:
+            continue
+        users = consumers[node.id]
+        if len(users) != 1:
+            continue
+        user = graph.nodes[users[0]]
+        if user.op not in ("conv2d", "maxpool", "avgpool"):
+            continue
+        drop.add(node.id)
+        remap[node.id] = node.inputs[0]
+        folded[user.id] = folded.get(user.id, 0) + node.param_dict["amount"]
+    keep: List[Node] = []
+    for node in graph.topological():
+        if node.id in drop:
+            continue
+        params = node.param_dict
+        if node.id in folded:
+            params["padding"] = params.get("padding", 0) + folded[node.id]
+        inputs = tuple(remap.get(r, r) for r in node.inputs)
+        keep.append(Node(node.id, node.op, inputs, node.shape,
+                         tuple(sorted(params.items()))))
+    return _rebuild(graph, keep, remap), len(drop)
+
+
+def optimize(graph: Graph, max_rounds: int = 8) -> Tuple[Graph, Dict[str, int]]:
+    """Run the pass pipeline to fixpoint; returns (graph, change counts)."""
+    stats = {"dce": 0, "cse": 0, "pad_fold": 0}
+    for _ in range(max_rounds):
+        changed = 0
+        graph, n = fold_pads(graph)
+        stats["pad_fold"] += n
+        changed += n
+        graph, n = common_subexpression_elimination(graph)
+        stats["cse"] += n
+        changed += n
+        graph, n = dead_code_elimination(graph)
+        stats["dce"] += n
+        changed += n
+        if changed == 0:
+            break
+    return graph, stats

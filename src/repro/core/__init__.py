@@ -1,0 +1,33 @@
+"""Core of the Cambricon-F reproduction: FISA, tensors, decomposition,
+machines, and the functional fractal executor."""
+
+from .isa import DependencyKind, Instruction, Opcode
+from .machine import (
+    LevelSpec,
+    Machine,
+    cambricon_f1,
+    cambricon_f100,
+    custom_machine,
+)
+from .executor import FractalExecutor
+from .store import TensorStore
+from .tensor import FP16, FP32, INT32, DType, Region, Tensor
+
+__all__ = [
+    "DependencyKind",
+    "Instruction",
+    "Opcode",
+    "LevelSpec",
+    "Machine",
+    "cambricon_f1",
+    "cambricon_f100",
+    "custom_machine",
+    "FractalExecutor",
+    "TensorStore",
+    "FP16",
+    "FP32",
+    "INT32",
+    "DType",
+    "Region",
+    "Tensor",
+]

@@ -1,0 +1,25 @@
+"""The Cambricon-F node controller (paper Section 3.3, Fig 7).
+
+Three phases in pipeline stages: sequential decomposition (SD), demotion
+(DD) and parallel decomposition (PD), plus the reduction controller (RC)
+steering g(.) operations and the DMA controller (DMAC) moving operands
+between this node's memory and its parent's.
+"""
+
+from .demotion import DecodedInstruction, DemotionDecoder, DMARequest
+from .dmac import DMAController
+from .parallel import ParallelDecomposer, ParallelPlan
+from .reduction import Commission, ReductionController
+from .sequential import SequentialDecomposer
+
+__all__ = [
+    "DecodedInstruction",
+    "DemotionDecoder",
+    "DMARequest",
+    "DMAController",
+    "ParallelDecomposer",
+    "ParallelPlan",
+    "Commission",
+    "ReductionController",
+    "SequentialDecomposer",
+]

@@ -1,0 +1,40 @@
+"""Fractal decomposition of FISA instructions.
+
+Importing this package registers the split rules for every opcode; the
+public API is the rule registry plus the two decomposer entry points used by
+the controller (parallel for PD, sequential shrink for SD).
+"""
+
+from .base import (
+    Split,
+    SplitRule,
+    best_shrink_split,
+    decompose_parallel,
+    footprint,
+    make_partial,
+    register_rules,
+    rules_for,
+    shrink_sequential,
+    splittable_extent,
+)
+
+# Rule registration happens at import time, one module per primitive family.
+from . import conv as _conv  # noqa: F401
+from . import eltwise as _eltwise  # noqa: F401
+from . import linalg as _linalg  # noqa: F401
+from . import matmul as _matmul  # noqa: F401
+from . import pool as _pool  # noqa: F401
+from . import sortcount as _sortcount  # noqa: F401
+
+__all__ = [
+    "Split",
+    "SplitRule",
+    "best_shrink_split",
+    "decompose_parallel",
+    "footprint",
+    "make_partial",
+    "register_rules",
+    "rules_for",
+    "shrink_sequential",
+    "splittable_extent",
+]

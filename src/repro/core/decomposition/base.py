@@ -1,0 +1,334 @@
+"""Fractal decomposition framework (paper Sections 2.2-2.3).
+
+A fractal operation ``f(X) = g(f(X_A), f(X_B), ...)`` is represented here by
+a :class:`Split`: the sub-instructions ``f(X_i)`` (the *parts*), and the
+retrieving operator ``g`` materialized as a list of ordinary FISA
+*reduction* instructions.  Each opcode registers an ordered list of
+:class:`SplitRule`\\ s -- the rows of the paper's Table 2 -- and the two
+decomposer entry points choose among them:
+
+* :func:`decompose_parallel` -- the Parallel Decomposer (PD): split one
+  instruction into up to ``n`` balanced parts for the node's FFUs.
+* :func:`shrink_sequential` -- the Sequential Decomposer (SD): binary-split
+  an instruction until every piece's working set fits the node's memory
+  capacity, yielding a sequential instruction list.
+
+Rules are ordered so that independent and input-dependent axes are preferred
+over output-dependent ones; output-dependent splits allocate *partial*
+tensors and emit ``g`` instructions (Add chains, Merge) that the Reduction
+Controller later steers to LFUs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..isa import DependencyKind, Instruction, Opcode
+from ..tensor import Region, Tensor
+
+_partial_counter = itertools.count()
+#: accumulation chains get ids whose parity drives static-segment recycling.
+_chain_counter = itertools.count()
+
+
+def make_partial(shape: Tuple[int, ...], dtype, tag: str) -> Tensor:
+    """Allocate a fresh partial-result tensor (lives in node-local space)."""
+    return Tensor(
+        name=f"%{tag}{next(_partial_counter)}",
+        shape=shape,
+        dtype=dtype,
+        space="partial",
+    )
+
+
+@dataclass
+class Split:
+    """One application of ``f(X) = g(f(X_A), f(X_B), ...)``.
+
+    ``parts`` compute on operand subsets; ``reduction`` is the ``g``
+    instruction list (empty for independent / input-dependent splits).
+    ``redundant_bytes`` counts input bytes loaded more than once relative to
+    an exact partition (Table 2's "Data Redundancy" column).
+    """
+
+    parts: List[Instruction]
+    reduction: List[Instruction] = field(default_factory=list)
+    dependency: DependencyKind = DependencyKind.INDEPENDENT
+    axis: str = ""
+    redundant_bytes: int = 0
+
+    @property
+    def degree(self) -> int:
+        return len(self.parts)
+
+
+@dataclass(frozen=True)
+class SplitRule:
+    """A named way to split one opcode (one row of Table 2).
+
+    ``extent`` reports how many ways the rule could split the given
+    instruction (the axis length); ``apply`` performs an ``n``-way split.
+    """
+
+    name: str
+    dependency: DependencyKind
+    g_name: str  # human name of the retrieving operator ("-", "Add", "Merge")
+    redundancy: str  # human name of the data redundancy ("-", "Weight", ...)
+    extent: Callable[[Instruction], int]
+    apply: Callable[[Instruction, int], Split]
+
+
+_RULES: Dict[Opcode, List[SplitRule]] = {}
+
+
+def register_rules(opcode: Opcode, rules: Sequence[SplitRule]) -> None:
+    """Register the ordered (most- to least-preferred) rules for an opcode."""
+    _RULES[opcode] = list(rules)
+
+
+def rules_for(opcode: Opcode) -> List[SplitRule]:
+    return list(_RULES.get(opcode, []))
+
+
+def footprint(inst: Instruction) -> int:
+    """Working-set bytes of an instruction (deduplicated operand bytes)."""
+    return inst.io_bytes()
+
+
+def splittable_extent(inst: Instruction) -> int:
+    """Largest split degree any rule offers for this instruction."""
+    return max((r.extent(inst) for r in rules_for(inst.opcode)), default=1)
+
+
+def _pick_rule(inst: Instruction, want: int) -> Optional[SplitRule]:
+    """First (most preferred) rule that can split at all; among the rules,
+    prefer one that can reach the wanted degree, falling back to the best
+    available.
+
+    An *accumulating* instruction (its output already holds a partial sum
+    from an earlier sequential step) must not be given to an
+    output-dependent rule: the g(.) chain would overwrite the accumulated
+    output instead of adding to it.
+    """
+    rules = rules_for(inst.opcode)
+    if inst.attrs.get("accumulate"):
+        rules = [r for r in rules if r.dependency is not DependencyKind.OUTPUT_DEPENDENT]
+    candidates = [r for r in rules if r.extent(inst) >= 2]
+    if not candidates:
+        return None
+    for rule in candidates:
+        if rule.extent(inst) >= want:
+            return rule
+    return max(candidates, key=lambda r: r.extent(inst))
+
+
+def decompose_parallel(inst: Instruction, n: int) -> Optional[Split]:
+    """Split ``inst`` into up to ``n`` parts for n FFUs (the PD stage).
+
+    Returns ``None`` when no rule can split the instruction (degenerate
+    granularity); the caller then runs it on a single FFU or an LFU.
+
+    ``acc_local_out`` propagates to the parts: while a sequential
+    accumulation chain is open at this node, each child keeps its own slice
+    of the running sum resident (its TTT covers consecutive chain steps)
+    and only writes back when the chain closes.  ``acc_chain`` is this
+    node's static-allocator bookkeeping and is stripped.
+
+    Splits *compose*: when the preferred axis is shorter than ``n`` (a
+    batch of 8 facing 512 FFUs), each part is recursively split along the
+    next axes until the fan-out is covered -- otherwise most FFUs of a wide
+    node would idle.  Inner g(.) reductions run before the outer ones.
+    """
+    if n < 2:
+        return None
+    rule = _pick_rule(inst, n)
+    if rule is None:
+        return None
+    degree = min(n, rule.extent(inst))
+    split = rule.apply(inst, degree)
+    if "acc_chain" in inst.attrs:
+        split.parts[:] = [_strip_chain_attrs(p) for p in split.parts]
+
+    remaining = n // max(1, len(split.parts))
+    if remaining >= 2:
+        parts: List[Instruction] = []
+        inner_reductions: List[Instruction] = []
+        dependency = split.dependency
+        redundancy = split.redundant_bytes
+        for part in split.parts:
+            sub = decompose_parallel(part, remaining)
+            if sub is None:
+                parts.append(part)
+                continue
+            parts.extend(sub.parts)
+            inner_reductions.extend(sub.reduction)
+            redundancy += sub.redundant_bytes
+            dependency = _stronger_dependency(dependency, sub.dependency)
+        split = Split(parts=parts,
+                      reduction=inner_reductions + split.reduction,
+                      dependency=dependency,
+                      axis=split.axis + "*",
+                      redundant_bytes=redundancy)
+    return split
+
+
+_DEP_ORDER = {
+    DependencyKind.INDEPENDENT: 0,
+    DependencyKind.INPUT_DEPENDENT: 1,
+    DependencyKind.OUTPUT_DEPENDENT: 2,
+}
+
+
+def _stronger_dependency(a: DependencyKind, b: DependencyKind) -> DependencyKind:
+    return a if _DEP_ORDER[a] >= _DEP_ORDER[b] else b
+
+
+def _strip_chain_attrs(inst: Instruction) -> Instruction:
+    attrs = {k: v for k, v in inst.attrs.items() if k != "acc_chain"}
+    return Instruction(inst.opcode, inst.inputs, inst.outputs, attrs)
+
+
+def sequentialize_add_reduction(split: Split, inst: Instruction) -> Split:
+    """Rewrite an Add-reduction split for *sequential* execution.
+
+    When the parts of an output-dependent split run one after another on the
+    same node (SD, not PD), there is no coherence hazard in letting each
+    part accumulate directly into the output instead of materializing
+    partials and summing them afterwards -- this is what a MAC array does
+    natively.  The rewrite:
+
+    * points every part at the original output region;
+    * sets ``accumulate=True`` on parts after the first (the first inherits
+      the parent's flag, so nested K-splits compose);
+    * sets ``acc_local_out=True`` on all but the last part, telling the
+      demotion decoder to keep the running sum resident locally and only
+      write back once (the paper's controller achieves the same through the
+      static memory segment).
+
+    Splits whose g(.) is not a same-shape Add chain (Merge, scalar-combine
+    of unequal shapes) are returned unchanged.
+    """
+    if split.dependency is not DependencyKind.OUTPUT_DEPENDENT or not split.reduction:
+        return split
+    if any(r.opcode is not Opcode.ADD1D for r in split.reduction):
+        return split
+    out = inst.outputs[0]
+    if any(p.outputs[0].shape != out.shape for p in split.parts):
+        return split
+    parent_acc = bool(inst.attrs.get("accumulate", False))
+    parent_local = bool(inst.attrs.get("acc_local_out", False))
+    chain_id = next(_chain_counter)
+    new_parts: List[Instruction] = []
+    last = len(split.parts) - 1
+    for i, part in enumerate(split.parts):
+        attrs = dict(part.attrs)
+        attrs["accumulate"] = True if i > 0 else parent_acc
+        attrs["acc_local_out"] = True if i < last else parent_local
+        attrs["acc_chain"] = chain_id
+        new_parts.append(Instruction(part.opcode, part.inputs, (out,), attrs))
+    return Split(parts=new_parts, reduction=[],
+                 dependency=DependencyKind.OUTPUT_DEPENDENT,
+                 axis=split.axis + "+acc", redundant_bytes=split.redundant_bytes)
+
+
+def best_shrink_split(inst: Instruction) -> Optional[Split]:
+    """The binary split that most reduces the working set.
+
+    SD's goal differs from PD's: it must *shrink the footprint* toward the
+    memory capacity, so it greedily evaluates every registered rule and
+    picks the one whose larger half has the smallest working set (ties
+    favour reduction-free rules, then Table-2 order).  Without this, a rule
+    ordering tuned for FFU fan-out can split one axis down to extent 1
+    before touching the axis that actually carries the bytes -- e.g. slicing
+    a MatMul's N to single columns while the left matrix stays whole.
+    """
+    best: Optional[Split] = None
+    best_score = None
+    current_fp = footprint(inst)
+    for order, rule in enumerate(rules_for(inst.opcode)):
+        if rule.extent(inst) < 2:
+            continue
+        split = sequentialize_add_reduction(rule.apply(inst, 2), inst)
+        fp = max(footprint(p) for p in split.parts)
+        if fp >= current_fp:
+            continue  # no progress along this axis
+        score = (fp, 1 if split.reduction else 0, order)
+        if best_score is None or score < best_score:
+            best, best_score = split, score
+    return best
+
+
+def shrink_sequential(
+    inst: Instruction, capacity_bytes: int, max_steps: int = 1_000_000
+) -> List[Instruction]:
+    """Sequentially decompose ``inst`` until each piece fits ``capacity_bytes``.
+
+    This is the SD stage: the result is an ordered instruction list
+    (including any ``g`` reduction instructions) that computes ``inst``
+    exactly, each step's working set within capacity.  Pieces that cannot be
+    split further are emitted as-is even if oversized -- the hardware would
+    stream them; the timing model charges their full traffic.
+    """
+    out: List[Instruction] = []
+    stack: List[Instruction] = [inst]
+    budget = max_steps
+    while stack:
+        cur = stack.pop()
+        budget -= 1
+        if budget < 0:
+            raise RuntimeError("sequential decomposition exploded; check capacity")
+        if footprint(cur) <= capacity_bytes:
+            out.append(cur)
+            continue
+        split = best_shrink_split(cur)
+        if split is None:
+            out.append(cur)
+            continue
+        # Parts run first, then the reduction; stack is LIFO so push reversed.
+        for r in reversed(split.reduction):
+            stack.append(r)
+        for p in reversed(split.parts):
+            stack.append(p)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers for rule implementations
+# ---------------------------------------------------------------------------
+
+
+def chain_reduce(
+    partials: List[Region], out: Region, opcode: Opcode = Opcode.ADD1D
+) -> List[Instruction]:
+    """Combine ``partials`` pairwise into ``out`` with ``opcode``.
+
+    Produces ``len(partials) - 1`` instructions; intermediates are fresh
+    partial tensors, the final instruction writes ``out``.
+    """
+    if not partials:
+        raise ValueError("no partials to reduce")
+    if len(partials) == 1:
+        # Plain copy via identity activation keeps the instruction stream
+        # uniform (one instruction always defines `out`).
+        return [Instruction(Opcode.ACT1D, (partials[0],), (out,), {"func": "identity"})]
+    acc = partials[0]
+    insts: List[Instruction] = []
+    for i, nxt in enumerate(partials[1:]):
+        last = i == len(partials) - 2
+        if last:
+            dst = out
+        else:
+            t = make_partial(acc.shape, acc.dtype, "red")
+            dst = t.region()
+        insts.append(Instruction(opcode, (acc, nxt), (dst,)))
+        acc = dst
+    return insts
+
+
+def input_redundancy(parts: List[Instruction], original: Instruction) -> int:
+    """Extra input bytes across parts relative to the original operands."""
+    loaded = sum(sum(r.nbytes for r in p.inputs) for p in parts)
+    exact = sum(r.nbytes for r in original.inputs)
+    return max(0, loaded - exact)

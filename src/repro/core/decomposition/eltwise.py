@@ -1,0 +1,96 @@
+"""Element-wise, horizontal-reduction and activation decomposition rules.
+
+Element-wise operations split independently along any axis (Table 2 "ELTW /
+Any / Independent").  Horizontal reductions (HSum, HProd) are
+output-dependent: chunk reductions produce scalar partials combined by an
+Add (or Mul) chain.
+"""
+
+from __future__ import annotations
+
+from ..isa import DependencyKind, Instruction, Opcode
+from .base import Split, SplitRule, chain_reduce, make_partial, register_rules
+
+
+def _widest_dim(inst: Instruction) -> int:
+    shape = inst.outputs[0].shape
+    return max(range(len(shape)), key=lambda d: shape[d])
+
+
+def _eltwise_extent(inst: Instruction) -> int:
+    # Reshaping copies (same element count, different shape -- e.g. the
+    # flatten before a fully-connected layer) cannot be split element-wise:
+    # input and output coordinates no longer correspond dimension-wise.
+    out_shape = inst.outputs[0].shape
+    if any(x.shape != out_shape for x in inst.inputs):
+        return 1
+    return out_shape[_widest_dim(inst)]
+
+
+def _split_dim_for(inst: Instruction, n: int) -> int:
+    """First dimension wide enough for an n-way split, else the widest.
+
+    Dimension order matters for *slot alignment*: convolutions split batch
+    first, so the element-wise ops chained between them must make the same
+    choice or the producer-consumer chunks land on different FFUs and
+    pipeline forwarding / TTT residency cannot connect them.
+    """
+    shape = inst.outputs[0].shape
+    for d, extent in enumerate(shape):
+        if extent >= n:
+            return d
+    return _widest_dim(inst)
+
+
+def _eltwise_split(inst: Instruction, n: int) -> Split:
+    dim = _split_dim_for(inst, n)
+    out_chunks = inst.outputs[0].split_dim(dim, n)
+    input_chunks = [x.split_dim(dim, n) for x in inst.inputs]
+    parts = [
+        inst.with_operands(
+            inputs=tuple(chunks[i] for chunks in input_chunks),
+            outputs=(out_chunks[i],),
+        )
+        for i in range(len(out_chunks))
+    ]
+    return Split(parts, dependency=DependencyKind.INDEPENDENT, axis=f"dim{dim}")
+
+
+for _op in (Opcode.ADD1D, Opcode.SUB1D, Opcode.MUL1D, Opcode.ACT1D):
+    register_rules(
+        _op,
+        [SplitRule("Any", DependencyKind.INDEPENDENT, "-", "-",
+                   _eltwise_extent, _eltwise_split)],
+    )
+
+
+def _horizontal_split(reduce_opcode: Opcode):
+    def apply(inst: Instruction, n: int) -> Split:
+        x = inst.inputs[0]
+        out = inst.outputs[0]
+        dim = max(range(x.ndim), key=lambda d: x.shape[d])
+        parts, partials = [], []
+        for x_i in x.split_dim(dim, n):
+            p = make_partial((1,), out.dtype, "h")
+            partials.append(p.region())
+            parts.append(inst.with_operands(inputs=(x_i,), outputs=(p.region(),)))
+        return Split(parts, reduction=chain_reduce(partials, out, reduce_opcode),
+                     dependency=DependencyKind.OUTPUT_DEPENDENT, axis=f"dim{dim}")
+
+    return apply
+
+
+def _horizontal_extent(inst: Instruction) -> int:
+    return max(inst.inputs[0].shape)
+
+
+register_rules(
+    Opcode.HSUM1D,
+    [SplitRule("Any", DependencyKind.OUTPUT_DEPENDENT, "Add", "-",
+               _horizontal_extent, _horizontal_split(Opcode.ADD1D))],
+)
+register_rules(
+    Opcode.HPROD1D,
+    [SplitRule("Any", DependencyKind.OUTPUT_DEPENDENT, "Mul", "-",
+               _horizontal_extent, _horizontal_split(Opcode.MUL1D))],
+)

@@ -1,0 +1,61 @@
+"""Euclidian1D decomposition rules.
+
+``out[n, m]`` = pairwise squared distances of ``X[n, d]`` and ``Y[m, d]``:
+
+* split n: each part gets all of Y (input-dependent);
+* split m: each part gets all of X (input-dependent);
+* split d: squared distances add across dimension subsets
+  (output-dependent, g = Add) -- the length-wise IP row of Table 2.
+"""
+
+from __future__ import annotations
+
+from ..isa import DependencyKind, Instruction, Opcode
+from .base import Split, SplitRule, chain_reduce, input_redundancy, make_partial, register_rules
+
+
+def _split_samples(inst: Instruction, n: int) -> Split:
+    x, y = inst.inputs
+    out = inst.outputs[0]
+    parts = [
+        inst.with_operands(inputs=(x_i, y), outputs=(o_i,))
+        for x_i, o_i in zip(x.split_dim(0, n), out.split_dim(0, n))
+    ]
+    return Split(parts, dependency=DependencyKind.INPUT_DEPENDENT, axis="n",
+                 redundant_bytes=input_redundancy(parts, inst))
+
+
+def _split_refs(inst: Instruction, n: int) -> Split:
+    x, y = inst.inputs
+    out = inst.outputs[0]
+    parts = [
+        inst.with_operands(inputs=(x, y_i), outputs=(o_i,))
+        for y_i, o_i in zip(y.split_dim(0, n), out.split_dim(1, n))
+    ]
+    return Split(parts, dependency=DependencyKind.INPUT_DEPENDENT, axis="m",
+                 redundant_bytes=input_redundancy(parts, inst))
+
+
+def _split_dims(inst: Instruction, n: int) -> Split:
+    x, y = inst.inputs
+    out = inst.outputs[0]
+    parts, partials = [], []
+    for x_i, y_i in zip(x.split_dim(1, n), y.split_dim(1, n)):
+        p = make_partial(out.shape, out.dtype, "eu")
+        partials.append(p.region())
+        parts.append(inst.with_operands(inputs=(x_i, y_i), outputs=(p.region(),)))
+    return Split(parts, reduction=chain_reduce(partials, out),
+                 dependency=DependencyKind.OUTPUT_DEPENDENT, axis="d")
+
+
+register_rules(
+    Opcode.EUCLIDIAN1D,
+    [
+        SplitRule("Sample-Wise", DependencyKind.INPUT_DEPENDENT, "-", "Refs",
+                  lambda i: i.inputs[0].shape[0], _split_samples),
+        SplitRule("Reference-Wise", DependencyKind.INPUT_DEPENDENT, "-", "Samples",
+                  lambda i: i.inputs[1].shape[0], _split_refs),
+        SplitRule("Length-Wise", DependencyKind.OUTPUT_DEPENDENT, "Add", "-",
+                  lambda i: i.inputs[0].shape[1], _split_dims),
+    ],
+)

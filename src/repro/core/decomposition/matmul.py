@@ -1,0 +1,93 @@
+"""MatMul decomposition rules (Table 2 rows "MMM").
+
+For ``C[M, N] = A[M, K] @ B[K, N]``:
+
+* split N ("Right, Vertical"): each part gets all of A -- input-dependent,
+  Left-matrix redundancy;
+* split M ("Left, Horizontal"): each part gets all of B -- input-dependent,
+  Right-matrix redundancy;
+* split K ("Left, Vertical"): partial products summed -- output-dependent,
+  g = Add.
+
+Preference order N > M > K: the reduction-free splits come first, and
+splitting N keeps the (often much larger) left matrix intact for the
+broadcast path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import DependencyKind, Instruction, Opcode
+from .base import Split, SplitRule, chain_reduce, input_redundancy, make_partial, register_rules
+
+
+def _split_n(inst: Instruction, n: int) -> Split:
+    a, b = inst.inputs
+    c = inst.outputs[0]
+    parts: List[Instruction] = []
+    for b_i, c_i in zip(b.split_dim(1, n), c.split_dim(1, n)):
+        parts.append(inst.with_operands(inputs=(a, b_i), outputs=(c_i,)))
+    return Split(
+        parts=parts,
+        dependency=DependencyKind.INPUT_DEPENDENT,
+        axis="N",
+        redundant_bytes=input_redundancy(parts, inst),
+    )
+
+
+def _split_m(inst: Instruction, n: int) -> Split:
+    a, b = inst.inputs
+    c = inst.outputs[0]
+    parts: List[Instruction] = []
+    for a_i, c_i in zip(a.split_dim(0, n), c.split_dim(0, n)):
+        parts.append(inst.with_operands(inputs=(a_i, b), outputs=(c_i,)))
+    return Split(
+        parts=parts,
+        dependency=DependencyKind.INPUT_DEPENDENT,
+        axis="M",
+        redundant_bytes=input_redundancy(parts, inst),
+    )
+
+
+def _split_k(inst: Instruction, n: int) -> Split:
+    a, b = inst.inputs
+    c = inst.outputs[0]
+    a_chunks = a.split_dim(1, n)
+    b_chunks = b.split_dim(0, n)
+    parts, partials = [], []
+    for a_i, b_i in zip(a_chunks, b_chunks):
+        p = make_partial(c.shape, c.dtype, "mm")
+        partials.append(p.region())
+        parts.append(inst.with_operands(inputs=(a_i, b_i), outputs=(p.region(),)))
+    return Split(
+        parts=parts,
+        reduction=chain_reduce(partials, c, Opcode.ADD1D),
+        dependency=DependencyKind.OUTPUT_DEPENDENT,
+        axis="K",
+    )
+
+
+def _extent_n(inst: Instruction) -> int:
+    return inst.inputs[1].shape[1]
+
+
+def _extent_m(inst: Instruction) -> int:
+    return inst.inputs[0].shape[0]
+
+
+def _extent_k(inst: Instruction) -> int:
+    return inst.inputs[0].shape[1]
+
+
+register_rules(
+    Opcode.MATMUL,
+    [
+        SplitRule("Right, Vertical (N)", DependencyKind.INPUT_DEPENDENT, "-",
+                  "Left Matrix", _extent_n, _split_n),
+        SplitRule("Left, Horizontal (M)", DependencyKind.INPUT_DEPENDENT, "-",
+                  "Right Matrix", _extent_m, _split_m),
+        SplitRule("Left, Vertical (K)", DependencyKind.OUTPUT_DEPENDENT, "Add",
+                  "-", _extent_k, _split_k),
+    ],
+)

@@ -1,0 +1,86 @@
+"""Sort, merge and count decomposition rules (Table 2 "SORT" / "COUNT").
+
+Both are output-dependent for *any* split: sorted chunks are combined by the
+Merge retrieving operator; partial counts are combined by Add.  A Merge of
+more than two runs is itself fractal (merge groups, then merge the group
+results); two-run merges are atomic streaming operations.
+"""
+
+from __future__ import annotations
+
+from ..isa import DependencyKind, Instruction, Opcode
+from .base import Split, SplitRule, chain_reduce, make_partial, register_rules
+
+
+def _sort_split(inst: Instruction, n: int) -> Split:
+    x = inst.inputs[0]
+    out = inst.outputs[0]
+    parts, partials = [], []
+    for x_i in x.split_dim(0, n):
+        p = make_partial(x_i.shape, out.dtype, "srt")
+        partials.append(p.region())
+        parts.append(inst.with_operands(inputs=(x_i,), outputs=(p.region(),)))
+    merge = Instruction(Opcode.MERGE1D, tuple(partials), (out,))
+    return Split(parts, reduction=[merge],
+                 dependency=DependencyKind.OUTPUT_DEPENDENT, axis="any")
+
+
+register_rules(
+    Opcode.SORT1D,
+    [SplitRule("Any", DependencyKind.OUTPUT_DEPENDENT, "Merge", "-",
+               lambda i: i.inputs[0].shape[0], _sort_split)],
+)
+
+
+def _count_split(inst: Instruction, n: int) -> Split:
+    x = inst.inputs[0]
+    out = inst.outputs[0]
+    dim = max(range(x.ndim), key=lambda d: x.shape[d])
+    parts, partials = [], []
+    for x_i in x.split_dim(dim, n):
+        p = make_partial((1,), out.dtype, "cnt")
+        partials.append(p.region())
+        parts.append(inst.with_operands(inputs=(x_i,), outputs=(p.region(),)))
+    return Split(parts, reduction=chain_reduce(partials, out, Opcode.ADD1D),
+                 dependency=DependencyKind.OUTPUT_DEPENDENT, axis="any")
+
+
+register_rules(
+    Opcode.COUNT1D,
+    [SplitRule("Any", DependencyKind.OUTPUT_DEPENDENT, "Add", "-",
+               lambda i: max(i.inputs[0].shape), _count_split)],
+)
+
+
+def _merge_extent(inst: Instruction) -> int:
+    k = len(inst.inputs)
+    return k if k > 2 else 1  # two-run merges are atomic (streaming)
+
+
+def _merge_split(inst: Instruction, n: int) -> Split:
+    inputs = list(inst.inputs)
+    out = inst.outputs[0]
+    n = min(n, len(inputs))
+    base, rem = divmod(len(inputs), n)
+    groups, idx = [], 0
+    for i in range(n):
+        size = base + (1 if i < rem else 0)
+        if size:
+            groups.append(inputs[idx : idx + size])
+            idx += size
+    parts, partials = [], []
+    for group in groups:
+        length = sum(r.nelems for r in group)
+        p = make_partial((length,), out.dtype, "mrg")
+        partials.append(p.region())
+        parts.append(Instruction(Opcode.MERGE1D, tuple(group), (p.region(),), dict(inst.attrs)))
+    final = Instruction(Opcode.MERGE1D, tuple(partials), (out,), dict(inst.attrs))
+    return Split(parts, reduction=[final],
+                 dependency=DependencyKind.OUTPUT_DEPENDENT, axis="groups")
+
+
+register_rules(
+    Opcode.MERGE1D,
+    [SplitRule("Groups", DependencyKind.OUTPUT_DEPENDENT, "Merge", "-",
+               _merge_extent, _merge_split)],
+)

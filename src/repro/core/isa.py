@@ -1,0 +1,293 @@
+"""FISA -- the Fractal Instruction Set Architecture (paper Section 3.2).
+
+A FISA instruction is a 3-tuple ``(O, P, G)``: an operation, a finite set of
+operands and a granularity indicator.  Here operands are :class:`Region`
+views of tensors in the enclosing node's memory, and the granularity
+indicator is derived from the operand shapes (it is what the sequential and
+parallel decomposers shrink as instructions descend the hierarchy).
+
+The opcode list is the paper's Table 3: deep-learning primitives (Cv2D,
+Cv3D, pooling, LRN), linear algebra (MatMul, Euclidian1D), sort, count, and
+the reduction group (element-wise, horizontal reductions, merge) that "tend
+to execute on LFUs".
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .tensor import Region
+
+
+class Opcode(enum.Enum):
+    """FISA operations (paper Table 3)."""
+
+    # Deep learning
+    CV2D = "Cv2D"
+    CV3D = "Cv3D"
+    MAX2D = "Max2D"
+    MIN2D = "Min2D"
+    AVG2D = "Avg2D"
+    LRN = "Lrn"
+    # Linear algebra
+    MATMUL = "MatMul"
+    EUCLIDIAN1D = "Euclidian1D"
+    # Sort / count
+    SORT1D = "Sort1D"
+    COUNT1D = "Count1D"
+    # Reduction group (LFU-leaning)
+    ADD1D = "Add1D"
+    SUB1D = "Sub1D"
+    MUL1D = "Mul1D"
+    ACT1D = "Act1D"
+    HSUM1D = "HSum1D"
+    HPROD1D = "HProd1D"
+    MERGE1D = "Merge1D"
+
+    def __repr__(self) -> str:  # terse in traces
+        return self.value
+
+
+#: Opcodes the paper groups as "Reduction" in Table 3.  These have low
+#: operational intensity; the reduction controller prefers executing them on
+#: the node's local functional units.
+REDUCTION_OPCODES = frozenset(
+    {
+        Opcode.ADD1D,
+        Opcode.SUB1D,
+        Opcode.MUL1D,
+        Opcode.ACT1D,
+        Opcode.HSUM1D,
+        Opcode.HPROD1D,
+        Opcode.MERGE1D,
+    }
+)
+
+#: Pooling opcodes share decomposition and work models.
+POOL_OPCODES = frozenset({Opcode.MAX2D, Opcode.MIN2D, Opcode.AVG2D})
+
+
+class DependencyKind(enum.Enum):
+    """How a fractal split's operand subsets relate (paper Section 2.2)."""
+
+    INDEPENDENT = "independent"
+    INPUT_DEPENDENT = "input-dependent"
+    OUTPUT_DEPENDENT = "output-dependent"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A FISA instruction ``I = (O, P, G)``.
+
+    ``inputs`` and ``outputs`` are regions of tensors in the memory of the
+    node that receives this instruction; ``attrs`` holds scalar parameters
+    (strides, pool windows, activation kind, ...).  Instructions are
+    immutable -- the controller rewrites operands by constructing new
+    instances.
+    """
+
+    opcode: Opcode
+    inputs: Tuple[Region, ...]
+    outputs: Tuple[Region, ...]
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+        # attrs participates in hashing via the frozen signature only
+        object.__setattr__(self, "attrs", dict(self.attrs))
+
+    def __hash__(self) -> int:
+        return hash(self.signature() + tuple(r.key() for r in self.inputs + self.outputs))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Instruction)
+            and self.opcode == other.opcode
+            and self.inputs == other.inputs
+            and self.outputs == other.outputs
+            and self.attrs == other.attrs
+        )
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_reduction_style(self) -> bool:
+        """True for the Table-3 "Reduction" opcode group."""
+        return self.opcode in REDUCTION_OPCODES
+
+    # -- the G of (O, P, G) --------------------------------------------------
+
+    @property
+    def granularity(self) -> int:
+        """Granularity indicator: total output elements of the instruction."""
+        return sum(r.nelems for r in self.outputs)
+
+    # -- accounting ----------------------------------------------------------
+
+    def io_bytes(self) -> int:
+        """Bytes moved if every operand is DMA-transferred exactly once."""
+        seen, total = set(), 0
+        for r in self.inputs + self.outputs:
+            if r.key() in seen:
+                continue
+            seen.add(r.key())
+            total += r.nbytes
+        return total
+
+    def work(self) -> int:
+        """Arithmetic operation count (multiply and add counted separately,
+        matching how the paper quotes peak Tops)."""
+        return _WORK_MODELS[self.opcode](self)
+
+    def operational_intensity(self) -> float:
+        """ops / byte, at this instruction's granularity."""
+        return self.work() / max(1, self.io_bytes())
+
+    # -- identity ------------------------------------------------------------
+
+    def signature(self) -> Tuple:
+        """Structural signature: opcode + operand shapes/dtypes + attrs.
+
+        Two instructions with equal signatures take identical time on
+        identical nodes; the timing simulator caches on this.  The value is
+        computed once and memoized (instructions are immutable).
+        """
+        cached = self.__dict__.get("_sig")
+        if cached is not None:
+            return cached
+        sig = (
+            self.opcode,
+            tuple((r.shape, r.dtype.name) for r in self.inputs),
+            tuple((r.shape, r.dtype.name) for r in self.outputs),
+            # acc_chain is a globally unique chain id -- bookkeeping for the
+            # static allocator, not structure -- so it is excluded here.
+            tuple(sorted((k, v) for k, v in self.attrs.items() if k != "acc_chain")),
+        )
+        object.__setattr__(self, "_sig", sig)
+        return sig
+
+    def with_operands(
+        self,
+        inputs: Optional[Tuple[Region, ...]] = None,
+        outputs: Optional[Tuple[Region, ...]] = None,
+    ) -> "Instruction":
+        return Instruction(
+            self.opcode,
+            self.inputs if inputs is None else tuple(inputs),
+            self.outputs if outputs is None else tuple(outputs),
+            dict(self.attrs),
+        )
+
+    def __repr__(self) -> str:
+        ins = ", ".join(map(repr, self.inputs))
+        outs = ", ".join(map(repr, self.outputs))
+        attrs = f" {self.attrs}" if self.attrs else ""
+        return f"{self.opcode.value} {outs} <- {ins}{attrs}"
+
+
+# ---------------------------------------------------------------------------
+# Work (operation count) models
+# ---------------------------------------------------------------------------
+
+
+def _work_matmul(inst: Instruction) -> int:
+    a, b = inst.inputs[0], inst.inputs[1]
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"MatMul shape mismatch: {a.shape} @ {b.shape}")
+    return 2 * m * k * n
+
+
+def _work_cv2d(inst: Instruction) -> int:
+    w = inst.inputs[1]
+    out = inst.outputs[0]
+    kh, kw, cin, _cout = w.shape
+    n, ho, wo, cout = out.shape
+    return 2 * n * ho * wo * cout * kh * kw * cin
+
+
+def _work_cv3d(inst: Instruction) -> int:
+    w = inst.inputs[1]
+    out = inst.outputs[0]
+    kd, kh, kw, cin, _cout = w.shape
+    n, do, ho, wo, cout = out.shape
+    return 2 * n * do * ho * wo * cout * kd * kh * kw * cin
+
+
+def _work_pool(inst: Instruction) -> int:
+    out = inst.outputs[0]
+    kh = int(inst.attrs.get("kh", 2))
+    kw = int(inst.attrs.get("kw", 2))
+    return out.nelems * kh * kw
+
+
+def _work_lrn(inst: Instruction) -> int:
+    out = inst.outputs[0]
+    size = int(inst.attrs.get("size", 5))
+    # square, windowed sum, scale, pow, multiply
+    return out.nelems * (size + 4)
+
+
+def _work_euclidian(inst: Instruction) -> int:
+    x, y = inst.inputs[0], inst.inputs[1]
+    n, d = x.shape
+    m, d2 = y.shape
+    if d != d2:
+        raise ValueError(f"Euclidian1D dim mismatch: {x.shape} vs {y.shape}")
+    return 3 * n * m * d  # sub, square, accumulate
+
+
+def _work_sort(inst: Instruction) -> int:
+    n = inst.inputs[0].nelems
+    return max(1, int(n * max(1.0, math.log2(max(2, n)))))
+
+
+def _work_count(inst: Instruction) -> int:
+    return inst.inputs[0].nelems
+
+
+def _work_eltwise(inst: Instruction) -> int:
+    return inst.outputs[0].nelems
+
+
+def _work_unary(inst: Instruction) -> int:
+    return 2 * inst.outputs[0].nelems
+
+
+def _work_horizontal(inst: Instruction) -> int:
+    return inst.inputs[0].nelems
+
+
+def _work_merge(inst: Instruction) -> int:
+    return sum(r.nelems for r in inst.inputs)
+
+
+_WORK_MODELS = {
+    Opcode.MATMUL: _work_matmul,
+    Opcode.CV2D: _work_cv2d,
+    Opcode.CV3D: _work_cv3d,
+    Opcode.MAX2D: _work_pool,
+    Opcode.MIN2D: _work_pool,
+    Opcode.AVG2D: _work_pool,
+    Opcode.LRN: _work_lrn,
+    Opcode.EUCLIDIAN1D: _work_euclidian,
+    Opcode.SORT1D: _work_sort,
+    Opcode.COUNT1D: _work_count,
+    Opcode.ADD1D: _work_eltwise,
+    Opcode.SUB1D: _work_eltwise,
+    Opcode.MUL1D: _work_eltwise,
+    Opcode.ACT1D: _work_unary,
+    Opcode.HSUM1D: _work_horizontal,
+    Opcode.HPROD1D: _work_horizontal,
+    Opcode.MERGE1D: _work_merge,
+}
+
+
+def program_work(instructions) -> int:
+    """Total arithmetic operations of an instruction sequence."""
+    return sum(i.work() for i in instructions)

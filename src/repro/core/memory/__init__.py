@@ -1,0 +1,13 @@
+"""Node-local memory management: the Fig-9 segmented allocator and the
+Tensor Transposition Table (Section 3.5 / 3.6)."""
+
+from .allocator import AllocationError, Block, NodeMemoryManager
+from .ttt import TensorTranspositionTable, TTTRecord
+
+__all__ = [
+    "AllocationError",
+    "Block",
+    "NodeMemoryManager",
+    "TensorTranspositionTable",
+    "TTTRecord",
+]

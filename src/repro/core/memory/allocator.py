@@ -1,0 +1,209 @@
+"""The Cambricon-F node memory controller (paper Section 3.5, Fig 9).
+
+Local storage is divided into four segments: three *recycled* segments and
+one *static* segment managed as two stacks.  The design leverages the
+separable time order of controller allocations:
+
+* blocks allocated by PD live only through EX (and sometimes RD);
+* blocks allocated by DD live for one whole FISA cycle;
+* blocks allocated by SD may live across multiple FISA cycles.
+
+Because at most four in-flight instructions touch memory at once (LD, EX,
+RD, WB -- and the one entering LD can reuse the space of the one leaving
+WB), three recycled segments rotated round-robin suffice for the per-cycle
+blocks.  SD-lifetime blocks go to the static segment, allocated from
+alternate ends by instruction parity so adjacent instructions' lifecycles
+never overlap.  Nothing is ever explicitly freed: a segment is simply reset
+when its slot is reassigned, matching the paper's "new instruction will
+directly refill with new data".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class AllocationError(Exception):
+    """A request did not fit its segment."""
+
+
+@dataclass(frozen=True)
+class Block:
+    """A placed allocation: absolute [offset, offset+size) in local storage."""
+
+    segment: str
+    offset: int
+    size: int
+    tag: str
+    owner: int  # FISA-cycle index of the owning instruction
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    def overlaps(self, other: "Block") -> bool:
+        return self.offset < other.end and other.offset < self.end
+
+
+class _RecycledSegment:
+    """Bump allocator reset whenever its pipeline slot is reassigned.
+
+    Allocation is strictly in request-list order -- "memory space is always
+    allocated in the list order, which is consistent with the time order
+    that Controller requests" -- so placement is a single cursor.
+    """
+
+    def __init__(self, name: str, base: int, size: int):
+        self.name = name
+        self.base = base
+        self.size = size
+        self.cursor = 0
+        self.owner: Optional[int] = None
+        self.blocks: List[Block] = []
+        self.high_water = 0
+
+    def reset(self, owner: int) -> None:
+        self.cursor = 0
+        self.owner = owner
+        self.blocks = []
+
+    def alloc(self, size: int, tag: str) -> Block:
+        if size < 0:
+            raise ValueError("negative allocation")
+        if self.cursor + size > self.size:
+            raise AllocationError(
+                f"{self.name}: {size} B does not fit ({self.size - self.cursor} B left)"
+            )
+        block = Block(self.name, self.base + self.cursor, size, tag,
+                      self.owner if self.owner is not None else -1)
+        self.cursor += size
+        self.high_water = max(self.high_water, self.cursor)
+        self.blocks.append(block)
+        return block
+
+
+class _StaticSegment:
+    """Double-ended stacks for SD-lifetime blocks, keyed by parity.
+
+    Even-parity instructions allocate upward from the bottom, odd-parity
+    downward from the top.  When an instruction of some parity begins, the
+    previous same-parity instruction's blocks are dead (only *adjacent*
+    instructions can overlap in time), so that end is reset first.
+    """
+
+    def __init__(self, base: int, size: int):
+        self.base = base
+        self.size = size
+        self.bottom = 0  # next free from the low end (even parity)
+        self.top = size  # next free from the high end (odd parity)
+        self.owner = {0: None, 1: None}
+        self.blocks: Dict[int, List[Block]] = {0: [], 1: []}
+        self.high_water = 0
+
+    def begin(self, owner: int) -> None:
+        parity = owner % 2
+        self.owner[parity] = owner
+        self.blocks[parity] = []
+        if parity == 0:
+            self.bottom = 0
+        else:
+            self.top = self.size
+
+    def alloc(self, owner: int, size: int, tag: str) -> Block:
+        parity = owner % 2
+        if self.owner[parity] != owner:
+            self.begin(owner)
+        if self.bottom + size > self.top:
+            raise AllocationError(
+                f"static: {size} B does not fit ({self.top - self.bottom} B between stacks)"
+            )
+        if parity == 0:
+            block = Block("static-even", self.base + self.bottom, size, tag, owner)
+            self.bottom += size
+        else:
+            block = Block("static-odd", self.base + self.top - size, size, tag, owner)
+            self.top -= size
+        self.blocks[parity].append(block)
+        self.high_water = max(self.high_water, self.bottom + (self.size - self.top))
+        return block
+
+
+class NodeMemoryManager:
+    """Fig-9 memory controller for one Cambricon-F node.
+
+    ``capacity`` is the node's local storage; ``static_fraction`` of it is
+    the static segment, and the rest is split into three equal recycled
+    segments.  :meth:`begin_fisa_cycle` rotates the recycled segments across
+    instructions (cycle ``i`` uses segment ``i mod 3``, recycling the space
+    of instruction ``i - 3``, which has left the pipeline).
+    """
+
+    N_RECYCLED = 3
+
+    def __init__(self, capacity: int, static_fraction: float = 0.25):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < static_fraction < 1.0:
+            raise ValueError("static_fraction must be in (0, 1)")
+        self.capacity = capacity
+        static_size = int(capacity * static_fraction)
+        recycled_size = (capacity - static_size) // self.N_RECYCLED
+        self.recycled = [
+            _RecycledSegment(f"recycled{k}", k * recycled_size, recycled_size)
+            for k in range(self.N_RECYCLED)
+        ]
+        self.static = _StaticSegment(self.N_RECYCLED * recycled_size, static_size)
+        self._cycle: Optional[int] = None
+
+    # -- segment sizing (what SD must fit a step into) -----------------------
+
+    @property
+    def recycled_segment_bytes(self) -> int:
+        return self.recycled[0].size
+
+    @property
+    def static_segment_bytes(self) -> int:
+        return self.static.size
+
+    # -- allocation API -------------------------------------------------------
+
+    def begin_fisa_cycle(self, index: int) -> None:
+        """Enter FISA cycle ``index``; recycles segment ``index mod 3``."""
+        if self._cycle is not None and index <= self._cycle:
+            raise ValueError("FISA cycle indices must strictly increase")
+        self._cycle = index
+        self.recycled[index % self.N_RECYCLED].reset(index)
+
+    def alloc(self, nbytes: int, tag: str = "") -> Block:
+        """Per-cycle allocation (DD / PD blocks) in the cycle's segment."""
+        if self._cycle is None:
+            raise AllocationError("no FISA cycle begun")
+        return self.recycled[self._cycle % self.N_RECYCLED].alloc(nbytes, tag)
+
+    def alloc_static(self, nbytes: int, tag: str = "", owner: Optional[int] = None) -> Block:
+        """SD-lifetime allocation in the double-ended static segment.
+
+        ``owner`` is the index of the owning *FISA-level* instruction (the
+        one SD decomposed), whose parity picks the stack end; it defaults to
+        the current cycle index.
+        """
+        if self._cycle is None and owner is None:
+            raise AllocationError("no FISA cycle begun")
+        return self.static.alloc(self._cycle if owner is None else owner, nbytes, tag)
+
+    # -- introspection ----------------------------------------------------------
+
+    def live_blocks(self) -> List[Block]:
+        """All blocks whose owning slot has not been recycled yet."""
+        out: List[Block] = []
+        for seg in self.recycled:
+            out.extend(seg.blocks)
+        out.extend(self.static.blocks[0])
+        out.extend(self.static.blocks[1])
+        return out
+
+    def utilization(self) -> float:
+        """Peak fraction of local storage ever occupied."""
+        used = sum(seg.high_water for seg in self.recycled) + self.static.high_water
+        return used / self.capacity

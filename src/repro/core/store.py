@@ -1,0 +1,83 @@
+"""Concrete tensor storage for functional execution.
+
+The functional executor models every node's memory as views into one global
+store: a mapping from tensor uid to a numpy array.  (Physically the data
+would be copied down the hierarchy; numerically, views are equivalent, and
+the *timing* simulator is the component that accounts for the copies.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .tensor import Region, Tensor
+
+
+class TensorStore:
+    """Maps logical tensors to backing numpy arrays."""
+
+    def __init__(self):
+        self._arrays: Dict[int, np.ndarray] = {}
+        self._tensors: Dict[int, Tensor] = {}
+
+    def bind(self, tensor: Tensor, array: np.ndarray) -> None:
+        """Attach a concrete array (copied) as the tensor's contents."""
+        arr = np.asarray(array, dtype=np.float64)
+        if arr.shape != tensor.shape:
+            raise ValueError(f"shape mismatch: tensor {tensor.shape}, array {arr.shape}")
+        self._arrays[tensor.uid] = arr.copy()
+        self._tensors[tensor.uid] = tensor
+
+    def ensure(self, tensor: Tensor) -> np.ndarray:
+        """Materialize (zero-filled) storage for ``tensor`` if absent."""
+        if tensor.uid not in self._arrays:
+            self._arrays[tensor.uid] = np.zeros(tensor.shape, dtype=np.float64)
+            self._tensors[tensor.uid] = tensor
+        return self._arrays[tensor.uid]
+
+    def has(self, tensor: Tensor) -> bool:
+        return tensor.uid in self._arrays
+
+    def read(self, region: Region) -> np.ndarray:
+        """The region's contents (a copy, so kernels cannot alias)."""
+        base = self.ensure(region.tensor)
+        slices = tuple(slice(lo, hi) for lo, hi in region.bounds)
+        return base[slices].copy()
+
+    def write(self, region: Region, value: np.ndarray) -> None:
+        base = self.ensure(region.tensor)
+        slices = tuple(slice(lo, hi) for lo, hi in region.bounds)
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != region.shape:
+            # 1-D opcode outputs (sort/merge/count/hsum) are flat; allow an
+            # exact-size reshape so rank-1 results land in rank-1 regions.
+            if value.size == region.nelems:
+                value = value.reshape(region.shape)
+            else:
+                raise ValueError(
+                    f"write shape mismatch: region {region.shape}, value {value.shape}"
+                )
+        base[slices] = value
+
+    def write_accumulate(self, region: Region, value: np.ndarray) -> None:
+        """Add ``value`` into the region (MAC-array style accumulation)."""
+        base = self.ensure(region.tensor)
+        slices = tuple(slice(lo, hi) for lo, hi in region.bounds)
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != region.shape:
+            if value.size == region.nelems:
+                value = value.reshape(region.shape)
+            else:
+                raise ValueError(
+                    f"accumulate shape mismatch: region {region.shape}, value {value.shape}"
+                )
+        base[slices] += value
+
+    def tensor(self, uid: int) -> Optional[Tensor]:
+        return self._tensors.get(uid)
+
+    def array(self, tensor: Tensor) -> np.ndarray:
+        """Direct reference to the backing array (read-only use)."""
+        return self.ensure(tensor)

@@ -1,0 +1,43 @@
+"""Hardware cost models: eDRAM (DESTINY-like), layout/power roll-ups
+(Table 7), system comparisons (Table 8, Fig 1, Fig 16) and the Table-4
+design-space explorer."""
+
+from .compare import ACCELERATOR_CHIPS, CARD_COMPARISON, chip_comparison_table
+from .dse import DesignPoint, explore_design_space, TABLE4_HIERARCHIES
+from .edram import edram_area_mm2, edram_bandwidth, edram_power_mw
+from .energy import EnergyReport, card_subsystem_power_w, estimate_energy
+from .layout import (
+    CORE_BREAKDOWN,
+    chip_cost,
+    core_cost,
+    machine_cost,
+    LayoutCost,
+)
+from .survey import (
+    ACCELERATOR_EFFICIENCY_TREND,
+    NVIDIA_GPU_TREND,
+    annual_growth,
+)
+
+__all__ = [
+    "ACCELERATOR_CHIPS",
+    "CARD_COMPARISON",
+    "chip_comparison_table",
+    "DesignPoint",
+    "explore_design_space",
+    "TABLE4_HIERARCHIES",
+    "edram_area_mm2",
+    "edram_bandwidth",
+    "edram_power_mw",
+    "EnergyReport",
+    "card_subsystem_power_w",
+    "estimate_energy",
+    "CORE_BREAKDOWN",
+    "chip_cost",
+    "core_cost",
+    "machine_cost",
+    "LayoutCost",
+    "ACCELERATOR_EFFICIENCY_TREND",
+    "NVIDIA_GPU_TREND",
+    "annual_growth",
+]

@@ -1,0 +1,105 @@
+"""Hardware characteristics comparison (paper Table 8).
+
+GPU/ASIC columns are the published numbers the paper tabulates; the
+Cambricon-F columns are computed from our cost model so the bench can show
+paper-vs-model deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.machine import Machine, cambricon_f1, cambricon_f100
+from .layout import chip_cost
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One column of Table 8 (chip section)."""
+
+    name: str
+    isa_type: str
+    technology: str
+    kind: str
+    memory_type: str
+    memory_bytes: int
+    peak_tops: float
+    area_mm2: Optional[float]
+    power_w: Optional[float]
+
+    @property
+    def power_efficiency(self) -> Optional[float]:
+        if self.power_w:
+            return self.peak_tops / self.power_w
+        return None
+
+    @property
+    def area_efficiency(self) -> Optional[float]:
+        if self.area_mm2:
+            return self.peak_tops / self.area_mm2
+        return None
+
+
+def _fractal_chip_spec(machine: Machine, chip_level: str, name: str) -> ChipSpec:
+    """Build the Cambricon-F column from the cost model."""
+    cost = chip_cost(machine, chip_level)
+    # on-chip memory: every eDRAM at or below the chip level
+    start = next(i for i, lv in enumerate(machine.levels) if lv.name == chip_level)
+    mem = 0
+    for i in range(start, machine.depth):
+        mem += machine.nodes_at(i) // machine.nodes_at(start) * machine.level(i).mem_bytes
+    peak = machine.level(start).peak_ops / 1e12
+    return ChipSpec(name, "FISA", "45nm", "Cam-F", "eDRAM",
+                    mem, peak, cost.area_mm2, cost.power_w)
+
+
+def fractal_chips() -> List[ChipSpec]:
+    return [
+        _fractal_chip_spec(cambricon_f1(), "FMP", "Cam-F1"),
+        _fractal_chip_spec(cambricon_f100(), "Chip", "Cam-F100"),
+    ]
+
+
+#: published columns of Table 8 (chip section)
+ACCELERATOR_CHIPS: Dict[str, ChipSpec] = {
+    "1080Ti": ChipSpec("1080Ti", "SIMD", "16nm", "GPU", "SRAM",
+                       int(12.8 * MB), 10.6, 471, None),
+    "V100": ChipSpec("V100", "SIMD", "12nm", "GPU", "SRAM",
+                     int(33.5 * MB), 125, 815, None),
+    "DaDN": ChipSpec("DaDN", "VLIW", "28nm", "ASIC", "eDRAM",
+                     36 * MB, 5.58, 67, 15.97),
+    "TPU": ChipSpec("TPU", "CISC", "28nm", "ASIC", "SRAM",
+                    28 * MB, 92, 331, 40),
+}
+
+#: card-level rows of Table 8: name -> (dram GB, peak Tops, power W)
+CARD_COMPARISON: Dict[str, Dict[str, float]] = {
+    "Cam-F1": {"dram_gb": 32, "peak_tops": 14.9, "power_w": 90.19, "dies": 1},
+    "Cam-F100": {"dram_gb": 32, "peak_tops": 238, "power_w": 167.22, "dies": 2},
+    "1080Ti": {"dram_gb": 11, "peak_tops": 10.6, "power_w": 199.90, "dies": 1},
+    "V100": {"dram_gb": 16, "peak_tops": 125, "power_w": 248.32, "dies": 1},
+    "TPU": {"dram_gb": 8, "peak_tops": 92, "power_w": float("nan"), "dies": 1},
+}
+
+
+def chip_comparison_table() -> List[str]:
+    """Formatted Table-8 chip section, Cambricon-F columns from the model."""
+    chips = fractal_chips() + list(ACCELERATOR_CHIPS.values())
+    header = (f"{'Chip':10s} {'ISA':5s} {'Tech':5s} {'Mem':>7s} "
+              f"{'Peak':>6s} {'Area':>7s} {'Power':>7s} "
+              f"{'Tops/W':>7s} {'Tops/mm2':>9s}")
+    rows = [header]
+    for c in chips:
+        pe = f"{c.power_efficiency:7.2f}" if c.power_efficiency else "      -"
+        ae = f"{c.area_efficiency:9.2f}" if c.area_efficiency else "        -"
+        pw = f"{c.power_w:7.2f}" if c.power_w else "      -"
+        ar = f"{c.area_mm2:7.0f}" if c.area_mm2 else "      -"
+        rows.append(
+            f"{c.name:10s} {c.isa_type:5s} {c.technology:5s} "
+            f"{c.memory_bytes / MB:6.1f}M {c.peak_tops:6.1f} {ar} {pw} {pe} {ae}"
+        )
+    return rows

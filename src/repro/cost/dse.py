@@ -1,0 +1,129 @@
+"""Design-space exploration (paper Table 4, Section 3.6 "Memory size").
+
+Compares Cambricon-F hierarchies at iso-capability (512 cores x 0.466 Tops
+= 238 TFlops) on power, attainable performance, efficiency and area.  Each
+design's per-level memory is sized with the MBOI rule:
+
+    Peak/Bandwidth ~= MBOI_ref(M)   =>   M ~= MBOI_ref^-1(Peak/Bandwidth)
+
+where the peak is the subtree's and the bandwidth is the share of the
+parent port the subtree actually receives (parent bandwidth / fan-out).
+Flat hierarchies hand each core a sliver of bandwidth, forcing enormous
+per-node memories -- "the desired memory space to support such a dense
+hierarchy is impractically large" -- while the controller/wiring cost of a
+wide node grows superlinearly; that combination is what Table 4 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.machine import CORE_PEAK_OPS, GB, Machine, custom_machine
+from ..model.mboi import theoretical_mboi
+from .layout import subtree_cost
+
+#: Table 4's rows: node counts per level, top to bottom (512 cores each).
+TABLE4_HIERARCHIES: Dict[str, List[int]] = {
+    "1-512": [512],
+    "1-2-16-512": [2, 8, 32],
+    "1-4-16-512": [4, 4, 32],
+    "1-4-16-64-512": [4, 4, 4, 8],
+}
+
+#: node-level bus bandwidth used throughout (bytes/s), as in Table 6
+NODE_BANDWIDTH = 512 * GB
+
+
+def mboi_ref(m_bytes: float) -> float:
+    """The paper's MBOI_Ref: the average MBOI across representative
+    algorithms (arithmetic mean of the theoretical MatMul / Conv / Pool
+    curves)."""
+    algos = ("MatMul", "Conv2D", "Pool2D")
+    return sum(theoretical_mboi(a, m_bytes) for a in algos) / len(algos)
+
+
+def mboi_ref_inverse(target_oi: float, lo: int = 1 << 14, hi: int = 1 << 36) -> int:
+    """Smallest memory achieving MBOI_ref(M) >= target (monotone search)."""
+    if mboi_ref(hi) < target_oi:
+        return hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if mboi_ref(mid) >= target_oi:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def build_design(name: str, fanouts: Sequence[int],
+                 core_peak_ops: float = CORE_PEAK_OPS) -> Machine:
+    """Construct a Machine for one Table-4 hierarchy with MBOI-sized
+    memories.
+
+    Level i+1's memory is sized for the operational intensity its subtree
+    needs given its bandwidth share of level i's port; the root gets the
+    full node bandwidth from DRAM.
+    """
+    depth = len(fanouts) + 1
+    cores = 1
+    for f in fanouts:
+        cores *= f
+    mems: List[int] = []
+    bandwidths: List[float] = [NODE_BANDWIDTH] * depth
+    subtree_cores = cores
+    feed_bw = NODE_BANDWIDTH  # what this level receives from above
+    for i in range(depth):
+        if i == 0:
+            # The root buffers the whole working set in DRAM (32 GB, like
+            # the shipped instances); MBOI sizes the *on-die* levels below.
+            mems.append(32 * GB)
+        else:
+            peak = subtree_cores * core_peak_ops
+            # Design margin: the measured MBOI runs ~2x below the closed
+            # forms (Fig 10) and the decomposer pays per-step controller
+            # overheads the model ignores, so size 4x past the knee; the
+            # leaf never drops below the real core's 256 KB.
+            sized = 4 * mboi_ref_inverse(peak / feed_bw)
+            if i == depth - 1:
+                sized = max(sized, 256 << 10)
+            mems.append(sized)
+        if i < len(fanouts):
+            feed_bw = min(NODE_BANDWIDTH, NODE_BANDWIDTH / fanouts[i])
+            subtree_cores //= fanouts[i]
+    return custom_machine(name, list(fanouts), mems, bandwidths,
+                          core_peak_ops=core_peak_ops)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One Table-4 row."""
+
+    hierarchy: str
+    machine: Machine
+    power_w: float
+    area_mm2: float
+    performance_tops: Optional[float]  # None until simulated
+
+    @property
+    def efficiency_tops_per_j(self) -> Optional[float]:
+        if self.performance_tops is None or not self.power_w:
+            return None
+        return self.performance_tops / self.power_w
+
+
+def explore_design_space(
+    performance_fn: Optional[Callable[[Machine], float]] = None,
+    hierarchies: Optional[Dict[str, List[int]]] = None,
+) -> List[DesignPoint]:
+    """Build every hierarchy, cost it, and (optionally) measure attained
+    performance with the supplied function (ops/s for the benchmark mix)."""
+    out: List[DesignPoint] = []
+    for name, fanouts in (hierarchies or TABLE4_HIERARCHIES).items():
+        machine = build_design(name, fanouts)
+        cost = subtree_cost(machine, 0)
+        perf = None
+        if performance_fn is not None:
+            perf = performance_fn(machine) / 1e12
+        out.append(DesignPoint(name, machine, cost.power_w, cost.area_mm2, perf))
+    return out

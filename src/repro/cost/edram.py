@@ -1,0 +1,59 @@
+"""eDRAM cost model (a DESTINY-like fit; paper Section 3.6 / Table 4).
+
+The paper simulates local storage with DESTINY [48] at TSMC 45 nm for
+capacities up to 256 MB.  We fit simple power laws to the published design
+points the paper itself provides:
+
+* the leaf Core's 256 KB macro occupies 201,588 um^2 and draws 16.15 mW
+  (Table 7), anchoring the small end;
+* chip-level totals (Cambricon-F1: 29.2 mm^2 / 4.94 W with 8 MB;
+  Cambricon-F100: 415 mm^2 / 42.9 W with 256 MB) anchor the large end
+  after subtracting core and controller contributions.
+
+Area scales slightly sub-linearly with capacity (peripheral amortization),
+power more sub-linearly (banking keeps only part of the array active).
+"""
+
+from __future__ import annotations
+
+MB = 1 << 20
+
+#: area (mm^2) of a 1 MB eDRAM macro at 45 nm, from the 256 KB anchor:
+#: 0.2016 mm^2 / 0.25 MB^0.95
+_AREA_COEFF = 0.2016 / (0.25 ** 0.95)
+_AREA_EXP = 0.95
+
+#: power (mW) of a 1 MB macro: 16.15 mW / 0.25 MB^0.8
+_POWER_COEFF = 16.15 / (0.25 ** 0.8)
+_POWER_EXP = 0.8
+
+
+def edram_area_mm2(capacity_bytes: int) -> float:
+    """Die area of an eDRAM macro of the given capacity (45 nm)."""
+    if capacity_bytes <= 0:
+        return 0.0
+    return _AREA_COEFF * (capacity_bytes / MB) ** _AREA_EXP
+
+
+def edram_power_mw(capacity_bytes: int) -> float:
+    """Average power (leakage + refresh + access) of an eDRAM macro."""
+    if capacity_bytes <= 0:
+        return 0.0
+    return _POWER_COEFF * (capacity_bytes / MB) ** _POWER_EXP
+
+
+def edram_bandwidth(capacity_bytes: int, base: float = 512 * (1 << 30)) -> float:
+    """Deliverable bandwidth: wide eDRAM macros sustain the node bus rate
+    (512 GB/s in every Cambricon-F level above the core) once they are at
+    least a megabyte; tiny macros are port-limited."""
+    if capacity_bytes >= MB:
+        return base
+    return base * capacity_bytes / MB
+
+
+def edram_access_energy_pj_per_byte(capacity_bytes: int) -> float:
+    """Dynamic access energy per byte, growing weakly with capacity
+    (longer wires); anchored at ~1 pJ/B for the 256 KB leaf macro."""
+    if capacity_bytes <= 0:
+        return 0.0
+    return 1.0 * (capacity_bytes / (256 << 10)) ** 0.15

@@ -1,0 +1,127 @@
+"""Per-benchmark energy and average power (paper Section 5 methodology).
+
+"For energy costs, we dump data movements from our simulator and estimate
+memory costs with DESTINY, other parts are estimated based on our layout
+characteristics."  This module does the same arithmetic:
+
+* dynamic compute energy: arithmetic ops x per-op energy, calibrated from
+  the leaf core's layout row (combinational + register power at its peak
+  throughput);
+* dynamic memory energy: bytes moved at every level (the simulator's
+  traffic counters) x the eDRAM access energy for that level's macro size;
+* static energy: the silicon's leakage/idle power (the layout model's
+  roll-up, which is dominated by memory retention and clocked registers)
+  integrated over the run time, plus the card DRAM interface.
+
+The output is the average card power over a benchmark, comparable to the
+paper's nvprof/wall-power measurements (F1 card: 83.1 W average across the
+benchmarks; four F100 cards: 614.5 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.machine import Machine
+from ..sim.simulator import SimReport
+from .edram import edram_access_energy_pj_per_byte
+from .layout import machine_cost
+
+#: dynamic energy per arithmetic op (J).  Calibrated from the core layout
+#: row: combinational + register power (51.1 mW) at 0.466 Tops sustained
+#: gives ~0.11 pJ/op at 45 nm.
+COMPUTE_PJ_PER_OP = 0.11
+
+#: DRAM (card memory) access energy, ~20 pJ/B at DDR4-class interfaces.
+DRAM_PJ_PER_BYTE = 20.0
+
+#: fraction of the silicon's layout power that burns regardless of
+#: activity (retention, clocks); the rest is activity-proportional and is
+#: covered by the per-op / per-byte terms above.
+STATIC_FRACTION = 0.55
+
+#: card DRAM subsystem power: a GDDR-class interface burns roughly 0.135 W
+#: per GB/s of provisioned bandwidth (so ~70 W for the 512 GB/s, 32 GB card
+#: memory -- which is why the F1 *card* measures 83 W while its chip is
+#: under 5 W), plus a small fixed board overhead.
+DRAM_W_PER_GBS = 0.135
+CARD_BOARD_W = 8.0
+GB = 1 << 30
+
+
+def card_subsystem_power_w(machine: Machine) -> float:
+    """Power of the card-level DRAM interfaces and boards.
+
+    Levels holding 1 GB..256 GB are card DRAM; anything larger is host
+    memory, powered by the host and excluded (the paper's card-power
+    measurements exclude the host too).
+    """
+    total = 0.0
+    for i, spec in enumerate(machine.levels):
+        if (1 << 30) <= spec.mem_bytes < (256 << 30):
+            nodes = machine.nodes_at(i)
+            total += nodes * (DRAM_W_PER_GBS * spec.mem_bandwidth / GB
+                              + CARD_BOARD_W)
+    return total
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one benchmark run on one machine."""
+
+    machine: str
+    benchmark: str
+    total_time: float
+    compute_j: float
+    memory_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.memory_j + self.static_j
+
+    @property
+    def average_power_w(self) -> float:
+        return self.total_j / self.total_time if self.total_time else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        total = self.total_j or 1.0
+        return {
+            "compute": self.compute_j / total,
+            "memory": self.memory_j / total,
+            "static": self.static_j / total,
+        }
+
+
+def estimate_energy(machine: Machine, report: SimReport,
+                    benchmark: str = "") -> EnergyReport:
+    """Energy of one simulated run.
+
+    Memory traffic at level i is approximated from the per-level DMA busy
+    time (the simulator's representative-path accounting) scaled by the
+    node count at that level, times the level's access energy; the root's
+    served traffic (exact) covers level 0.
+    """
+    compute_j = report.work * COMPUTE_PJ_PER_OP * 1e-12
+
+    memory_j = 0.0
+    # exact root-port traffic at DRAM cost
+    memory_j += report.root_traffic * DRAM_PJ_PER_BYTE * 1e-12
+    # per-level eDRAM traffic: busy seconds x level bandwidth x node count
+    for level, busy in report.per_level_busy.items():
+        spec = machine.level(level)
+        if spec.mem_bytes >= (1 << 30):
+            continue  # off-chip levels already covered by the DRAM term
+        bytes_moved = busy.get("dma", 0.0) * spec.mem_bandwidth
+        bytes_moved *= machine.nodes_at(level)
+        pj = edram_access_energy_pj_per_byte(spec.mem_bytes)
+        memory_j += bytes_moved * pj * 1e-12
+
+    silicon = machine_cost(machine)
+    idle_w = (STATIC_FRACTION * silicon.power_w
+              + card_subsystem_power_w(machine))
+    static_j = idle_w * report.total_time
+
+    return EnergyReport(machine.name, benchmark, report.total_time,
+                        compute_j, memory_j, static_j)

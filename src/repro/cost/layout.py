@@ -1,0 +1,128 @@
+"""Layout cost roll-up (paper Table 7).
+
+The paper implements the design in RTL and places-and-routes at TSMC 45 nm
+"up to chip level", then exploits the fractal structure to estimate large
+designs bottom-up from smaller pieces.  We do the same arithmetic over the
+published component characteristics:
+
+* the leaf Core's component breakdown is taken directly from Table 7
+  (426,348 um^2 / 75.18 mW split across memory, combinational logic,
+  registers and others);
+* each non-leaf node adds its local eDRAM (the DESTINY-like fit in
+  :mod:`repro.cost.edram`) plus a per-child controller/interconnect slice
+  (decoder pipeline, DMA engines, H-tree wiring), calibrated so the F1 and
+  F100 chip totals land on the published 29.2 mm^2 / 4.94 W and
+  415 mm^2 / 42.9 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.machine import Machine
+from .edram import edram_area_mm2, edram_power_mw
+
+#: Table 7 leaf-core breakdown: component -> (area um^2, power mW)
+CORE_BREAKDOWN: Dict[str, tuple] = {
+    "Memory": (201_588, 16.15),
+    "Combinational": (176_228, 23.74),
+    "Registers": (42_248, 27.38),
+    "Others": (6_284, 8.38),
+}
+
+CORE_AREA_UM2 = sum(a for a, _ in CORE_BREAKDOWN.values())
+CORE_POWER_MW = sum(p for _, p in CORE_BREAKDOWN.values())
+
+#: Controller + interconnect cost of a node grows *superlinearly* with its
+#: fan-out (wire congestion -- the paper's Section 2 motivation for limiting
+#: connections to father-son links): modelled as coeff * fanout^1.5, i.e. a
+#: distribution network between a crossbar (f^2) and a bus (f).  Calibrated
+#: against the F1 chip: 29.206 mm^2 total - 32 cores - 8 MB eDRAM - 16 LFUs.
+CTRL_AREA_COEFF_MM2 = 0.02
+CTRL_POWER_COEFF_MW = 3.6
+CTRL_FANOUT_EXP = 1.8
+#: per-LFU vector-unit cost (a lightweight 32-lane unit)
+LFU_AREA_MM2 = 0.12
+LFU_POWER_MW = 25.0
+
+
+def controller_area_mm2(fanout: int) -> float:
+    return CTRL_AREA_COEFF_MM2 * fanout ** CTRL_FANOUT_EXP
+
+
+def controller_power_mw(fanout: int) -> float:
+    return CTRL_POWER_COEFF_MW * fanout ** CTRL_FANOUT_EXP
+
+
+@dataclass(frozen=True)
+class LayoutCost:
+    """Area and power of a subtree rooted at some level."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+    @property
+    def power_mw(self) -> float:
+        return self.power_w * 1e3
+
+
+def core_cost() -> LayoutCost:
+    """The leaf accelerator core (Table 7 top)."""
+    return LayoutCost("Core", CORE_AREA_UM2 / 1e6, CORE_POWER_MW / 1e3)
+
+
+def subtree_cost(machine: Machine, level: int) -> LayoutCost:
+    """Silicon cost of one node at ``level`` including everything below."""
+    spec = machine.level(level)
+    if spec.is_leaf:
+        return core_cost()
+    child = subtree_cost(machine, level + 1)
+    # Node memories of a gigabyte or more are off-chip DRAM (the 32 GB card
+    # memory, the 1 TB host memory), not on-die eDRAM.
+    on_die = spec.mem_bytes if spec.mem_bytes < (1 << 30) else 0
+    area = (spec.fanout * child.area_mm2
+            + edram_area_mm2(on_die)
+            + controller_area_mm2(spec.fanout)
+            + spec.n_lfus * LFU_AREA_MM2)
+    power = (spec.fanout * child.power_w
+             + edram_power_mw(on_die) / 1e3
+             + controller_power_mw(spec.fanout) / 1e3
+             + spec.n_lfus * LFU_POWER_MW / 1e3)
+    return LayoutCost(spec.name, area, power)
+
+
+def chip_cost(machine: Machine, chip_level_name: str = "Chip") -> LayoutCost:
+    """Cost of the named level's subtree (default: the silicon chip)."""
+    for i, spec in enumerate(machine.levels):
+        if spec.name == chip_level_name:
+            return subtree_cost(machine, i)
+    raise KeyError(f"no level named {chip_level_name!r} in {machine.name}")
+
+
+def machine_cost(machine: Machine) -> LayoutCost:
+    """Cost of the whole machine's silicon (excludes host DRAM/CPU)."""
+    return subtree_cost(machine, 0)
+
+
+def table7_rows(machine_f1: Machine, machine_f100: Machine) -> List[str]:
+    """Formatted Table-7 reproduction."""
+    rows = [f"{'Component':16s} {'Area(um^2)':>12s} {'(%)':>8s} "
+            f"{'Power(mW)':>10s} {'(%)':>8s}"]
+    rows.append(f"{'Core':16s} {CORE_AREA_UM2:12,d} {'':8s} {CORE_POWER_MW:10.2f}")
+    for comp, (area, power) in CORE_BREAKDOWN.items():
+        rows.append(
+            f"  {comp:14s} {area:12,d} {area / CORE_AREA_UM2:8.2%} "
+            f"{power:10.2f} {power / CORE_POWER_MW:8.2%}"
+        )
+    rows.append("CHIP")
+    # The Cambricon-F1 silicon chip is the FMP (Fig 14: "FMP (Cambricon-F1
+    # Chip)"); its L0 "Chip" row in Table 6 carries the off-chip 32 GB DRAM.
+    f1 = chip_cost(machine_f1, "FMP")
+    f100 = chip_cost(machine_f100, "Chip")
+    rows.append(f"{'Cambricon-F1':16s} {f1.area_mm2 * 1e6:12,.0f} {'':8s} "
+                f"{f1.power_mw:10.2f}")
+    rows.append(f"{'Cambricon-F100':16s} {f100.area_mm2 * 1e6:12,.0f} {'':8s} "
+                f"{f100.power_mw:10.2f}")
+    return rows

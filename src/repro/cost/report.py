@@ -1,0 +1,103 @@
+"""Full-machine cost reports: per-level area/power breakdown by component.
+
+Extends the Table-7 roll-up with the detail a designer actually wants --
+which level and which component (cores, eDRAM, controllers/wiring, LFUs)
+carries the silicon -- for any machine, including DSE candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.machine import Machine
+from .edram import edram_area_mm2, edram_power_mw
+from .layout import (
+    LFU_AREA_MM2,
+    LFU_POWER_MW,
+    controller_area_mm2,
+    controller_power_mw,
+    core_cost,
+    subtree_cost,
+)
+
+
+@dataclass(frozen=True)
+class LevelCost:
+    """Machine-wide cost contribution of one hierarchy level."""
+
+    level: int
+    name: str
+    nodes: int
+    memory_area_mm2: float
+    memory_power_w: float
+    controller_area_mm2: float
+    controller_power_w: float
+    lfu_area_mm2: float
+    lfu_power_w: float
+    core_area_mm2: float  # leaf level only
+    core_power_w: float
+
+    @property
+    def area_mm2(self) -> float:
+        return (self.memory_area_mm2 + self.controller_area_mm2
+                + self.lfu_area_mm2 + self.core_area_mm2)
+
+    @property
+    def power_w(self) -> float:
+        return (self.memory_power_w + self.controller_power_w
+                + self.lfu_power_w + self.core_power_w)
+
+
+def machine_cost_report(machine: Machine) -> List[LevelCost]:
+    """Per-level cost rows for the whole machine (off-chip DRAM excluded)."""
+    rows: List[LevelCost] = []
+    for i, spec in enumerate(machine.levels):
+        nodes = machine.nodes_at(i)
+        on_die = spec.mem_bytes if spec.mem_bytes < (1 << 30) else 0
+        if spec.is_leaf:
+            leaf = core_cost()
+            rows.append(LevelCost(
+                level=i, name=spec.name, nodes=nodes,
+                memory_area_mm2=0.0, memory_power_w=0.0,
+                controller_area_mm2=0.0, controller_power_w=0.0,
+                lfu_area_mm2=0.0, lfu_power_w=0.0,
+                core_area_mm2=nodes * leaf.area_mm2,
+                core_power_w=nodes * leaf.power_w,
+            ))
+        else:
+            rows.append(LevelCost(
+                level=i, name=spec.name, nodes=nodes,
+                memory_area_mm2=nodes * edram_area_mm2(on_die),
+                memory_power_w=nodes * edram_power_mw(on_die) / 1e3,
+                controller_area_mm2=nodes * controller_area_mm2(spec.fanout),
+                controller_power_w=nodes * controller_power_mw(spec.fanout) / 1e3,
+                lfu_area_mm2=nodes * spec.n_lfus * LFU_AREA_MM2,
+                lfu_power_w=nodes * spec.n_lfus * LFU_POWER_MW / 1e3,
+                core_area_mm2=0.0, core_power_w=0.0,
+            ))
+    return rows
+
+
+def format_cost_report(machine: Machine) -> str:
+    """Human-readable breakdown; the footer cross-checks the roll-up."""
+    rows = machine_cost_report(machine)
+    lines = [f"silicon cost breakdown -- {machine.name}",
+             f"{'level':10s} {'nodes':>6s} {'memory':>12s} {'ctrl/wire':>12s} "
+             f"{'LFUs':>10s} {'cores':>12s} {'total':>12s}"]
+    for r in rows:
+        lines.append(
+            f"L{r.level} {r.name:7s} {r.nodes:6d} "
+            f"{r.memory_area_mm2:7.1f}mm2 {r.controller_area_mm2:9.2f}mm2 "
+            f"{r.lfu_area_mm2:7.2f}mm2 {r.core_area_mm2:9.1f}mm2 "
+            f"{r.area_mm2:9.1f}mm2"
+        )
+    total_area = sum(r.area_mm2 for r in rows)
+    total_power = sum(r.power_w for r in rows)
+    rollup = subtree_cost(machine, 0)
+    lines.append(f"{'total':10s} {'':6s} {'':12s} {'':12s} {'':10s} {'':12s} "
+                 f"{total_area:9.1f}mm2")
+    lines.append(f"power: {total_power:.2f} W  "
+                 f"(roll-up cross-check: {rollup.area_mm2:.1f} mm2 / "
+                 f"{rollup.power_w:.2f} W)")
+    return "\n".join(lines)

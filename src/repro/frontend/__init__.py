@@ -1,0 +1,14 @@
+"""Programming frontends: the FISA text assembler (Fig-11-style inline
+assembly programs), the binary encoder/decoder, and the disassembler."""
+
+from .assembler import AssemblyError, assemble
+from .encoding import EncodingError, decode_program, disassemble, encode_program
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "EncodingError",
+    "decode_program",
+    "disassemble",
+    "encode_program",
+]

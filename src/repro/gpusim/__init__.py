@@ -1,0 +1,24 @@
+"""A kernel-level GPU timing simulator -- the baseline, built rather than
+assumed.
+
+`repro.model.gpu` carries roofline constants calibrated to the paper's
+reported measurements; this package is the independent cross-check: it
+maps the *same* FISA workload programs onto CUDA-style kernel launches and
+times them against an SM/memory model.  Per-kernel launch overhead falls
+out naturally, which is exactly the mechanism behind the paper's
+observation that control-flow-heavy K-Means/LVQ collapse on GPUs.
+"""
+
+from .device import GPUDevice, GTX_1080TI_DEVICE, V100_DEVICE
+from .kernels import KernelLaunch, lower_to_kernels
+from .simulator import GPUSimReport, GPUSimulator
+
+__all__ = [
+    "GPUDevice",
+    "GTX_1080TI_DEVICE",
+    "V100_DEVICE",
+    "KernelLaunch",
+    "lower_to_kernels",
+    "GPUSimReport",
+    "GPUSimulator",
+]

@@ -1,0 +1,72 @@
+"""GPU device models.
+
+Published microarchitectural parameters for the baselines the paper
+measures against.  Sustained efficiencies reflect well-known library
+behaviour (cuBLAS GEMM ~75-85% of peak at large sizes, memory-bound
+kernels ~80% of DRAM bandwidth) rather than per-benchmark tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """One GPU chip as the kernel simulator sees it."""
+
+    name: str
+    sm_count: int
+    peak_ops: float  # ops/s across the chip
+    dram_bandwidth: float  # bytes/s
+    l2_bytes: int
+    sm_shared_bytes: int  # programmer-managed shared memory per SM
+    kernel_launch_latency: float  # seconds of fixed cost per launch
+    #: sustained fraction of peak for dense GEMM-shaped kernels (cuBLAS)
+    gemm_efficiency: float
+    #: sustained fraction of peak for other compute-bound kernels
+    simt_efficiency: float
+    #: sustained fraction of DRAM bandwidth for streaming kernels
+    stream_efficiency: float
+
+    def effective_gemm_ops(self) -> float:
+        return self.peak_ops * self.gemm_efficiency
+
+    def effective_simt_ops(self) -> float:
+        return self.peak_ops * self.simt_efficiency
+
+    def effective_bandwidth(self) -> float:
+        return self.dram_bandwidth * self.stream_efficiency
+
+
+#: GTX 1080Ti: 28 SMs (GP102), 10.6 Tops (fp32 FMA counted as 2 ops),
+#: 484 GB/s GDDR5X, 96 KB shared memory per SM.  Launch latency ~8 us under
+#: a framework runtime (TensorFlow session overheads included).
+GTX_1080TI_DEVICE = GPUDevice(
+    name="GTX-1080Ti",
+    sm_count=28,
+    peak_ops=10.6e12,
+    dram_bandwidth=484 * GB,
+    l2_bytes=2816 << 10,
+    sm_shared_bytes=96 << 10,
+    kernel_launch_latency=8e-6,
+    gemm_efficiency=0.80,
+    simt_efficiency=0.55,
+    stream_efficiency=0.80,
+)
+
+#: Tesla V100-SXM2: 80 SMs, 125 Tops (tensor cores), 900 GB/s HBM2.
+V100_DEVICE = GPUDevice(
+    name="V100-SXM2",
+    sm_count=80,
+    peak_ops=125e12,
+    dram_bandwidth=900 * GB,
+    l2_bytes=6 << 20,
+    sm_shared_bytes=96 << 10,
+    kernel_launch_latency=8e-6,
+    gemm_efficiency=0.70,
+    simt_efficiency=0.50,
+    stream_efficiency=0.80,
+)

@@ -1,0 +1,100 @@
+"""FISA program -> CUDA-style kernel stream.
+
+A GPU runs the same benchmarks as a sequence of library kernel launches
+(cuBLAS GEMM, cuDNN convolution, thrust sort, element-wise grids...).
+This module performs that mapping so both substrates execute *the same
+workload definition*; per-kernel DRAM traffic follows standard
+shared-memory tiling analysis, with fp32 operands (the paper's TensorFlow
+baselines).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..core.isa import Instruction, Opcode, POOL_OPCODES
+from .device import GPUDevice
+
+#: GPU element size (fp32 TensorFlow baselines)
+ELEM = 4
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One logical library call: possibly several hardware launches."""
+
+    name: str
+    kind: str  # "gemm" | "simt" | "stream"
+    flops: float
+    dram_bytes: float
+    launches: int = 1
+
+
+def _gemm_tile(device: GPUDevice) -> int:
+    """Square shared-memory tile side for a GEMM-shaped kernel."""
+    return max(16, int(math.sqrt(device.sm_shared_bytes / (2 * ELEM))))
+
+
+def _gemm_traffic(m: int, k: int, n: int, device: GPUDevice) -> float:
+    """DRAM bytes of a tiled GEMM: A re-read per column tile, B per row
+    tile, C written once."""
+    ts = _gemm_tile(device)
+    a_reads = m * k * max(1, math.ceil(n / ts))
+    b_reads = k * n * max(1, math.ceil(m / ts))
+    return ELEM * (a_reads + b_reads + m * n)
+
+
+def lower_instruction(inst: Instruction, device: GPUDevice) -> List[KernelLaunch]:
+    """Map one FISA instruction to its GPU kernel(s)."""
+    op = inst.opcode
+    work = float(inst.work())
+    io = float(inst.io_bytes()) / 2 * ELEM  # fp16 bytes -> fp32 bytes
+
+    if op is Opcode.MATMUL:
+        m, k = inst.inputs[0].shape
+        _, n = inst.inputs[1].shape
+        return [KernelLaunch("gemm", "gemm", work,
+                             _gemm_traffic(m, k, n, device))]
+
+    if op in (Opcode.CV2D, Opcode.CV3D):
+        # implicit-GEMM convolution: activations ~once (im2col overhead
+        # ~20%), weights once per output tile pass, output once.
+        x, w = inst.inputs[0], inst.inputs[1]
+        out = inst.outputs[0]
+        bytes_ = ELEM * (1.2 * x.nelems + 4 * w.nelems + out.nelems)
+        return [KernelLaunch(op.value.lower(), "gemm", work, bytes_)]
+
+    if op is Opcode.EUCLIDIAN1D:
+        n_, d = inst.inputs[0].shape
+        m_, _ = inst.inputs[1].shape
+        return [KernelLaunch("pdist", "gemm", work,
+                             _gemm_traffic(n_, d, m_, device))]
+
+    if op in POOL_OPCODES or op is Opcode.LRN:
+        return [KernelLaunch(op.value.lower(), "stream", work, io)]
+
+    if op is Opcode.SORT1D:
+        n_ = inst.inputs[0].nelems
+        passes = max(1, math.ceil(math.log2(max(2, n_)) / 4))  # radix-16
+        return [KernelLaunch("sort", "stream", work,
+                             2.0 * passes * n_ * ELEM, launches=2 * passes)]
+
+    if op is Opcode.MERGE1D:
+        return [KernelLaunch("merge", "stream", work, 2 * io)]
+
+    if op in (Opcode.COUNT1D, Opcode.HSUM1D, Opcode.HPROD1D):
+        return [KernelLaunch("reduce", "stream", work, io, launches=2)]
+
+    # element-wise grid (Add/Sub/Mul/Act)
+    return [KernelLaunch(op.value.lower(), "stream", work, io)]
+
+
+def lower_to_kernels(program: List[Instruction],
+                     device: GPUDevice) -> List[KernelLaunch]:
+    """The whole FISA program as a GPU kernel stream."""
+    out: List[KernelLaunch] = []
+    for inst in program:
+        out.extend(lower_instruction(inst, device))
+    return out

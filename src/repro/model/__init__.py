@@ -1,0 +1,28 @@
+"""Analytic performance models: the roofline (Fig 15), Memory-Bounded
+Operational Intensity (Fig 10, Section 3.6), and the GPU baselines."""
+
+from .gpu import DGX1, GTX1080TI, GPUModel, gpu_attained
+from .mboi import (
+    MBOI_BYTES_PER_ELEM,
+    average_mboi,
+    mboi_inverse,
+    measured_mboi,
+    theoretical_mboi,
+)
+from .roofline import RooflinePoint, attainable, ridge_point, roofline_table
+
+__all__ = [
+    "DGX1",
+    "GTX1080TI",
+    "GPUModel",
+    "gpu_attained",
+    "MBOI_BYTES_PER_ELEM",
+    "average_mboi",
+    "mboi_inverse",
+    "measured_mboi",
+    "theoretical_mboi",
+    "RooflinePoint",
+    "attainable",
+    "ridge_point",
+    "roofline_table",
+]

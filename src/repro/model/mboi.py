@@ -1,0 +1,184 @@
+"""Memory-Bounded Operational Intensity (paper Section 3.6, Fig 10).
+
+MBOI(M) answers: given a node with local memory of M bytes, what
+operational intensity (ops per byte of parent traffic) can an algorithm
+sustain?  The paper uses MBOI to size each node's memory:
+
+    Peak Performance / Bandwidth ~= MBOI_ref(M)
+    =>  M ~= MBOI_ref^-1(Peak Performance / Bandwidth)
+
+Two estimates are provided, mirroring Fig 10's "measured" and
+"theoretical" curves:
+
+* :func:`theoretical_mboi` -- closed forms from tiling analysis
+  (e.g. a balanced MatMul tile of side s = sqrt(M / 3e) gives OI = s / 3);
+* :func:`measured_mboi` -- run the actual sequential decomposer at capacity
+  M and count the traffic its steps generate (with the two-step TTT reuse
+  window), exactly what a Cambricon-F node would do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.decomposition import shrink_sequential
+from ..core.isa import Instruction, Opcode
+from ..core.tensor import FP16, Tensor
+
+#: element size used throughout the sizing analysis (fp16)
+MBOI_BYTES_PER_ELEM = FP16.itemsize
+
+
+# ---------------------------------------------------------------------------
+# Theoretical closed forms
+# ---------------------------------------------------------------------------
+
+
+def _theory_matmul(m_bytes: float) -> float:
+    """Balanced s x s x s tile: 3 s^2 e bytes resident, 2 s^3 ops, and
+    2 s^2 e bytes of fresh traffic per tile step (the third operand is the
+    accumulating output, kept local) -> OI = s."""
+    s = math.sqrt(m_bytes / (3 * MBOI_BYTES_PER_ELEM))
+    return max(s, 1.0)
+
+
+def _theory_conv(m_bytes: float, kernel: int = 3, cin: int = 64) -> float:
+    """Convolution tile: weights resident, activations streamed once;
+    each input element is reused kernel^2 * (cout tile) times where the
+    output-channel tile grows with memory."""
+    cout_tile = max(1.0, m_bytes / (2 * kernel * kernel * cin * MBOI_BYTES_PER_ELEM))
+    cout_tile = min(cout_tile, 512.0)
+    # ops per input byte: 2 * k^2 * cout_tile ops per cin element loaded
+    return 2 * kernel * kernel * min(cout_tile, cin) / MBOI_BYTES_PER_ELEM
+
+
+def _theory_pool(m_bytes: float, kernel: int = 2) -> float:
+    """Pooling touches each input element once regardless of memory:
+    OI is a small constant (k^2 ops per k^2 elements loaded)."""
+    return 1.0 / MBOI_BYTES_PER_ELEM
+
+
+_THEORY: Dict[str, Callable[[float], float]] = {
+    "MatMul": _theory_matmul,
+    "Conv2D": _theory_conv,
+    "Pool2D": _theory_pool,
+}
+
+
+def theoretical_mboi(algorithm: str, m_bytes: float) -> float:
+    """Closed-form MBOI for one of {'MatMul', 'Conv2D', 'Pool2D'}."""
+    try:
+        return _THEORY[algorithm](m_bytes)
+    except KeyError:
+        raise KeyError(f"unknown algorithm {algorithm!r}; one of {sorted(_THEORY)}")
+
+
+# ---------------------------------------------------------------------------
+# Measured MBOI: run the real sequential decomposer and count traffic
+# ---------------------------------------------------------------------------
+
+
+def _probe_matmul(order: int = 4096) -> Instruction:
+    a = Tensor("mboi.A", (order, order))
+    b = Tensor("mboi.B", (order, order))
+    c = Tensor("mboi.C", (order, order))
+    return Instruction(Opcode.MATMUL, (a.region(), b.region()), (c.region(),))
+
+
+def _probe_conv(batch: int = 32, size: int = 56, cin: int = 64, cout: int = 256) -> Instruction:
+    x = Tensor("mboi.x", (batch, size, size, cin))
+    w = Tensor("mboi.w", (3, 3, cin, cout))
+    out = Tensor("mboi.o", (batch, size - 2, size - 2, cout))
+    return Instruction(Opcode.CV2D, (x.region(), w.region()), (out.region(),),
+                       {"stride": 1})
+
+
+def _probe_pool(batch: int = 32, size: int = 112, c: int = 128) -> Instruction:
+    x = Tensor("mboi.x", (batch, size, size, c))
+    out = Tensor("mboi.o", (batch, size // 2, size // 2, c))
+    return Instruction(Opcode.MAX2D, (x.region(),), (out.region(),),
+                       {"kh": 2, "kw": 2, "sh": 2, "sw": 2})
+
+
+_PROBES: Dict[str, Callable[[], Instruction]] = {
+    "MatMul": _probe_matmul,
+    "Conv2D": _probe_conv,
+    "Pool2D": _probe_pool,
+}
+
+
+def measured_mboi(algorithm: str, m_bytes: int, probe: Optional[Instruction] = None) -> float:
+    """MBOI obtained by running SD at capacity ``m_bytes`` and counting the
+    parent traffic of the resulting step sequence.
+
+    Reuse model matches the node: an operand loaded in the last two steps
+    is still resident (two-bank TTT); accumulation chains keep the running
+    sum local and write back once.
+    """
+    if probe is None:
+        probe = _PROBES[algorithm]()
+    steps = shrink_sequential(probe, m_bytes)
+    window: List[frozenset] = []
+    traffic = 0
+    work = 0
+    for step in steps:
+        work += step.work()
+        recent = frozenset().union(*window) if window else frozenset()
+        keys = set()
+        for r in step.inputs:
+            if r.key() in recent or r.key() in keys:
+                continue
+            keys.add(r.key())
+            traffic += r.nbytes
+        acc_local = bool(step.attrs.get("acc_local_out"))
+        acc = bool(step.attrs.get("accumulate"))
+        for r in step.outputs:
+            keys.add(r.key())
+            if acc and r.key() not in recent:
+                traffic += r.nbytes  # fetch the prior partial sum
+            if not acc_local:
+                traffic += r.nbytes  # write-back when the chain closes
+        window.append(frozenset(keys))
+        if len(window) > 2:
+            window.pop(0)
+    return work / traffic if traffic else float("inf")
+
+
+def mboi_curve(
+    algorithm: str, mem_sizes: Iterable[int]
+) -> List[Tuple[int, float, float]]:
+    """(M, measured, theoretical) triples for the Fig-10 curves."""
+    out = []
+    for m in mem_sizes:
+        out.append((m, measured_mboi(algorithm, m), theoretical_mboi(algorithm, m)))
+    return out
+
+
+def average_mboi(m_bytes: int, algorithms: Iterable[str] = ("MatMul", "Conv2D", "Pool2D")) -> float:
+    """Geometric-mean MBOI across algorithms -- the paper's MBOI_ref."""
+    vals = [measured_mboi(a, m_bytes) for a in algorithms]
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+def mboi_inverse(
+    target_oi: float,
+    algorithm: str = "MatMul",
+    lo: int = 1 << 12,
+    hi: int = 1 << 34,
+) -> int:
+    """MBOI^-1: the smallest memory size achieving ``target_oi`` (binary
+    search over the monotone theoretical curve)."""
+    fn = _THEORY[algorithm]
+    if fn(hi) < target_oi:
+        return hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if fn(mid) >= target_oi:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

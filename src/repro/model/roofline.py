@@ -1,0 +1,57 @@
+"""The Roofline model (Williams et al., used throughout the paper's
+Section 6 / Fig 15 to show efficiency and bottlenecks).
+
+Attainable performance = min(peak, operational intensity x bandwidth); the
+*ridge point* peak/bandwidth is the intensity beyond which a system is
+compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload's position under a roofline."""
+
+    name: str
+    operational_intensity: float  # ops / byte of root-memory traffic
+    attained_ops: float  # ops / second actually achieved
+
+    def bound(self, peak_ops: float, bandwidth: float) -> str:
+        """Whether the roofline says this point is memory- or compute-bound."""
+        ridge = ridge_point(peak_ops, bandwidth)
+        return "compute" if self.operational_intensity >= ridge else "memory"
+
+    def efficiency(self, peak_ops: float, bandwidth: float) -> float:
+        """Attained performance as a fraction of the roofline ceiling."""
+        ceiling = attainable(self.operational_intensity, peak_ops, bandwidth)
+        return self.attained_ops / ceiling if ceiling else 0.0
+
+
+def attainable(oi: float, peak_ops: float, bandwidth: float) -> float:
+    """The roofline ceiling at operational intensity ``oi``."""
+    return min(peak_ops, oi * bandwidth)
+
+
+def ridge_point(peak_ops: float, bandwidth: float) -> float:
+    """Operational intensity where the bandwidth roof meets the compute roof."""
+    return peak_ops / bandwidth if bandwidth else float("inf")
+
+
+def roofline_table(
+    points: Iterable[RooflinePoint], peak_ops: float, bandwidth: float
+) -> List[str]:
+    """Formatted rows describing each point's position under the roofline."""
+    rows = [f"{'benchmark':12s} {'OI(ops/B)':>10s} {'attained':>12s} "
+            f"{'of peak':>8s} {'bound':>8s}"]
+    for p in sorted(points, key=lambda x: x.operational_intensity):
+        rows.append(
+            f"{p.name:12s} {p.operational_intensity:10.1f} "
+            f"{p.attained_ops / 1e12:10.2f} T {p.attained_ops / peak_ops:8.1%} "
+            f"{p.bound(peak_ops, bandwidth):>8s}"
+        )
+    rows.append(f"{'(ridge point: ' + format(ridge_point(peak_ops, bandwidth), '.1f') + ' ops/B)':>40s}")
+    return rows

@@ -1,0 +1,12 @@
+"""Reference (numpy) semantics for every FISA operation.
+
+Each module implements one opcode family; :func:`execute` dispatches an
+:class:`~repro.core.isa.Opcode` plus concrete numpy operands to the matching
+kernel.  These kernels are the ground truth the fractal executor is tested
+against: decomposing an instruction and re-assembling the pieces must give
+the same numbers as running the kernel directly.
+"""
+
+from .dispatch import execute, kernel_for
+
+__all__ = ["execute", "kernel_for"]

@@ -1,0 +1,77 @@
+"""Convolution kernels (Cv2D, Cv3D) and local response normalization.
+
+Layout conventions (documented in README):
+
+* ``Cv2D``: input ``(N, H, W, Cin)``, weights ``(Kh, Kw, Cin, Cout)``,
+  output ``(N, Ho, Wo, Cout)`` with ``Ho = (H - Kh) // sh + 1``.
+* ``Cv3D``: input ``(N, D, H, W, Cin)``, weights ``(Kd, Kh, Kw, Cin, Cout)``.
+
+Padding is applied by the *frontend* (the network compiler pads tensors
+explicitly), so kernels are "valid"-only; this keeps region decomposition
+exact -- a sub-region of a padded input is still a plain region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv2d(x: np.ndarray, w: np.ndarray, stride: int = 1) -> np.ndarray:
+    """Direct 2-D convolution (cross-correlation), NHWC x HWIO -> NHWC."""
+    n, h, wdt, cin = x.shape
+    kh, kw, cin2, cout = w.shape
+    if cin != cin2:
+        raise ValueError(f"channel mismatch: input {cin} vs weight {cin2}")
+    ho = (h - kh) // stride + 1
+    wo = (wdt - kw) // stride + 1
+    if ho <= 0 or wo <= 0:
+        raise ValueError("kernel larger than input")
+    out = np.zeros((n, ho, wo, cout), dtype=np.float64)
+    wmat = w.reshape(kh * kw * cin, cout).astype(np.float64)
+    for i in range(ho):
+        for j in range(wo):
+            patch = x[:, i * stride : i * stride + kh, j * stride : j * stride + kw, :]
+            out[:, i, j, :] = patch.reshape(n, -1).astype(np.float64) @ wmat
+    return out
+
+
+def conv3d(x: np.ndarray, w: np.ndarray, stride: int = 1) -> np.ndarray:
+    """Direct 3-D convolution, NDHWC x DHWIO -> NDHWC."""
+    n, d, h, wdt, cin = x.shape
+    kd, kh, kw, cin2, cout = w.shape
+    if cin != cin2:
+        raise ValueError(f"channel mismatch: input {cin} vs weight {cin2}")
+    do = (d - kd) // stride + 1
+    ho = (h - kh) // stride + 1
+    wo = (wdt - kw) // stride + 1
+    if min(do, ho, wo) <= 0:
+        raise ValueError("kernel larger than input")
+    out = np.zeros((n, do, ho, wo, cout), dtype=np.float64)
+    wmat = w.reshape(-1, cout).astype(np.float64)
+    for t in range(do):
+        for i in range(ho):
+            for j in range(wo):
+                patch = x[
+                    :,
+                    t * stride : t * stride + kd,
+                    i * stride : i * stride + kh,
+                    j * stride : j * stride + kw,
+                    :,
+                ]
+                out[:, t, i, j, :] = patch.reshape(n, -1).astype(np.float64) @ wmat
+    return out
+
+
+def lrn(
+    x: np.ndarray, size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 2.0
+) -> np.ndarray:
+    """AlexNet-style local response normalization across channels (NHWC)."""
+    xf = x.astype(np.float64)
+    sq = xf * xf
+    c = x.shape[-1]
+    half = size // 2
+    denom = np.empty_like(xf)
+    for ch in range(c):
+        lo, hi = max(0, ch - half), min(c, ch + half + 1)
+        denom[..., ch] = sq[..., lo:hi].sum(axis=-1)
+    return xf / np.power(k + alpha * denom, beta)

@@ -1,0 +1,117 @@
+"""Opcode -> kernel dispatch.
+
+:func:`execute` runs a FISA opcode on concrete numpy operands and returns a
+tuple of outputs (all kernels here are single-output except none; a tuple
+keeps the executor uniform).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..core.isa import Opcode
+from . import conv, eltwise, linalg, pool, sortcount
+
+
+def _run_cv2d(inputs, attrs):
+    return conv.conv2d(inputs[0], inputs[1], stride=int(attrs.get("stride", 1)))
+
+
+def _run_cv3d(inputs, attrs):
+    return conv.conv3d(inputs[0], inputs[1], stride=int(attrs.get("stride", 1)))
+
+
+def _pool_args(attrs):
+    return dict(
+        kh=int(attrs.get("kh", 2)),
+        kw=int(attrs.get("kw", 2)),
+        sh=int(attrs.get("sh", attrs.get("kh", 2))),
+        sw=int(attrs.get("sw", attrs.get("kw", 2))),
+    )
+
+
+def _run_max2d(inputs, attrs):
+    return pool.max_pool2d(inputs[0], **_pool_args(attrs))
+
+
+def _run_min2d(inputs, attrs):
+    return pool.min_pool2d(inputs[0], **_pool_args(attrs))
+
+
+def _run_avg2d(inputs, attrs):
+    return pool.avg_pool2d(inputs[0], **_pool_args(attrs))
+
+
+def _run_lrn(inputs, attrs):
+    return conv.lrn(
+        inputs[0],
+        size=int(attrs.get("size", 5)),
+        alpha=float(attrs.get("alpha", 1e-4)),
+        beta=float(attrs.get("beta", 0.75)),
+        k=float(attrs.get("k", 2.0)),
+    )
+
+
+def _run_matmul(inputs, attrs):
+    return linalg.matmul(inputs[0], inputs[1])
+
+
+def _run_euclidian(inputs, attrs):
+    return linalg.euclidian(inputs[0], inputs[1])
+
+
+def _run_sort(inputs, attrs):
+    return sortcount.sort1d(inputs[0])
+
+
+def _run_count(inputs, attrs):
+    return sortcount.count1d(inputs[0], value=attrs.get("value"))
+
+
+def _run_merge(inputs, attrs):
+    return sortcount.merge1d(list(inputs))
+
+
+def _run_act(inputs, attrs):
+    return eltwise.activation(inputs[0], func=str(attrs.get("func", "relu")))
+
+
+_KERNELS = {
+    Opcode.CV2D: _run_cv2d,
+    Opcode.CV3D: _run_cv3d,
+    Opcode.MAX2D: _run_max2d,
+    Opcode.MIN2D: _run_min2d,
+    Opcode.AVG2D: _run_avg2d,
+    Opcode.LRN: _run_lrn,
+    Opcode.MATMUL: _run_matmul,
+    Opcode.EUCLIDIAN1D: _run_euclidian,
+    Opcode.SORT1D: _run_sort,
+    Opcode.COUNT1D: _run_count,
+    Opcode.MERGE1D: _run_merge,
+    Opcode.ADD1D: lambda ins, at: eltwise.add(ins[0], ins[1]),
+    Opcode.SUB1D: lambda ins, at: eltwise.sub(ins[0], ins[1]),
+    Opcode.MUL1D: lambda ins, at: eltwise.mul(ins[0], ins[1]),
+    Opcode.ACT1D: _run_act,
+    Opcode.HSUM1D: lambda ins, at: eltwise.hsum(ins[0]),
+    Opcode.HPROD1D: lambda ins, at: eltwise.hprod(ins[0]),
+}
+
+
+def kernel_for(opcode: Opcode):
+    """The reference kernel callable for ``opcode``."""
+    try:
+        return _KERNELS[opcode]
+    except KeyError:
+        raise NotImplementedError(f"no kernel for {opcode}")
+
+
+def execute(
+    opcode: Opcode, inputs: Sequence[np.ndarray], attrs: Dict[str, object]
+) -> Tuple[np.ndarray, ...]:
+    """Run ``opcode`` on numpy operands; returns a tuple of outputs."""
+    result = kernel_for(opcode)(list(inputs), attrs or {})
+    if isinstance(result, tuple):
+        return result
+    return (result,)

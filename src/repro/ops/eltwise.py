@@ -1,0 +1,51 @@
+"""Element-wise and horizontal-reduction kernels (the Table-3 "Reduction"
+opcode group that tends to execute on LFUs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ACTIVATIONS = {
+    "relu": lambda x: np.maximum(x, 0.0),
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "tanh": np.tanh,
+    "exp": np.exp,
+    "sqrt": lambda x: np.sqrt(np.maximum(x, 0.0)),
+    "neg": lambda x: -x,
+    "identity": lambda x: x,
+}
+
+
+def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.float64) + b.astype(np.float64)
+
+
+def sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.float64) - b.astype(np.float64)
+
+
+def mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.float64) * b.astype(np.float64)
+
+
+def activation(x: np.ndarray, func: str = "relu") -> np.ndarray:
+    """Unary element-wise map; ``func`` selects the transfer function."""
+    try:
+        fn = _ACTIVATIONS[func]
+    except KeyError:
+        raise ValueError(f"unknown activation {func!r}; one of {sorted(_ACTIVATIONS)}")
+    return fn(x.astype(np.float64))
+
+
+def hsum(x: np.ndarray) -> np.ndarray:
+    """Horizontal sum of all elements -> length-1 array."""
+    return np.array([x.astype(np.float64).sum()], dtype=np.float64)
+
+
+def hprod(x: np.ndarray) -> np.ndarray:
+    """Horizontal product of all elements -> length-1 array."""
+    return np.array([x.astype(np.float64).prod()], dtype=np.float64)
+
+
+def activation_names():
+    return sorted(_ACTIVATIONS)

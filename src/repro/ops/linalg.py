@@ -1,0 +1,26 @@
+"""Linear-algebra kernels: MatMul and pairwise Euclidean distance."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(M, K) @ (K, N) -> (M, N)`` in float64 accumulation."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"matmul shape mismatch: {a.shape} @ {b.shape}")
+    return a.astype(np.float64) @ b.astype(np.float64)
+
+
+def euclidian(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances ``(n, d) x (m, d) -> (n, m)``.
+
+    Squared distance is used (as a hardware LFU would compute it) -- the
+    monotone sqrt never changes nearest-neighbour decisions, matching the
+    paper's k-NN/k-means usage.
+    """
+    if x.ndim != 2 or y.ndim != 2 or x.shape[1] != y.shape[1]:
+        raise ValueError(f"euclidian shape mismatch: {x.shape} vs {y.shape}")
+    xf, yf = x.astype(np.float64), y.astype(np.float64)
+    diff = xf[:, None, :] - yf[None, :, :]
+    return np.einsum("nmd,nmd->nm", diff, diff)

@@ -1,0 +1,32 @@
+"""Pooling kernels (Max2D, Min2D, Avg2D) over NHWC tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pool2d(x: np.ndarray, kh: int, kw: int, sh: int, sw: int, reducer) -> np.ndarray:
+    n, h, w, c = x.shape
+    ho = (h - kh) // sh + 1
+    wo = (w - kw) // sw + 1
+    if ho <= 0 or wo <= 0:
+        raise ValueError("pool window larger than input")
+    out = np.empty((n, ho, wo, c), dtype=np.float64)
+    xf = x.astype(np.float64)
+    for i in range(ho):
+        for j in range(wo):
+            window = xf[:, i * sh : i * sh + kh, j * sw : j * sw + kw, :]
+            out[:, i, j, :] = reducer(window, axis=(1, 2))
+    return out
+
+
+def max_pool2d(x: np.ndarray, kh: int = 2, kw: int = 2, sh: int = 2, sw: int = 2) -> np.ndarray:
+    return _pool2d(x, kh, kw, sh, sw, np.max)
+
+
+def min_pool2d(x: np.ndarray, kh: int = 2, kw: int = 2, sh: int = 2, sw: int = 2) -> np.ndarray:
+    return _pool2d(x, kh, kw, sh, sw, np.min)
+
+
+def avg_pool2d(x: np.ndarray, kh: int = 2, kw: int = 2, sh: int = 2, sw: int = 2) -> np.ndarray:
+    return _pool2d(x, kh, kw, sh, sw, np.mean)

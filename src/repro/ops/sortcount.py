@@ -1,0 +1,56 @@
+"""Sort / merge / count kernels.
+
+``Sort1D`` is specified as merge sort in Table 3 precisely because merge
+sort is a fractal operation: sub-arrays are sorted independently and the
+``Merge1D`` retrieving operator combines them (output-dependent, g = Merge).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def sort1d(x: np.ndarray) -> np.ndarray:
+    """Ascending stable sort of a 1-D array."""
+    return np.sort(x.reshape(-1), kind="stable")
+
+
+def merge1d(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """k-way merge of already-sorted 1-D arrays."""
+    if not parts:
+        raise ValueError("merge of zero inputs")
+    merged = parts[0].reshape(-1)
+    for nxt in parts[1:]:
+        nxt = nxt.reshape(-1)
+        out = np.empty(merged.size + nxt.size, dtype=np.result_type(merged, nxt))
+        i = j = k = 0
+        while i < merged.size and j < nxt.size:
+            if merged[i] <= nxt[j]:
+                out[k] = merged[i]
+                i += 1
+            else:
+                out[k] = nxt[j]
+                j += 1
+            k += 1
+        if i < merged.size:
+            out[k:] = merged[i:]
+        if j < nxt.size:
+            out[k:] = nxt[j:]
+        merged = out
+    return merged
+
+
+def count1d(x: np.ndarray, value: Optional[float] = None) -> np.ndarray:
+    """Count matching elements; ``value=None`` counts non-zeros.
+
+    Returns a length-1 array so the result is a region like any other FISA
+    output (counts from sub-arrays are g-combined with Add).
+    """
+    flat = x.reshape(-1)
+    if value is None:
+        n = int(np.count_nonzero(flat))
+    else:
+        n = int(np.count_nonzero(flat == value))
+    return np.array([n], dtype=np.float64)

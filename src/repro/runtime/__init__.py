@@ -1,0 +1,23 @@
+"""Host runtime: the programmer's side of the Cambricon-F contract.
+
+The paper's execution model puts the programmer "beyond the top level
+node", acting as one more controller: bulk arithmetic goes to the machine
+as FISA instructions, control flow (argmins, convergence checks, loops)
+stays on the host.  This package provides that runtime plus complete
+machine-learning applications built on it -- the k-NN, k-means, LVQ and
+SVM the paper benchmarks, as *working algorithms* rather than instruction
+traces.
+"""
+
+from .host import HostRuntime
+from .algorithms import KMeans, KNNClassifier, LVQClassifier, RBFSVMClassifier
+from .session import InferenceSession
+
+__all__ = [
+    "HostRuntime",
+    "KMeans",
+    "KNNClassifier",
+    "LVQClassifier",
+    "RBFSVMClassifier",
+    "InferenceSession",
+]

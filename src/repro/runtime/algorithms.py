@@ -1,0 +1,215 @@
+"""Complete machine-learning algorithms on the host runtime.
+
+These are the four classic techniques the paper benchmarks, written the
+way a Cambricon-F user would write them: FISA instructions for every bulk
+operation, host Python for selection and convergence -- and therefore
+portable across every machine instance without modification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .host import HostRuntime
+
+
+class KNNClassifier:
+    """k-nearest-neighbour classification (the Fig-11 driving example).
+
+    Distances are FISA ``Euclidian1D``; the per-query threshold comes from
+    a FISA ``Sort1D`` over the candidate distances; the final vote is host
+    control flow.
+    """
+
+    def __init__(self, k: int = 5, runtime: Optional[HostRuntime] = None):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.runtime = runtime or HostRuntime()
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        x, y = np.asarray(x, float), np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        if self.k > len(x):
+            raise ValueError("k exceeds the training-set size")
+        self._x, self._y = x, y
+        return self
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("fit() first")
+        queries = np.asarray(queries, float)
+        dist = self.runtime.euclidian(queries, self._x)
+        out = np.empty(len(queries), dtype=self._y.dtype)
+        for i, row in enumerate(dist):
+            # Sort1D gives the k-th smallest distance; votes are host-side.
+            threshold = self.runtime.sort(row)[self.k - 1]
+            neighbours = self._y[row <= threshold][: self.k]
+            values, counts = np.unique(neighbours, return_counts=True)
+            out[i] = values[counts.argmax()]
+        return out
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+
+class KMeans:
+    """Lloyd's k-means: distances and centroid sums on FISA, assignment
+    and convergence on the host."""
+
+    def __init__(self, k: int = 8, max_iter: int = 50, tol: float = 1e-4,
+                 runtime: Optional[HostRuntime] = None, seed: int = 0):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.runtime = runtime or HostRuntime()
+        self.centroids: Optional[np.ndarray] = None
+        self.iterations_run = 0
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, float)
+        if len(x) < self.k:
+            raise ValueError("fewer samples than clusters")
+        rng = np.random.default_rng(self.seed)
+        centroids = x[rng.choice(len(x), self.k, replace=False)].copy()
+        for iteration in range(self.max_iter):
+            dist = self.runtime.euclidian(x, centroids)          # FISA
+            assign = self.runtime.argmin_rows(dist)              # host
+            onehot = self.runtime.one_hot(assign, self.k)        # host
+            sums = self.runtime.matmul(onehot, x)                # FISA
+            counts = np.maximum(onehot.sum(axis=1, keepdims=True), 1.0)
+            new_centroids = sums / counts
+            shift = float(np.abs(new_centroids - centroids).max())
+            centroids = new_centroids
+            self.iterations_run = iteration + 1
+            if shift < self.tol:
+                break
+        self.centroids = centroids
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.centroids is None:
+            raise RuntimeError("fit() first")
+        return self.runtime.argmin_rows(
+            self.runtime.euclidian(np.asarray(x, float), self.centroids))
+
+    def inertia(self, x: np.ndarray) -> float:
+        dist = self.runtime.euclidian(np.asarray(x, float), self.centroids)
+        return float(dist.min(axis=1).sum())
+
+
+class LVQClassifier:
+    """Learning vector quantization (LVQ1): one prototype set, winner
+    pulled toward correctly-classified samples and pushed away otherwise.
+    Distance blocks and prototype updates are FISA; the winner selection
+    is host control flow."""
+
+    def __init__(self, prototypes_per_class: int = 1, lr: float = 0.1,
+                 epochs: int = 10, runtime: Optional[HostRuntime] = None,
+                 seed: int = 0):
+        self.prototypes_per_class = prototypes_per_class
+        self.lr = lr
+        self.epochs = epochs
+        self.seed = seed
+        self.runtime = runtime or HostRuntime()
+        self.prototypes: Optional[np.ndarray] = None
+        self.proto_labels: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LVQClassifier":
+        x, y = np.asarray(x, float), np.asarray(y)
+        classes = np.unique(y)
+        rng = np.random.default_rng(self.seed)
+        protos, labels = [], []
+        for c in classes:
+            members = np.flatnonzero(y == c)
+            picks = rng.choice(members, self.prototypes_per_class,
+                               replace=len(members) < self.prototypes_per_class)
+            protos.extend(x[picks])
+            labels.extend([c] * self.prototypes_per_class)
+        prototypes = np.array(protos)
+        labels = np.array(labels)
+
+        lr = self.lr
+        for _epoch in range(self.epochs):
+            dist = self.runtime.euclidian(x, prototypes)          # FISA
+            winners = self.runtime.argmin_rows(dist)              # host
+            for w in range(len(prototypes)):
+                mask = winners == w
+                if not mask.any():
+                    continue
+                chunk = x[mask]
+                tile = np.broadcast_to(prototypes[w], chunk.shape)
+                diff = self.runtime.sub(chunk, tile)              # FISA
+                sign = np.where(y[mask] == labels[w], lr, -lr)
+                step = self.runtime.mul(diff, np.repeat(
+                    sign[:, None], chunk.shape[1], axis=1))       # FISA
+                prototypes[w] = prototypes[w] + step.mean(axis=0)
+            lr *= 0.8
+        self.prototypes, self.proto_labels = prototypes, labels
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.prototypes is None:
+            raise RuntimeError("fit() first")
+        dist = self.runtime.euclidian(np.asarray(x, float), self.prototypes)
+        return self.proto_labels[self.runtime.argmin_rows(dist)]
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+
+class RBFSVMClassifier:
+    """Binary kernel classifier with an RBF kernel (kernel-perceptron
+    training -- the paper's SVM benchmark is kernel evaluation + decision
+    values, which is exactly what this exercises on FISA)."""
+
+    def __init__(self, gamma: float = 0.5, epochs: int = 20,
+                 runtime: Optional[HostRuntime] = None):
+        self.gamma = gamma
+        self.epochs = epochs
+        self.runtime = runtime or HostRuntime()
+        self._x: Optional[np.ndarray] = None
+        self._alpha_y: Optional[np.ndarray] = None
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """RBF kernel via FISA: Euclidian1D then Act1D exponential."""
+        dist = self.runtime.euclidian(a, b)
+        return self.runtime.activation(-self.gamma * dist, func="exp")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RBFSVMClassifier":
+        x = np.asarray(x, float)
+        y = np.asarray(y, float)
+        if set(np.unique(y)) - {-1.0, 1.0}:
+            raise ValueError("labels must be -1/+1")
+        kernel = self._kernel(x, x)                               # FISA
+        alpha = np.zeros(len(x))
+        for _epoch in range(self.epochs):
+            decision = self.runtime.matmul(
+                kernel, (alpha * y)[:, None])[:, 0]               # FISA
+            wrong = np.flatnonzero(np.sign(decision) != y)
+            if wrong.size == 0:
+                break
+            alpha[wrong] += 1.0
+        self._x, self._alpha_y = x, alpha * y
+        return self
+
+    def decision_function(self, queries: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("fit() first")
+        kernel = self._kernel(np.asarray(queries, float), self._x)
+        return self.runtime.matmul(kernel, self._alpha_y[:, None])[:, 0]
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        signs = np.sign(self.decision_function(queries))
+        return np.where(signs >= 0, 1.0, -1.0)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y, float)).mean())

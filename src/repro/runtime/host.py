@@ -1,0 +1,107 @@
+"""The host-side FISA runtime.
+
+A :class:`HostRuntime` owns a machine and a tensor store and exposes the
+FISA operations as array-in/array-out calls: each call binds the operands,
+emits one instruction, runs it through the fractal executor, and returns
+the result.  Nothing here knows the machine's shape -- swap a Cambricon-F1
+for an F100 and every algorithm built on the runtime runs unchanged (the
+paper's single-binary claim, exercised at the application level).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from ..core.executor import FractalExecutor
+from ..core.isa import Instruction, Opcode
+from ..core.machine import Machine, cambricon_f1
+from ..core.store import TensorStore
+from ..core.tensor import Tensor
+
+
+class HostRuntime:
+    """Array-level frontend over the fractal executor."""
+
+    def __init__(self, machine: Optional[Machine] = None):
+        self.machine = machine if machine is not None else cambricon_f1()
+        self.store = TensorStore()
+        self.executor = FractalExecutor(self.machine, self.store)
+        self._ids = itertools.count()
+        self.instructions_issued = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _tensor(self, array: np.ndarray, tag: str) -> Tensor:
+        array = np.asarray(array, dtype=np.float64)
+        t = Tensor(f"host.{tag}{next(self._ids)}", array.shape)
+        self.store.bind(t, array)
+        return t
+
+    def _run(self, opcode: Opcode, inputs, out_shape, attrs=None) -> np.ndarray:
+        regions = tuple(self._tensor(arr, opcode.value.lower()).region()
+                        for arr in inputs)
+        out = Tensor(f"host.out{next(self._ids)}", tuple(out_shape))
+        inst = Instruction(opcode, regions, (out.region(),), attrs or {})
+        self.executor.run(inst)
+        self.instructions_issued += 1
+        return self.store.read(out.region())
+
+    # -- FISA operations ------------------------------------------------------
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``MatMul``: (m, k) @ (k, n)."""
+        return self._run(Opcode.MATMUL, [a, b], (a.shape[0], b.shape[1]))
+
+    def euclidian(self, x: np.ndarray, refs: np.ndarray) -> np.ndarray:
+        """``Euclidian1D``: pairwise squared distances (n, m)."""
+        return self._run(Opcode.EUCLIDIAN1D, [x, refs],
+                         (x.shape[0], refs.shape[0]))
+
+    def conv2d(self, x: np.ndarray, w: np.ndarray, stride: int = 1) -> np.ndarray:
+        n, h, wd, _ = x.shape
+        kh, kw, _, cout = w.shape
+        out_shape = (n, (h - kh) // stride + 1, (wd - kw) // stride + 1, cout)
+        return self._run(Opcode.CV2D, [x, w], out_shape, {"stride": stride})
+
+    def sort(self, x: np.ndarray) -> np.ndarray:
+        """``Sort1D``: ascending merge sort of the flattened input."""
+        flat = np.asarray(x).reshape(-1)
+        return self._run(Opcode.SORT1D, [flat], (flat.size,))
+
+    def count(self, x: np.ndarray, value: Optional[float] = None) -> int:
+        """``Count1D``: matching elements (non-zeros by default)."""
+        attrs = {} if value is None else {"value": float(value)}
+        return int(self._run(Opcode.COUNT1D, [np.asarray(x).reshape(-1)],
+                             (1,), attrs)[0])
+
+    def add(self, a, b) -> np.ndarray:
+        return self._run(Opcode.ADD1D, [a, b], np.asarray(a).shape)
+
+    def sub(self, a, b) -> np.ndarray:
+        return self._run(Opcode.SUB1D, [a, b], np.asarray(a).shape)
+
+    def mul(self, a, b) -> np.ndarray:
+        return self._run(Opcode.MUL1D, [a, b], np.asarray(a).shape)
+
+    def activation(self, x, func: str = "relu") -> np.ndarray:
+        return self._run(Opcode.ACT1D, [x], np.asarray(x).shape,
+                         {"func": func})
+
+    def hsum(self, x) -> float:
+        return float(self._run(Opcode.HSUM1D, [np.asarray(x)], (1,))[0])
+
+    # -- host-side helpers (control flow the paper leaves to the host) -------
+
+    @staticmethod
+    def argmin_rows(distances: np.ndarray) -> np.ndarray:
+        """Row-wise argmin -- selection is host control flow, not FISA."""
+        return distances.argmin(axis=1)
+
+    @staticmethod
+    def one_hot(labels: np.ndarray, classes: int) -> np.ndarray:
+        out = np.zeros((classes, labels.size))
+        out[labels, np.arange(labels.size)] = 1.0
+        return out

@@ -1,0 +1,99 @@
+"""Inference sessions: run a compiled Workload like a model.
+
+Wraps a :class:`~repro.workloads.builder.Workload` (hand-built, assembled,
+or lowered from the graph compiler) with parameter management and a
+call-style API -- the last piece of the user-facing stack:
+
+    session = InferenceSession(lower(graph), machine=cambricon_f1())
+    session.initialize_parameters(seed=0)      # or load_parameters({...})
+    logits = session(img=batch)["fc3"]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..core.executor import FractalExecutor
+from ..core.machine import Machine, cambricon_f1
+from ..core.store import TensorStore
+from ..workloads.builder import Workload
+
+
+class InferenceSession:
+    """Executes one Workload repeatedly with persistent parameters."""
+
+    def __init__(self, workload: Workload, machine: Optional[Machine] = None):
+        self.workload = workload
+        self.machine = machine if machine is not None else cambricon_f1()
+        self._params: Dict[str, np.ndarray] = {}
+
+    # -- parameters -----------------------------------------------------------
+
+    def initialize_parameters(self, seed: int = 0, scale: float = 0.1) -> None:
+        """He-style random initialization of every parameter tensor."""
+        rng = np.random.default_rng(seed)
+        for name, t in self.workload.params.items():
+            fan_in = max(1, int(np.prod(t.shape[:-1])))
+            std = scale * (2.0 / fan_in) ** 0.5
+            self._params[name] = std * rng.normal(size=t.shape)
+
+    def load_parameters(self, values: Mapping[str, np.ndarray]) -> None:
+        """Load parameters by tensor name (shapes are validated)."""
+        for name, array in values.items():
+            if name not in self.workload.params:
+                raise KeyError(f"unknown parameter {name!r}")
+            expected = self.workload.params[name].shape
+            array = np.asarray(array, float)
+            if array.shape != expected:
+                raise ValueError(
+                    f"{name}: expected shape {expected}, got {array.shape}")
+            self._params[name] = array
+
+    @property
+    def parameter_names(self):
+        return sorted(self.workload.params)
+
+    # -- execution --------------------------------------------------------------
+
+    def _input_by_short_name(self) -> Dict[str, str]:
+        out = {}
+        for full in self.workload.inputs:
+            short = full.split(".")[-1]
+            # builder suffixes names with a counter: img0, x3 ...
+            out[short] = full
+            out[short.rstrip("0123456789")] = full
+        return out
+
+    def __call__(self, **inputs: np.ndarray) -> Dict[str, np.ndarray]:
+        """Run the workload; returns {output short name: array}."""
+        if not self._params and self.workload.params:
+            raise RuntimeError(
+                "parameters not set: call initialize_parameters() or "
+                "load_parameters() first")
+        store = TensorStore()
+        short_map = self._input_by_short_name()
+        bound = set()
+        for short, array in inputs.items():
+            full = short_map.get(short)
+            if full is None:
+                raise KeyError(f"unknown input {short!r}; "
+                               f"one of {sorted(short_map)}")
+            tensor = self.workload.inputs[full]
+            array = np.asarray(array, float)
+            if array.shape != tensor.shape:
+                raise ValueError(f"{short}: expected shape {tensor.shape}, "
+                                 f"got {array.shape}")
+            store.bind(tensor, array)
+            bound.add(full)
+        missing = set(self.workload.inputs) - bound
+        if missing:
+            raise ValueError(f"missing inputs: {sorted(missing)}")
+        for name, t in self.workload.params.items():
+            store.bind(t, self._params[name])
+        FractalExecutor(self.machine, store).run_program(self.workload.program)
+        return {
+            full.split(".")[-1]: store.read(t.region())
+            for full, t in self.workload.outputs.items()
+        }

@@ -1,0 +1,30 @@
+"""Performance simulation of Cambricon-F machines.
+
+The simulator executes a FISA program *for time, not values*: every node
+runs its controller (SD -> DD -> PD -> RC) exactly as the functional
+executor does, but instead of touching numpy it schedules the five pipeline
+stages (ID/LD/EX/RD/WB) against the node's decoder, DMA engine, FFUs and
+LFUs.  A non-leaf EX latency is the recursively simulated child-node
+execution; identical sub-instructions (by structural signature) are
+simulated once and cached, which is what makes the 2048-core F100 tractable.
+"""
+
+from .chrometrace import to_chrome_trace, write_chrome_trace
+from .pipeline import PipelineSchedule, StageTimes, schedule_pipeline
+from .simulator import FractalSimulator, NodeResult, SimReport
+from .trace import flatten_timeline, level_busy_fractions, merge_segments, render_ascii
+
+__all__ = [
+    "PipelineSchedule",
+    "StageTimes",
+    "schedule_pipeline",
+    "FractalSimulator",
+    "NodeResult",
+    "SimReport",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "flatten_timeline",
+    "level_busy_fractions",
+    "merge_segments",
+    "render_ascii",
+]

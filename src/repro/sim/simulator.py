@@ -1,0 +1,788 @@
+"""Recursive fractal timing simulator.
+
+Every node runs the real controller components (SequentialDecomposer,
+DemotionDecoder, ParallelDecomposer, ReductionController) against its level
+spec, then schedules the resulting stage durations on the 5-stage FISA
+pipeline.  A non-leaf instruction's EX latency is the total time of the
+recursively simulated child node; since all FFUs of a node execute
+structurally identical sub-instructions in lockstep, one representative
+child is simulated per distinct instruction signature and the result cached,
+making even the 2048-core Cambricon-F100 cheap to simulate.
+
+Bandwidth model: a child's DMA engine moves operands between parent memory
+and local storage at ``min(own memory bandwidth, parent bandwidth / parent
+fanout)`` -- siblings contend for the parent port.  A *broadcast* operand
+(shared by every sibling, identified by the parent's PD) is transferred once
+at the full parent rate when data broadcasting is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.controller.demotion import DemotionDecoder
+from ..core.controller.parallel import ParallelDecomposer
+from ..core.controller.reduction import ReductionController, ReductionTarget
+from ..core.controller.sequential import SequentialDecomposer
+from ..core.isa import Instruction
+from ..core.machine import Machine
+from ..core.memory.allocator import NodeMemoryManager
+from ..core.memory.ttt import TensorTranspositionTable
+from ..core.tensor import Region
+from .pipeline import StageTimes, schedule_pipeline
+
+#: bytes moved through local memory per reduction op (two reads + one write
+#: of 2-byte elements) -- caps effective reduction throughput by bandwidth.
+_REDUCTION_BYTES_PER_OP = 6.0
+#: ops each lightweight LFU sustains (32-lane vector unit at 1 GHz).
+LFU_OPS_EACH = 64e9
+#: leaf decoder latency; leaves have trivial decoders.
+_LEAF_DECODE = 1e-7
+#: steps before the per-node plan-summary cache engages (lets the
+#: residency/forwarding context reach steady state first).
+_PLAN_WARMUP = 64
+
+
+@dataclass
+class NodeStats:
+    """Aggregated controller statistics over one node simulation (and the
+    representative child path below it)."""
+
+    steps: int = 0
+    preassignable: int = 0
+    ttt_hits: int = 0
+    ttt_lookups: int = 0
+    elided_bytes: int = 0
+    streamed_bytes: int = 0
+    commissioned: int = 0
+    raw_stalls: int = 0
+    forwarded_stores: int = 0
+    forwarded_store_bytes: int = 0
+
+    def merge(self, other: "NodeStats") -> None:
+        self.steps += other.steps
+        self.preassignable += other.preassignable
+        self.ttt_hits += other.ttt_hits
+        self.ttt_lookups += other.ttt_lookups
+        self.elided_bytes += other.elided_bytes
+        self.streamed_bytes += other.streamed_bytes
+        self.commissioned += other.commissioned
+        self.raw_stalls += other.raw_stalls
+        self.forwarded_stores += other.forwarded_stores
+        self.forwarded_store_bytes += other.forwarded_store_bytes
+
+    @property
+    def preassign_fraction(self) -> float:
+        return self.preassignable / self.steps if self.steps else 0.0
+
+
+@dataclass
+class NodeResult:
+    """Timing of one node executing one (sub-)program."""
+
+    level: int
+    total_time: float
+    startup_time: float
+    load_bytes: int  # bytes pulled from the parent by this node
+    store_bytes: int  # bytes written back to the parent
+    work: int
+    #: load bytes broken down by transfer class (broadcast vs private vs
+    #: neighbour sibling links)
+    bc_load_bytes: int = 0
+    priv_load_bytes: int = 0
+    sibling_load_bytes: int = 0
+    #: bytes this node's memory port served to its children (fan-out aware:
+    #: private transfers counted once per child, broadcasts once in total)
+    served_bytes: int = 0
+    per_level_busy: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    own_segments: List[Tuple[str, float, float]] = field(default_factory=list)
+    child_embeds: List[Tuple[float, "NodeResult"]] = field(default_factory=list)
+    stats: NodeStats = field(default_factory=NodeStats)
+
+
+@dataclass
+class SimReport:
+    """Top-level simulation result for one FISA program on one machine."""
+
+    machine_name: str
+    total_time: float
+    work: int
+    root_load_bytes: int
+    root_store_bytes: int
+    per_level_busy: Dict[int, Dict[str, float]]
+    stats: NodeStats
+    root: NodeResult
+
+    @property
+    def attained_ops(self) -> float:
+        return self.work / self.total_time if self.total_time > 0 else 0.0
+
+    @property
+    def root_traffic(self) -> int:
+        """Bytes moved over the root memory port (what the level-1 nodes
+        load from and store to the root's memory -- the Fig-15 traffic)."""
+        return self.root.served_bytes
+
+    @property
+    def operational_intensity(self) -> float:
+        """ops per byte of root-memory traffic (the Fig-15 x-axis)."""
+        return self.work / self.root_traffic if self.root_traffic else float("inf")
+
+    def peak_fraction(self, peak_ops: float) -> float:
+        return self.attained_ops / peak_ops if peak_ops else 0.0
+
+
+def _key_contained(key: Tuple, regions: Sequence[Region]) -> bool:
+    uid, bounds = key
+    for reg in regions:
+        if reg.tensor.uid != uid:
+            continue
+        if all(r_lo <= lo and hi <= r_hi
+               for (lo, hi), (r_lo, r_hi) in zip(bounds, reg.bounds)):
+            return True
+    return False
+
+
+class _SeqContext:
+    """Sliding two-cycle window of what each child slot has resident.
+
+    Mirrors the two-bank TTT validity: a record written in FISA cycle i is
+    usable in cycles i+1 and i+2 (the bank is reclaimed afterwards).  Slot j
+    tracks the j-th part of each parallel split, which maps to the same
+    physical FFU across cycles; shared (broadcast) operands appear in every
+    slot's set, so they are covered implicitly.
+    """
+
+    WINDOW = 2
+
+    def __init__(self):
+        self._history: List[List[frozenset]] = []
+
+    def push(self, slot_keys: List[frozenset]) -> None:
+        self._history.append(slot_keys)
+        if len(self._history) > self.WINDOW:
+            self._history.pop(0)
+
+    def recent_for_slot(self, slot: int) -> frozenset:
+        out: Set = set()
+        for step_slots in self._history:
+            if slot < len(step_slots):
+                out |= step_slots[slot]
+        return frozenset(out)
+
+
+@dataclass
+class _PlanSummary:
+    """Cached PD outcome for one step signature at one level: the EX latency
+    (max over distinct child sub-instructions), the child fill time, the g(.)
+    reduction instructions, and the representative child result."""
+
+    ex_time: float
+    ex_fill: float
+    reduction: List[Instruction]
+    child: Optional[NodeResult]
+    #: bytes this step makes the node's memory port serve to its children
+    served_bytes: int = 0
+
+
+class FractalSimulator:
+    """Simulates FISA programs on a :class:`Machine` for time and traffic."""
+
+    def __init__(self, machine: Machine, collect_profiles: bool = True):
+        self.machine = machine
+        self.collect_profiles = collect_profiles
+        self._cache: Dict[Tuple, NodeResult] = {}
+        self._plan_cache: Dict[Tuple, _PlanSummary] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def simulate(self, program: Sequence[Instruction]) -> SimReport:
+        """Simulate the whole machine executing ``program`` from the root."""
+        root = self._simulate_node(0, list(program), broadcast_regions=(), is_root=True)
+        return SimReport(
+            machine_name=self.machine.name,
+            total_time=root.total_time,
+            work=root.work,
+            root_load_bytes=root.load_bytes,
+            root_store_bytes=root.store_bytes,
+            per_level_busy=root.per_level_busy,
+            stats=root.stats,
+            root=root,
+        )
+
+    # -- bandwidth model -------------------------------------------------------
+
+    def _rates(self, level: int) -> Tuple[float, float]:
+        """(private, broadcast) transfer rates for a node at ``level``."""
+        spec = self.machine.level(level)
+        if level == 0:
+            return spec.mem_bandwidth, spec.mem_bandwidth
+        parent = self.machine.level(level - 1)
+        share = parent.mem_bandwidth / max(1, parent.fanout)
+        private = min(spec.mem_bandwidth, share)
+        if self.machine.use_broadcast:
+            broadcast = min(spec.mem_bandwidth, parent.mem_bandwidth)
+        else:
+            broadcast = private
+        return private, broadcast
+
+    # -- node simulation ---------------------------------------------------------
+
+    def _simulate_child(
+        self,
+        level: int,
+        inst: Instruction,
+        broadcast_regions: Tuple[Region, ...],
+        resident_regions: Tuple[Region, ...] = (),
+        deferred_stores: Tuple[Region, ...] = (),
+        sibling_regions: Tuple[Region, ...] = (),
+    ) -> NodeResult:
+        """Simulate (with caching) one child executing one instruction.
+
+        ``resident_regions`` are operands this child already holds from the
+        previous parent FISA cycle (its TTT keeps them valid for two
+        cycles), so their loads are elided entirely.  ``deferred_stores``
+        are output regions the child keeps resident instead of writing back
+        (a slot-aligned consumer arrives within the window).
+        ``sibling_regions`` are halo overlaps available from a neighbour
+        over a sibling link (when the machine has them).
+        """
+        bc_flags = tuple(
+            _key_contained(r.key(), broadcast_regions) for r in inst.inputs
+        )
+        res_flags = tuple(
+            _key_contained(r.key(), resident_regions)
+            for r in inst.inputs + inst.outputs
+        )
+        dfr_flags = tuple(
+            _key_contained(r.key(), deferred_stores) for r in inst.outputs
+        )
+        sib_flags = tuple(
+            _key_contained(r.key(), sibling_regions) for r in inst.inputs
+        )
+        key = (level, inst.signature(), bc_flags, res_flags, dfr_flags,
+               sib_flags, self.collect_profiles)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        result = self._simulate_node(level, [inst], broadcast_regions,
+                                     resident_regions=resident_regions,
+                                     deferred_stores=deferred_stores,
+                                     sibling_regions=sibling_regions)
+        self._cache[key] = result
+        return result
+
+    def _simulate_node(
+        self,
+        level: int,
+        program: List[Instruction],
+        broadcast_regions: Tuple[Region, ...],
+        is_root: bool = False,
+        resident_regions: Tuple[Region, ...] = (),
+        deferred_stores: Tuple[Region, ...] = (),
+        sibling_regions: Tuple[Region, ...] = (),
+    ) -> NodeResult:
+        spec = self.machine.level(level)
+        if spec.is_leaf:
+            return self._simulate_leaf(level, program, broadcast_regions,
+                                       resident_regions, deferred_stores,
+                                       sibling_regions)
+
+        private_rate, broadcast_rate = self._rates(level)
+        memory = NodeMemoryManager(spec.mem_bytes)
+        sd = SequentialDecomposer(memory.recycled_segment_bytes)
+        ttt = TensorTranspositionTable() if self.machine.use_ttt else None
+
+        # Sequential decomposition; remember which FISA-level instruction each
+        # step came from (static-segment parity) and which partial tensors are
+        # local to this node (created by our own SD).
+        program_uids: Set[int] = set()
+        for inst in program:
+            for r in inst.inputs + inst.outputs:
+                program_uids.add(r.tensor.uid)
+        steps: List[Tuple[int, Instruction]] = []
+        local_uids: Set[int] = set()
+        # A single-instruction program would schedule as one monolithic
+        # LD -> EX -> WB with no overlap, so SD additionally chunks it into
+        # ~4 steps (the three recycled segments exist precisely to keep that
+        # many instructions in flight) -- but never below ~8 decode latencies
+        # of transfer, where controller overhead would outweigh the overlap.
+        # Multi-instruction programs already pipeline across instructions,
+        # and splitting them would push consumers beyond the TTT's two-cycle
+        # forwarding window.
+        min_chunk = int(private_rate * self.machine.decode_latency * 8)
+        for orig_idx, inst in enumerate(program):
+            if len(program) == 1:
+                fp = inst.io_bytes()
+                sd.capacity_bytes = min(memory.recycled_segment_bytes,
+                                        max(fp // 4, min_chunk, 1))
+            else:
+                sd.capacity_bytes = memory.recycled_segment_bytes
+            for step in sd.decompose(inst):
+                steps.append((orig_idx, step))
+                for r in step.inputs + step.outputs:
+                    t = r.tensor
+                    if t.space == "partial" and t.uid not in program_uids:
+                        local_uids.add(t.uid)
+
+        # Pipeline forwarding (Section 3.6): an intermediate result whose
+        # every future reader lies within the TTT's two-cycle validity
+        # window never needs the round trip through the parent -- the next
+        # instruction reads the local copy and the write-back is elided.
+        readers: Dict[int, List[Tuple[int, Region]]] = {}
+        for idx, (_oi, step) in enumerate(steps):
+            for r in step.inputs:
+                readers.setdefault(r.tensor.uid, []).append((idx, r))
+
+        def store_forwardable(idx: int, region: Region) -> bool:
+            if not self.machine.use_ttt:
+                return False
+            future = [j for j, rr in readers.get(region.tensor.uid, ())
+                      if j > idx and rr.overlaps(region)]
+            return bool(future) and max(future) <= idx + 2
+
+        pd = ParallelDecomposer(max(1, spec.fanout))
+
+        # Plans are computed lazily: the steady-state plan-summary cache in
+        # the main loop means most steps of a large uniform instruction never
+        # need their 32-way split materialized at all.
+        plan_memo: Dict[int, object] = {}
+
+        def plan_at(idx: int):
+            plan = plan_memo.get(idx)
+            if plan is None:
+                plan = pd.plan(steps[idx][1])
+                plan_memo[idx] = plan
+            return plan
+
+        def parts_of(plan) -> List[Instruction]:
+            if plan.parts:
+                return plan.parts
+            return [plan.whole] if plan.whole is not None else []
+
+        # Child-store deferral: when a step's output chunk is consumed only
+        # by the next one or two steps *in the same FFU slot*, the child that
+        # produced it keeps it resident (its TTT bridges the gap) and the
+        # round trip through this node's parent is skipped entirely.  This is
+        # the paper's pipeline forwarding -- layer chains (conv -> relu ->
+        # pool) stop paying root traffic for intermediates.
+        # A child can only keep a chunk resident if it physically fits its
+        # static segment; larger chunks must round-trip no matter what.
+        child_hold_bytes = self.machine.level(level + 1).mem_bytes // 4
+
+        def defer_at(i: int) -> List[Tuple[Region, ...]]:
+            slots: List[Tuple[Region, ...]] = []
+            for j, part in enumerate(parts_of(plan_at(i))):
+                ds: List[Region] = []
+                for out in part.outputs:
+                    if out.tensor.uid in local_uids:
+                        continue  # SD partial: this node's LFUs need the copy
+                    if not self.machine.use_ttt or out.nbytes > child_hold_bytes:
+                        continue
+                    future = [(k, rr) for k, rr in readers.get(out.tensor.uid, ())
+                              if k > i and rr.overlaps(out)]
+                    if not future or max(k for k, _ in future) > i + 2:
+                        continue
+                    aligned = True
+                    for k, _rr in future:
+                        kparts = parts_of(plan_at(k))
+                        if j >= len(kparts) or not any(
+                                inp.contains(out) for inp in kparts[j].inputs):
+                            aligned = False
+                            break
+                    if aligned:
+                        ds.append(out)
+                slots.append(tuple(ds))
+            return slots
+
+        dd = DemotionDecoder(memory, ttt, local_uids)
+        lfu_rate = min(spec.n_lfus * LFU_OPS_EACH,
+                       spec.mem_bandwidth / _REDUCTION_BYTES_PER_OP) \
+            if spec.n_lfus > 0 else 0.0
+        # Commissioning a reduction moves partials down and results up, so the
+        # FFU path sees half the local bandwidth.
+        ffu_red_rate = min(spec.peak_ops,
+                           (spec.mem_bandwidth / 2) / _REDUCTION_BYTES_PER_OP)
+        rc = ReductionController(lfu_rate, ffu_red_rate)
+
+        result = NodeResult(level=level, total_time=0.0, startup_time=0.0,
+                            load_bytes=0, store_bytes=0, work=0)
+        stage_list: List[StageTimes] = []
+        embeds: List[Tuple[int, NodeResult]] = []  # (stage index, child)
+        pending_commission: List[Instruction] = []
+        seq_ctx = _SeqContext()
+        node_plan_cache: Dict[Tuple, _PlanSummary] = {}
+
+        for i, (orig_idx, step) in enumerate(steps):
+            decoded = dd.decode(i, step, owner=orig_idx)
+            ld_time = wb_time = 0.0
+            if not is_root:
+                # The root's operands already reside in root (global) memory;
+                # only non-root nodes fetch operands over the parent link.
+                for req in decoded.loads:
+                    if _key_contained(req.region_key, resident_regions):
+                        # Held over from the previous parent FISA cycle.
+                        result.stats.ttt_hits += 1
+                        result.stats.elided_bytes += req.nbytes
+                        continue
+                    if _key_contained(req.region_key, sibling_regions):
+                        # Halo fetched neighbour-to-neighbour, off the
+                        # parent port entirely (future-work sibling links).
+                        ld_time += req.nbytes / self.machine.sibling_link_bandwidth
+                        result.sibling_load_bytes += req.nbytes
+                        continue
+                    if _key_contained(req.region_key, broadcast_regions):
+                        ld_time += req.nbytes / broadcast_rate
+                        result.bc_load_bytes += req.nbytes
+                        result.load_bytes += req.nbytes
+                    else:
+                        ld_time += req.nbytes / private_rate
+                        result.priv_load_bytes += req.nbytes
+                        result.load_bytes += req.nbytes
+                out_by_key = {r.key(): r for r in step.outputs}
+                for req in decoded.stores:
+                    region = out_by_key.get(req.region_key)
+                    forwarded = region is not None and store_forwardable(i, region)
+                    deferred = _key_contained(req.region_key, deferred_stores)
+                    if forwarded or deferred:
+                        result.stats.forwarded_stores += 1
+                        result.stats.forwarded_store_bytes += req.nbytes
+                        continue
+                    wb_time += req.nbytes / private_rate
+                    result.store_bytes += req.nbytes
+
+            # The step stream of a large uniform instruction is periodic:
+            # after a warm-up window the residency/defer context has
+            # stabilized, so structurally identical steps reuse one summary
+            # instead of re-planning a 32-way split 65k times.
+            sig = step.signature()
+            summary = None
+            if i >= _PLAN_WARMUP:
+                summary = node_plan_cache.get(sig)
+            if summary is None:
+                summary = self._plan_step(level, plan_at(i), defer_at(i), seq_ctx)
+                if i >= _PLAN_WARMUP // 2:
+                    node_plan_cache[sig] = summary
+            result.served_bytes += summary.served_bytes
+            ex_time = summary.ex_time
+            ex_fill = summary.ex_fill
+            step_child = summary.child
+
+            # Commissioned reductions from the previous cycle execute first.
+            for red in pending_commission:
+                child = self._run_on_ffus(level, red, pd.n_ffus)
+                ex_time += child.total_time
+                step_child = step_child or child
+            pending_commission = []
+
+            rd_time = 0.0
+            if summary.reduction:
+                if self.machine.use_sibling_links:
+                    # Ring all-reduce among the FFUs: each partial crosses
+                    # two links in a pipelined ring, never touching the
+                    # parent memory or LFUs.
+                    red_bytes = sum(r.outputs[0].nbytes
+                                    for r in summary.reduction)
+                    rd_time = 2.0 * red_bytes / self.machine.sibling_link_bandwidth
+                else:
+                    commission = rc.route(summary.reduction)
+                    if commission.target is ReductionTarget.LFU:
+                        rd_time = commission.predicted_lfu_time
+                    else:
+                        pending_commission = list(summary.reduction)
+                        result.stats.commissioned += 1
+
+            pre_assignable = decoded.stall_on is None and not decoded.forwarded
+            stage_list.append(
+                StageTimes(
+                    decode=self.machine.decode_latency,
+                    load=ld_time,
+                    exec=ex_time,
+                    reduce=rd_time,
+                    writeback=wb_time,
+                    stall_on=decoded.stall_on,
+                    exec_fill=ex_fill,
+                    pre_assignable=pre_assignable,
+                    label=step.opcode.value,
+                )
+            )
+            if step_child is not None:
+                embeds.append((len(stage_list) - 1, step_child))
+            result.stats.steps += 1
+            result.stats.preassignable += int(pre_assignable)
+            result.stats.ttt_hits += decoded.ttt_hits
+            result.stats.ttt_lookups += decoded.ttt_hits + len(decoded.loads)
+            result.stats.elided_bytes += decoded.elided_bytes
+            result.stats.streamed_bytes += decoded.streamed_bytes
+            result.stats.raw_stalls += int(decoded.stall_on is not None)
+
+        # Flush reductions commissioned by the final step.
+        if pending_commission:
+            extra = 0.0
+            for red in pending_commission:
+                child = self._run_on_ffus(level, red, pd.n_ffus)
+                extra += child.total_time
+            stage_list.append(StageTimes(decode=self.machine.decode_latency,
+                                         exec=extra, label="commission-flush"))
+
+        sched = schedule_pipeline(stage_list, self.machine.use_concatenation)
+        result.total_time = sched.total_time
+        result.startup_time = sched.startup_time
+        result.work = sum(inst.work() for inst in program)
+
+        busy = result.per_level_busy.setdefault(
+            level, {"dma": 0.0, "compute": 0.0, "lfu": 0.0})
+        busy["dma"] += sched.dma_busy
+        busy["compute"] += sched.ffu_busy
+        busy["lfu"] += sched.lfu_busy
+        for stage_idx, child in embeds:
+            for lv, b in child.per_level_busy.items():
+                acc = result.per_level_busy.setdefault(
+                    lv, {"dma": 0.0, "compute": 0.0, "lfu": 0.0})
+                for k, v in b.items():
+                    acc[k] += v
+            result.stats.merge(child.stats)
+
+        if self.collect_profiles:
+            for isched in sched.instructions:
+                if isched.ld_iv.duration > 0:
+                    result.own_segments.append(("dma", isched.ld_iv.start, isched.ld_iv.end))
+                if isched.ex_iv.duration > 0:
+                    result.own_segments.append(("compute", isched.ex_iv.start, isched.ex_iv.end))
+                if isched.rd_iv.duration > 0:
+                    result.own_segments.append(("lfu", isched.rd_iv.start, isched.rd_iv.end))
+                if isched.wb_iv.duration > 0:
+                    result.own_segments.append(("dma", isched.wb_iv.start, isched.wb_iv.end))
+            for stage_idx, child in embeds:
+                # Align the child profile to the END of the parent's EX
+                # interval: under pipeline concatenation the child's fill ran
+                # during the *previous* EX, so its profile starts before the
+                # interval does (possibly at negative offsets near t=0).
+                ex_iv = sched.instructions[stage_idx].ex_iv
+                result.child_embeds.append(
+                    (ex_iv.end - child.total_time, child))
+        return result
+
+    def _plan_step(
+        self,
+        level: int,
+        plan,
+        defer_slots,
+        ctx: "_SeqContext",
+    ) -> _PlanSummary:
+        """Child simulation for one (pre-planned) step.
+
+        ``ctx`` remembers what each child slot loaded or produced during the
+        previous *two* FISA cycles (the validity window of the two-bank
+        TTT); operands needed again are still resident in that child's
+        memory and their loads are elided.  ``defer_slots`` lists, per slot,
+        the output regions whose write-back the child may skip because a
+        slot-aligned consumer follows within the window (pipeline
+        forwarding).
+        """
+        ex_time, ex_fill = 0.0, 0.0
+        served = 0
+        step_child: Optional[NodeResult] = None
+        hold_bytes = self.machine.level(level + 1).mem_bytes // 4
+        if plan.parts:
+            shared_regions = self._shared_regions(plan)
+            groups: Dict[Tuple, List] = {}
+            slot_keys: List[frozenset] = []
+            for slot, part in enumerate(plan.parts):
+                resident: Tuple[Region, ...] = ()
+                if self.machine.use_ttt:
+                    recent = ctx.recent_for_slot(slot)
+                    resident = tuple(r for r in part.inputs + part.outputs
+                                     if r.key() in recent
+                                     and r.nbytes <= hold_bytes)
+                deferred = defer_slots[slot] if slot < len(defer_slots) else ()
+                sibling = self._sibling_overlaps(plan.parts, slot,
+                                                 shared_regions)
+                bc = tuple(_key_contained(r.key(), shared_regions)
+                           for r in part.inputs)
+                res = tuple(r.key() in {x.key() for x in resident}
+                            for r in part.inputs + part.outputs)
+                dfr = tuple(_key_contained(r.key(), deferred)
+                            for r in part.outputs)
+                sib = tuple(_key_contained(r.key(), sibling)
+                            for r in part.inputs)
+                gk = (part.signature(), bc, res, dfr, sib)
+                prev = groups.get(gk)
+                if prev is not None:
+                    prev[1] += 1
+                else:
+                    groups[gk] = [part, 1, resident, deferred, sibling]
+                # Outputs count as resident too: the next chain step reads
+                # its own running sum, and pipeline forwarding reuses results.
+                slot_keys.append(frozenset(
+                    r.key() for r in part.inputs + part.outputs))
+            max_bc = 0
+            for part, count, resident, deferred, sibling in groups.values():
+                child = self._simulate_child(level + 1, part, shared_regions,
+                                             resident, deferred, sibling)
+                served += count * (child.priv_load_bytes + child.store_bytes)
+                max_bc = max(max_bc, child.bc_load_bytes)
+                if step_child is None or child.total_time > step_child.total_time:
+                    step_child = child
+            served += max_bc  # one broadcast feeds every sibling
+            assert step_child is not None
+            ex_time = step_child.total_time
+            ex_fill = step_child.startup_time
+            ctx.push(slot_keys)
+        else:
+            step = plan.whole
+            resident = ()
+            if self.machine.use_ttt:
+                recent = ctx.recent_for_slot(0)
+                resident = tuple(r for r in step.inputs + step.outputs
+                                 if r.key() in recent and r.nbytes <= hold_bytes)
+            deferred = defer_slots[0] if defer_slots else ()
+            step_child = self._simulate_child(level + 1, step, (), resident, deferred)
+            served = step_child.load_bytes + step_child.store_bytes
+            ex_time = step_child.total_time
+            ex_fill = step_child.startup_time
+            ctx.push([frozenset(r.key() for r in step.inputs + step.outputs)])
+
+        return _PlanSummary(ex_time, ex_fill, list(plan.reduction), step_child, served)
+
+    def _run_on_ffus(self, level: int, inst: Instruction, n_ffus: int) -> NodeResult:
+        """Execute a commissioned reduction on the FFUs (EX-stage work)."""
+        from ..core.decomposition import decompose_parallel
+
+        split = decompose_parallel(inst, n_ffus)
+        if split is None:
+            return self._simulate_child(level + 1, inst, ())
+        best: Optional[NodeResult] = None
+        for part in split.parts:
+            child = self._simulate_child(level + 1, part, ())
+            if best is None or child.total_time > best.total_time:
+                best = child
+        assert best is not None
+        return best
+
+    def _shared_regions(self, plan) -> Tuple[Region, ...]:
+        by_key = {r.key(): r for p in plan.parts for r in p.inputs}
+        return tuple(by_key[k] for k in plan.shared_keys if k in by_key)
+
+    def _sibling_overlaps(self, parts, slot: int,
+                          shared_regions) -> Tuple[Region, ...]:
+        """Halo regions slot ``slot`` shares with its ring neighbours.
+
+        Only meaningful when the machine has sibling links: the overlapped
+        slice of a spatially-split input lives in the neighbour's chunk too,
+        so the neighbour can forward it directly.  Fully-shared (broadcast)
+        operands are excluded -- they already travel once.
+        """
+        if not self.machine.use_sibling_links or len(parts) < 2:
+            return ()
+        me = parts[slot]
+        out = []
+        for neighbour_idx in (slot - 1, slot + 1):
+            if not 0 <= neighbour_idx < len(parts):
+                continue
+            other = parts[neighbour_idx]
+            for mine in me.inputs:
+                if _key_contained(mine.key(), shared_regions):
+                    continue
+                for theirs in other.inputs:
+                    inter = mine.intersection(theirs)
+                    if inter is not None and inter.nelems < mine.nelems:
+                        out.append(inter)
+        return tuple(out)
+
+    # -- leaf --------------------------------------------------------------------
+
+    def _simulate_leaf(
+        self,
+        level: int,
+        program: List[Instruction],
+        broadcast_regions: Tuple[Region, ...],
+        resident_regions: Tuple[Region, ...] = (),
+        deferred_stores: Tuple[Region, ...] = (),
+        sibling_regions: Tuple[Region, ...] = (),
+    ) -> NodeResult:
+        spec = self.machine.level(level)
+        private_rate, broadcast_rate = self._rates(level)
+        result = NodeResult(level=level, total_time=0.0, startup_time=0.0,
+                            load_bytes=0, store_bytes=0, work=0)
+        stage_list: List[StageTimes] = []
+        for inst in program:
+            in_bytes_bc = in_bytes_priv = in_bytes_sibling = 0
+            seen: Set[Tuple] = set()
+            for r in inst.inputs:
+                if r.key() in seen:
+                    continue
+                seen.add(r.key())
+                if _key_contained(r.key(), resident_regions):
+                    result.stats.ttt_hits += 1
+                    result.stats.elided_bytes += r.nbytes
+                    continue
+                if _key_contained(r.key(), sibling_regions):
+                    result.sibling_load_bytes += r.nbytes
+                    in_bytes_sibling += r.nbytes
+                    continue
+                if _key_contained(r.key(), broadcast_regions):
+                    in_bytes_bc += r.nbytes
+                else:
+                    in_bytes_priv += r.nbytes
+            out_total = sum(r.nbytes for r in inst.outputs if r.key() not in seen)
+            if inst.attrs.get("accumulate"):
+                # Read-modify-write: fetch the prior partial sum, unless this
+                # leaf still holds it from the previous chain step.
+                for r in inst.outputs:
+                    if not _key_contained(r.key(), resident_regions):
+                        in_bytes_priv += r.nbytes
+                    else:
+                        result.stats.ttt_hits += 1
+                        result.stats.elided_bytes += r.nbytes
+            # Mid-chain sums stay resident; only the closing step writes
+            # back.  Deferred stores (pipeline forwarding) are kept too.
+            if inst.attrs.get("acc_local_out"):
+                out_bytes = 0
+            else:
+                out_bytes = 0
+                for r in inst.outputs:
+                    if _key_contained(r.key(), deferred_stores):
+                        result.stats.forwarded_stores += 1
+                        result.stats.forwarded_store_bytes += r.nbytes
+                    else:
+                        out_bytes += r.nbytes
+            work = inst.work()
+            # Compute is MAC-bound or local-SRAM-bound, whichever is worse.
+            ex = max(work / spec.peak_ops, inst.io_bytes() / spec.mem_bandwidth)
+            stage_list.append(
+                StageTimes(
+                    decode=_LEAF_DECODE,
+                    load=(in_bytes_bc / broadcast_rate
+                          + in_bytes_priv / private_rate
+                          + in_bytes_sibling / self.machine.sibling_link_bandwidth),
+                    exec=ex,
+                    reduce=0.0,
+                    writeback=out_bytes / private_rate,
+                    exec_fill=0.0,
+                    label=inst.opcode.value,
+                )
+            )
+            result.load_bytes += in_bytes_bc + in_bytes_priv
+            result.bc_load_bytes += in_bytes_bc
+            result.priv_load_bytes += in_bytes_priv
+            result.store_bytes += out_bytes
+            result.work += work
+            result.stats.steps += 1
+            result.stats.preassignable += 1
+        sched = schedule_pipeline(stage_list, self.machine.use_concatenation)
+        result.total_time = sched.total_time
+        result.startup_time = sched.startup_time
+        result.per_level_busy[level] = {
+            "dma": sched.dma_busy, "compute": sched.ffu_busy, "lfu": 0.0,
+        }
+        if self.collect_profiles:
+            for isched in sched.instructions:
+                if isched.ld_iv.duration > 0:
+                    result.own_segments.append(("dma", isched.ld_iv.start, isched.ld_iv.end))
+                if isched.ex_iv.duration > 0:
+                    result.own_segments.append(("compute", isched.ex_iv.start, isched.ex_iv.end))
+                if isched.wb_iv.duration > 0:
+                    result.own_segments.append(("dma", isched.wb_iv.start, isched.wb_iv.end))
+        return result

@@ -1,0 +1,147 @@
+"""Execution timelines (paper Fig 13).
+
+Flattens a :class:`NodeResult` tree into per-level activity segments --
+"blue blocks: DMA execution; red blocks: FFUs and LFUs execution" in the
+paper's rendering -- and provides an ASCII renderer plus per-level busy
+fractions for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .simulator import NodeResult, SimReport
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One activity interval of one hierarchy level."""
+
+    level: int
+    kind: str  # "dma" | "compute" | "lfu"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def flatten_timeline(
+    root: NodeResult, max_depth: Optional[int] = None, max_segments: int = 100_000
+) -> List[Segment]:
+    """Depth-first flattening of the representative-child profile tree.
+
+    Child profiles are shifted to their parent EX start; because all
+    siblings run in lockstep, the representative child's activity stands for
+    the whole level.  Traversal stops at ``max_depth`` levels below the root
+    or once ``max_segments`` have been collected.
+    """
+    out: List[Segment] = []
+
+    def visit(node: NodeResult, offset: float, depth: int) -> None:
+        if len(out) >= max_segments:
+            return
+        for kind, s, e in node.own_segments:
+            start = max(0.0, offset + s)  # concatenated fills clamp to t=0
+            end = max(start, offset + e)
+            if end > start:
+                out.append(Segment(node.level, kind, start, end))
+            if len(out) >= max_segments:
+                return
+        if max_depth is not None and depth >= max_depth:
+            return
+        for child_offset, child in node.child_embeds:
+            visit(child, offset + child_offset, depth + 1)
+
+    visit(root, 0.0, 0)
+    out.sort(key=lambda seg: (seg.level, seg.start))
+    return out
+
+
+def merge_segments(segments: List[Segment], gap: float = 0.0) -> List[Segment]:
+    """Coalesce same-level same-kind segments separated by at most ``gap``."""
+    merged: List[Segment] = []
+    for seg in sorted(segments, key=lambda s: (s.level, s.kind, s.start)):
+        if (merged
+                and merged[-1].level == seg.level
+                and merged[-1].kind == seg.kind
+                and seg.start - merged[-1].end <= gap):
+            merged[-1] = Segment(seg.level, seg.kind, merged[-1].start,
+                                 max(merged[-1].end, seg.end))
+        else:
+            merged.append(seg)
+    merged.sort(key=lambda s: (s.level, s.start))
+    return merged
+
+
+def level_busy_fractions(
+    segments: List[Segment], total_time: float
+) -> Dict[int, Dict[str, float]]:
+    """Fraction of wall-clock each level spends in DMA / compute / LFU.
+
+    Overlapping same-kind segments are unioned so a fraction never exceeds 1.
+    """
+    by_key: Dict[Tuple[int, str], List[Segment]] = {}
+    for seg in segments:
+        by_key.setdefault((seg.level, seg.kind), []).append(seg)
+    out: Dict[int, Dict[str, float]] = {}
+    for (level, kind), segs in by_key.items():
+        covered = 0.0
+        cur_s = cur_e = None
+        for seg in sorted(segs, key=lambda s: s.start):
+            if cur_e is None:
+                cur_s, cur_e = seg.start, seg.end
+            elif seg.start <= cur_e:
+                cur_e = max(cur_e, seg.end)
+            else:
+                covered += cur_e - cur_s
+                cur_s, cur_e = seg.start, seg.end
+        if cur_e is not None:
+            covered += cur_e - cur_s
+        out.setdefault(level, {})[kind] = covered / total_time if total_time else 0.0
+    return out
+
+
+def render_ascii(
+    report: SimReport,
+    width: int = 100,
+    max_depth: Optional[int] = None,
+    level_names: Optional[List[str]] = None,
+    window: Optional[Tuple[float, float]] = None,
+) -> str:
+    """ASCII art of the Fig-13 timeline: one row per (level, kind).
+
+    ``#`` marks compute activity, ``=`` DMA, ``+`` LFU; each column is a
+    fixed slice of the rendered span.  ``window=(t0, t1)`` zooms into a
+    sub-interval (the paper's Fig 13b/13d panels).
+    """
+    total = report.total_time
+    if total <= 0:
+        return "(empty timeline)"
+    t0, t1 = window if window is not None else (0.0, total)
+    if not 0.0 <= t0 < t1:
+        raise ValueError(f"bad window ({t0}, {t1})")
+    span = t1 - t0
+    segments = merge_segments(flatten_timeline(report.root, max_depth=max_depth))
+    glyphs = {"compute": "#", "dma": "=", "lfu": "+"}
+    rows: Dict[Tuple[int, str], List[str]] = {}
+    for seg in segments:
+        if seg.end <= t0 or seg.start >= t1:
+            continue
+        key = (seg.level, seg.kind)
+        row = rows.setdefault(key, [" "] * width)
+        c0 = max(0, min(width - 1, int((seg.start - t0) / span * width)))
+        c1 = max(0, min(width - 1, int((seg.end - t0) / span * width)))
+        for c in range(c0, c1 + 1):
+            row[c] = glyphs[seg.kind]
+    header = (f"timeline: {t0 * 1e3:.3f}..{t1 * 1e3:.3f} ms of "
+              f"{total * 1e3:.3f} ms, {width} cols "
+              f"({span / width * 1e6:.2f} us/col)")
+    lines = [header]
+    for (level, kind) in sorted(rows):
+        name = (level_names[level] if level_names and level < len(level_names)
+                else f"L{level}")
+        lines.append(f"{name:>8} {kind:>7} |{''.join(rows[(level, kind)])}|")
+    return "\n".join(lines)

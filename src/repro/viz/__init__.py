@@ -1,0 +1,27 @@
+"""Figure rendering: dependency-free SVG charts for every figure the paper
+plots (efficiency trend, MBOI curves, execution timelines, rooflines, GPU
+growth)."""
+
+from .charts import LineChart, ScatterChart, timeline_chart
+from .figures import (
+    render_fig1,
+    render_fig10,
+    render_fig13,
+    render_fig15,
+    render_fig16,
+    render_all,
+)
+from .svg import SVGDocument
+
+__all__ = [
+    "LineChart",
+    "ScatterChart",
+    "timeline_chart",
+    "SVGDocument",
+    "render_fig1",
+    "render_fig10",
+    "render_fig13",
+    "render_fig15",
+    "render_fig16",
+    "render_all",
+]

@@ -1,0 +1,142 @@
+"""The paper's figures as SVG renderers.
+
+Each ``render_figN`` returns an SVG string; :func:`render_all` writes the
+whole set into a directory (simulations included where a figure needs
+them).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from ..core.machine import Machine, cambricon_f1, cambricon_f100
+from ..cost.survey import ACCELERATOR_EFFICIENCY_TREND, NVIDIA_GPU_TREND
+from ..model.gpu import DGX1, GTX1080TI, GPUModel
+from ..model.mboi import mboi_curve
+from ..model.roofline import ridge_point
+from ..sim import FractalSimulator, SimReport
+from ..sim.trace import flatten_timeline, merge_segments
+from .charts import LineChart, ScatterChart, timeline_chart
+
+MB = 1 << 20
+
+
+def render_fig1() -> str:
+    """Fig 1: accelerator power efficiency, 2012-2018 (log y)."""
+    chart = LineChart("Fig 1: ML accelerator power efficiency",
+                      "year", "TOPS/W", y_log=True)
+    chart.add_series("best of year",
+                     [(p.year, p.tops_per_watt)
+                      for p in ACCELERATOR_EFFICIENCY_TREND])
+    return chart.render()
+
+
+def render_fig10(sizes=None) -> str:
+    """Fig 10: MBOI(M), measured vs theoretical, three algorithms."""
+    sizes = sizes or [256 << 10, 512 << 10, MB, 2 * MB, 4 * MB, 8 * MB,
+                      16 * MB, 32 * MB]
+    chart = LineChart("Fig 10: Memory-Bounded Operational Intensity",
+                      "local memory (MB)", "ops / byte",
+                      x_log=True, y_log=True)
+    for algo in ("MatMul", "Conv2D", "Pool2D"):
+        curve = mboi_curve(algo, sizes)
+        chart.add_series(f"{algo} measured",
+                         [(m / MB, max(meas, 1e-2)) for m, meas, _ in curve])
+        chart.add_series(f"{algo} theoretical",
+                         [(m / MB, max(theo, 1e-2)) for m, _, theo in curve],
+                         marker=False)
+    return chart.render()
+
+
+def render_fig13(report: SimReport, machine: Machine,
+                 max_depth: int = 2) -> str:
+    """Fig 13: execution timeline of a simulated run."""
+    segments = merge_segments(
+        flatten_timeline(report.root, max_depth=max_depth),
+        gap=report.total_time / 2000)
+    names = [lv.name for lv in machine.levels]
+    return timeline_chart(segments, report.total_time,
+                          f"Fig 13: execution timeline on {machine.name}",
+                          level_names=names)
+
+
+def render_fig15(points: Dict[str, SimReport], machine: Machine,
+                 gpu: GPUModel) -> str:
+    """Fig 15: roofline with the machine's roofs and both systems' points.
+
+    ``points`` maps benchmark name -> the machine's SimReport.
+    """
+    chart = ScatterChart(
+        f"Fig 15: {machine.name} vs {gpu.name} roofline",
+        "operational intensity (ops/B)", "attained ops/s",
+        x_log=True, y_log=True)
+    chart.add_series(machine.name,
+                     [(rep.operational_intensity, rep.attained_ops)
+                      for rep in points.values()], color="#d1495b")
+    chart.add_series(gpu.name,
+                     [(gpu.operational_intensity(name), gpu.attained(name))
+                      for name in points], color="#1f6fb2")
+    # bandwidth slope + compute roof of the Cambricon-F machine
+    ridge = ridge_point(machine.peak_ops, machine.root_bandwidth)
+    ois = [rep.operational_intensity for rep in points.values()]
+    lo = min(min(ois) / 2, ridge / 4)
+    hi = max(max(ois) * 2, ridge * 4)
+    chart.add_segment((lo, lo * machine.root_bandwidth),
+                      (ridge, machine.peak_ops), color="#c94040")
+    chart.add_hline(machine.peak_ops, f"{machine.name} peak", color="#c94040")
+    chart.add_hline(gpu.peak_ops, f"{gpu.name} peak", color="#2c6fbb")
+    return chart.render()
+
+
+def render_fig16() -> str:
+    """Fig 16: NVIDIA GPU core count and bandwidth growth."""
+    chart = LineChart("Fig 16: NVIDIA GPU growth", "year",
+                      "cores / bandwidth (GB/s)", y_log=True)
+    chart.add_series("CUDA cores",
+                     [(p.year, float(p.cores)) for p in NVIDIA_GPU_TREND])
+    chart.add_series("bandwidth (GB/s)",
+                     [(p.year, p.bandwidth_gb_s) for p in NVIDIA_GPU_TREND])
+    return chart.render()
+
+
+def render_all(directory: str,
+               benchmarks: Optional[Dict[str, object]] = None) -> Dict[str, str]:
+    """Render every figure into ``directory``; returns {figure: path}.
+
+    Simulation-backed figures (13, 15) run a compact k-NN / benchmark
+    sweep; pass ``benchmarks`` (name -> Workload) to override the Fig-15
+    set.
+    """
+    os.makedirs(directory, exist_ok=True)
+    out: Dict[str, str] = {}
+
+    def write(name: str, svg: str) -> None:
+        path = os.path.join(directory, f"{name}.svg")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(svg)
+        out[name] = path
+
+    write("fig01_efficiency", render_fig1())
+    write("fig10_mboi", render_fig10())
+    write("fig16_gpu_growth", render_fig16())
+
+    from ..workloads import knn_workload, paper_benchmark, PAPER_BENCHMARKS
+
+    for machine, gpu in ((cambricon_f1(), GTX1080TI),
+                         (cambricon_f100(), DGX1)):
+        sim = FractalSimulator(machine, collect_profiles=True)
+        knn_rep = sim.simulate(knn_workload().program)
+        write(f"fig13_timeline_{machine.name.lower()}",
+              render_fig13(knn_rep, machine))
+
+        workloads = benchmarks or {n: paper_benchmark(n)
+                                   for n in PAPER_BENCHMARKS
+                                   if n != "MATMUL" or "F100" in machine.name}
+        points = {}
+        for name, w in workloads.items():
+            points[name] = FractalSimulator(
+                machine, collect_profiles=False).simulate(w.program)
+        write(f"fig15_roofline_{machine.name.lower()}",
+              render_fig15(points, machine, gpu))
+    return out

@@ -1,0 +1,129 @@
+"""Minimal SVG document builder.
+
+No plotting dependency is available offline, so figures are emitted as
+hand-rolled SVG: enough primitives (rect, line, polyline, circle, text)
+plus axis helpers for the chart layer.  Output is always well-formed XML
+(the test suite parses every rendered figure).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+
+class SVGDocument:
+    """An SVG canvas with a y-down pixel coordinate system."""
+
+    def __init__(self, width: int = 640, height: int = 420,
+                 background: str = "#ffffff"):
+        self.width = width
+        self.height = height
+        self._body: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # -- primitives ---------------------------------------------------------
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             fill: str = "#000", stroke: str = "none",
+             opacity: float = 1.0) -> None:
+        self._body.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{max(w, 0):.2f}" '
+            f'height="{max(h, 0):.2f}" fill="{fill}" stroke="{stroke}" '
+            f'opacity="{opacity:.3f}"/>')
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#000", width: float = 1.0,
+             dash: Optional[str] = None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._body.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width:.2f}"{dash_attr}/>')
+
+    def polyline(self, points: Sequence[Tuple[float, float]],
+                 stroke: str = "#000", width: float = 1.5) -> None:
+        if len(points) < 2:
+            return
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._body.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:.2f}"/>')
+
+    def circle(self, x: float, y: float, r: float = 3.0,
+               fill: str = "#000", stroke: str = "none") -> None:
+        self._body.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r:.2f}" '
+            f'fill="{fill}" stroke="{stroke}"/>')
+
+    def text(self, x: float, y: float, content: str, size: int = 11,
+             fill: str = "#222", anchor: str = "start",
+             rotate: Optional[float] = None) -> None:
+        transform = (f' transform="rotate({rotate:.1f} {x:.2f} {y:.2f})"'
+                     if rotate is not None else "")
+        self._body.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" fill="{fill}" '
+            f'text-anchor="{anchor}"{transform}>{escape(content)}</text>')
+
+    # -- output ------------------------------------------------------------
+
+    def render(self) -> str:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} '
+            f'{self.height}">' + "".join(self._body) + "</svg>"
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.render())
+
+
+class Scale:
+    """Maps data values to pixel coordinates (linear or log10)."""
+
+    def __init__(self, lo: float, hi: float, px_lo: float, px_hi: float,
+                 log: bool = False):
+        if log and (lo <= 0 or hi <= 0):
+            raise ValueError("log scale needs positive bounds")
+        if lo >= hi:
+            raise ValueError(f"bad scale domain ({lo}, {hi})")
+        self.lo, self.hi = lo, hi
+        self.px_lo, self.px_hi = px_lo, px_hi
+        self.log = log
+
+    def __call__(self, value: float) -> float:
+        if self.log:
+            t = ((math.log10(value) - math.log10(self.lo))
+                 / (math.log10(self.hi) - math.log10(self.lo)))
+        else:
+            t = (value - self.lo) / (self.hi - self.lo)
+        return self.px_lo + t * (self.px_hi - self.px_lo)
+
+    def ticks(self, n: int = 5) -> List[float]:
+        if self.log:
+            lo_e = math.floor(math.log10(self.lo))
+            hi_e = math.ceil(math.log10(self.hi))
+            return [10.0 ** e for e in range(int(lo_e), int(hi_e) + 1)
+                    if self.lo <= 10.0 ** e <= self.hi]
+        step = (self.hi - self.lo) / max(1, n - 1)
+        return [self.lo + i * step for i in range(n)]
+
+
+def fmt_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    mag = abs(v)
+    if mag >= 1e12:
+        return f"{v / 1e12:.3g}T"
+    if mag >= 1e9:
+        return f"{v / 1e9:.3g}G"
+    if mag >= 1e6:
+        return f"{v / 1e6:.3g}M"
+    if mag >= 1e3:
+        return f"{v / 1e3:.3g}k"
+    if mag < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.3g}"

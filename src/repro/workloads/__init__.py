@@ -1,0 +1,36 @@
+"""The paper's benchmark workloads, compiled to FISA programs.
+
+Seven benchmarks (Table 5): VGG-16 and ResNet-152 CNN inference, K-NN,
+K-Means, LVQ and SVM on a synthetic 262,144-sample / 512-dimension /
+128-category dataset, and a 32,768-order square MATMUL.  Each workload
+exposes a :class:`Workload` with a FISA instruction list plus the tensors
+to bind, so the same object drives the functional executor (small scales)
+and the timing simulator (paper scales).
+"""
+
+from .builder import ProgramBuilder, Workload
+from .matmul import matmul_workload
+from .profile import cpu_time_shares, op_shares, program_stats
+from .mlalgos import kmeans_workload, knn_workload, lvq_workload, svm_workload
+from .networks import alexnet, mlp, resnet152, vgg16
+from .suite import PAPER_BENCHMARKS, paper_benchmark, small_benchmark
+
+__all__ = [
+    "ProgramBuilder",
+    "Workload",
+    "matmul_workload",
+    "knn_workload",
+    "kmeans_workload",
+    "lvq_workload",
+    "svm_workload",
+    "alexnet",
+    "mlp",
+    "resnet152",
+    "vgg16",
+    "PAPER_BENCHMARKS",
+    "paper_benchmark",
+    "small_benchmark",
+    "cpu_time_shares",
+    "op_shares",
+    "program_stats",
+]

@@ -1,0 +1,178 @@
+"""Program construction helpers.
+
+:class:`ProgramBuilder` is the thin "compiler frontend" that turns layer
+descriptions into FISA instruction sequences: it owns tensor naming, layer
+chaining, and explicit padding (FISA convolutions are valid-only; the
+frontend materializes padded tensors with an identity-copy instruction into
+the interior, keeping region decomposition exact).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.isa import Instruction, Opcode, program_work
+from ..core.tensor import FP16, DType, Region, Tensor
+
+
+@dataclass
+class Workload:
+    """A named FISA program plus the tensors a runner must bind.
+
+    ``inputs`` are tensors the caller fills with data (or leaves synthetic);
+    ``outputs`` are where results land; ``params`` are weights/constants.
+    """
+
+    name: str
+    program: List[Instruction]
+    inputs: Dict[str, Tensor] = field(default_factory=dict)
+    outputs: Dict[str, Tensor] = field(default_factory=dict)
+    params: Dict[str, Tensor] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def work(self) -> int:
+        """Total arithmetic operations of the program."""
+        return program_work(self.program)
+
+    @property
+    def param_count(self) -> int:
+        """Total parameter elements (for checking against Table 5)."""
+        return sum(t.nelems for t in self.params.values())
+
+    def io_bytes(self) -> int:
+        seen, total = set(), 0
+        for inst in self.program:
+            for r in inst.inputs + inst.outputs:
+                if r.tensor.uid not in seen:
+                    seen.add(r.tensor.uid)
+                    total += r.tensor.nbytes
+        return total
+
+
+class ProgramBuilder:
+    """Builds FISA programs layer by layer."""
+
+    def __init__(self, name: str, dtype: DType = FP16):
+        self.name = name
+        self.dtype = dtype
+        self.program: List[Instruction] = []
+        self.inputs: Dict[str, Tensor] = {}
+        self.outputs: Dict[str, Tensor] = {}
+        self.params: Dict[str, Tensor] = {}
+        self._ids = itertools.count()
+
+    # -- tensors -----------------------------------------------------------
+
+    def _fresh(self, base: str) -> str:
+        return f"{self.name}.{base}{next(self._ids)}"
+
+    def tensor(self, base: str, shape: Tuple[int, ...]) -> Tensor:
+        return Tensor(self._fresh(base), shape, self.dtype)
+
+    def input(self, base: str, shape: Tuple[int, ...]) -> Tensor:
+        t = self.tensor(base, shape)
+        self.inputs[t.name] = t
+        return t
+
+    def param(self, base: str, shape: Tuple[int, ...]) -> Tensor:
+        t = self.tensor(base, shape)
+        self.params[t.name] = t
+        return t
+
+    def mark_output(self, tensor: Tensor) -> Tensor:
+        self.outputs[tensor.name] = tensor
+        return tensor
+
+    # -- raw emission ---------------------------------------------------------
+
+    def emit(self, opcode: Opcode, inputs, outputs, attrs: Optional[dict] = None) -> None:
+        self.program.append(Instruction(opcode, tuple(inputs), tuple(outputs),
+                                        dict(attrs or {})))
+
+    # -- layers -----------------------------------------------------------------
+
+    def pad2d(self, x: Region, pad: int) -> Region:
+        """Explicit zero padding: copy into the interior of a larger tensor."""
+        if pad == 0:
+            return x
+        n, h, w, c = x.shape
+        xp = self.tensor("pad", (n, h + 2 * pad, w + 2 * pad, c))
+        interior = xp.region()[:, pad : pad + h, pad : pad + w, :]
+        self.emit(Opcode.ACT1D, (x,), (interior,), {"func": "identity"})
+        return xp.region()
+
+    def conv2d(self, x: Region, cout: int, kh: int, kw: int,
+               stride: int = 1, pad: int = 0, relu: bool = False) -> Region:
+        x = self.pad2d(x, pad)
+        n, h, w, cin = x.shape
+        weight = self.param("w", (kh, kw, cin, cout))
+        ho = (h - kh) // stride + 1
+        wo = (w - kw) // stride + 1
+        out = self.tensor("conv", (n, ho, wo, cout))
+        self.emit(Opcode.CV2D, (x, weight.region()), (out.region(),), {"stride": stride})
+        result = out.region()
+        if relu:
+            result = self.relu(result)
+        return result
+
+    def pool2d(self, x: Region, kind: Opcode = Opcode.MAX2D,
+               k: int = 2, stride: Optional[int] = None, pad: int = 0) -> Region:
+        x = self.pad2d(x, pad)
+        stride = k if stride is None else stride
+        n, h, w, c = x.shape
+        ho = (h - k) // stride + 1
+        wo = (w - k) // stride + 1
+        out = self.tensor("pool", (n, ho, wo, c))
+        self.emit(kind, (x,), (out.region(),),
+                  {"kh": k, "kw": k, "sh": stride, "sw": stride})
+        return out.region()
+
+    def lrn(self, x: Region, size: int = 5) -> Region:
+        out = self.tensor("lrn", x.shape)
+        self.emit(Opcode.LRN, (x,), (out.region(),), {"size": size})
+        return out.region()
+
+    def relu(self, x: Region) -> Region:
+        out = self.tensor("relu", x.shape)
+        self.emit(Opcode.ACT1D, (x,), (out.region(),), {"func": "relu"})
+        return out.region()
+
+    def add(self, a: Region, b: Region) -> Region:
+        out = self.tensor("add", a.shape)
+        self.emit(Opcode.ADD1D, (a, b), (out.region(),))
+        return out.region()
+
+    def flatten(self, x: Region) -> Region:
+        """Rank-collapse copy (N, ...) -> (N, prod) before an FC layer."""
+        n = x.shape[0]
+        rest = 1
+        for d in x.shape[1:]:
+            rest *= d
+        out = self.tensor("flat", (n, rest))
+        self.emit(Opcode.ACT1D, (x,), (out.region(),), {"func": "identity"})
+        return out.region()
+
+    def fc(self, x: Region, features: int, relu: bool = False) -> Region:
+        n, fin = x.shape
+        weight = self.param("fcw", (fin, features))
+        out = self.tensor("fc", (n, features))
+        self.emit(Opcode.MATMUL, (x, weight.region()), (out.region(),))
+        result = out.region()
+        if relu:
+            result = self.relu(result)
+        return result
+
+    # -- finish ---------------------------------------------------------------
+
+    def build(self, **meta) -> Workload:
+        return Workload(
+            name=self.name,
+            program=list(self.program),
+            inputs=dict(self.inputs),
+            outputs=dict(self.outputs),
+            params=dict(self.params),
+            meta=dict(meta),
+        )

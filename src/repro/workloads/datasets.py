@@ -1,0 +1,43 @@
+"""Synthetic dataset generators.
+
+The paper evaluates its ML benchmarks on "a randomly generated data set,
+which contains 262 thousand 512-dimension samples within 128 categories".
+These helpers produce equivalently-shaped data: Gaussian clusters with
+labels, plus random matrices for MATMUL.  All generators are seeded for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def clustered_samples(
+    n_samples: int = 262_144,
+    dims: int = 512,
+    categories: int = 128,
+    spread: float = 0.35,
+    seed: int = 2019,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(samples, labels, category centers) with Gaussian cluster structure."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(categories, dims))
+    labels = rng.integers(0, categories, size=n_samples)
+    samples = centers[labels] + spread * rng.normal(size=(n_samples, dims))
+    return samples.astype(np.float64), labels, centers.astype(np.float64)
+
+
+def random_matrices(order: int, seed: int = 2019) -> Tuple[np.ndarray, np.ndarray]:
+    """Two random square matrices for the MATMUL benchmark."""
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=(order, order)).astype(np.float64),
+            rng.normal(size=(order, order)).astype(np.float64))
+
+
+def random_images(batch: int, size: int, channels: int = 3,
+                  seed: int = 2019) -> np.ndarray:
+    """Random NHWC image tensors (performance depends only on shape)."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(batch, size, size, channels)).astype(np.float64)

@@ -1,0 +1,21 @@
+"""The MATMUL benchmark: one square matrix multiplication (Table 5 uses
+order 32,768 -- "the most important operation in the machine learning
+domain")."""
+
+from __future__ import annotations
+
+from ..core.isa import Opcode
+from .builder import ProgramBuilder, Workload
+
+
+def matmul_workload(m: int = 32_768, k: int = None, n: int = None) -> Workload:
+    """``C[m, n] = A[m, k] @ B[k, n]``; square of order ``m`` by default."""
+    k = m if k is None else k
+    n = m if n is None else n
+    b = ProgramBuilder("matmul")
+    a = b.input("A", (m, k))
+    bm = b.input("B", (k, n))
+    c = b.tensor("C", (m, n))
+    b.emit(Opcode.MATMUL, (a.region(), bm.region()), (c.region(),))
+    b.mark_output(c)
+    return b.build(m=m, k=k, n=n)

@@ -1,0 +1,111 @@
+"""Network workloads: VGG-16, ResNet-152 (Table 5), plus AlexNet and a
+3-layer MLP (used by the Table-1 primitive-breakdown analysis).
+
+All generators take a ``batch`` and an ``input_size`` so the same code
+produces paper-scale programs for the timing simulator and miniature ones
+for functional verification.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.isa import Opcode
+from .builder import ProgramBuilder, Workload
+
+
+def vgg16(batch: int = 32, input_size: int = 224, num_classes: int = 1000) -> Workload:
+    """VGG-16: thirteen 3x3 same-padded convolutions in five stages plus
+    three fully-connected layers (~138 M parameters at full scale)."""
+    b = ProgramBuilder("vgg16")
+    x = b.input("img", (batch, input_size, input_size, 3)).region()
+    stages: List[Tuple[int, int]] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)]
+    for convs, width in stages:
+        for _ in range(convs):
+            x = b.conv2d(x, width, 3, 3, stride=1, pad=1, relu=True)
+        x = b.pool2d(x, Opcode.MAX2D, k=2)
+    x = b.flatten(x)
+    x = b.fc(x, 4096, relu=True)
+    x = b.fc(x, 4096, relu=True)
+    x = b.fc(x, num_classes)
+    b.mark_output(x.tensor)
+    return b.build(batch=batch, input_size=input_size)
+
+
+def _bottleneck(b: ProgramBuilder, x, width: int, stride: int, project: bool):
+    """ResNet v1 bottleneck: 1x1 -> 3x3 -> 1x1 with identity shortcut."""
+    shortcut = x
+    out = b.conv2d(x, width, 1, 1, stride=stride, relu=True)
+    out = b.conv2d(out, width, 3, 3, stride=1, pad=1, relu=True)
+    out = b.conv2d(out, width * 4, 1, 1, stride=1)
+    if project:
+        shortcut = b.conv2d(x, width * 4, 1, 1, stride=stride)
+    out = b.add(out, shortcut)
+    return b.relu(out)
+
+
+def resnet152(
+    batch: int = 32,
+    input_size: int = 224,
+    num_classes: int = 1000,
+    blocks: Optional[List[int]] = None,
+) -> Workload:
+    """ResNet-152: [3, 8, 36, 3] bottleneck stages (~60 M parameters).
+
+    Pass a smaller ``blocks`` list (e.g. ``[1, 1, 1, 1]``) for functional
+    tests; the layer structure stays faithful.
+    """
+    blocks = blocks if blocks is not None else [3, 8, 36, 3]
+    b = ProgramBuilder("resnet152")
+    x = b.input("img", (batch, input_size, input_size, 3)).region()
+    x = b.conv2d(x, 64, 7, 7, stride=2, pad=3, relu=True)
+    x = b.pool2d(x, Opcode.MAX2D, k=3, stride=2, pad=1)
+    width = 64
+    for stage, n_blocks in enumerate(blocks):
+        for block in range(n_blocks):
+            first = block == 0
+            stride = 2 if (first and stage > 0) else 1
+            x = _bottleneck(b, x, width, stride, project=first)
+        width *= 2
+    # Global average pool as a full-window Avg2D, then the classifier.
+    n, h, w, c = x.shape
+    x = b.pool2d(x, Opcode.AVG2D, k=h, stride=h)
+    x = b.flatten(x)
+    x = b.fc(x, num_classes)
+    b.mark_output(x.tensor)
+    return b.build(batch=batch, input_size=input_size, blocks=list(blocks))
+
+
+def alexnet(batch: int = 16, input_size: int = 227, num_classes: int = 1000) -> Workload:
+    """AlexNet with its LRN layers -- the Table-1 'CNN' representative."""
+    b = ProgramBuilder("alexnet")
+    x = b.input("img", (batch, input_size, input_size, 3)).region()
+    x = b.conv2d(x, 96, 11, 11, stride=4, relu=True)
+    x = b.lrn(x)
+    x = b.pool2d(x, Opcode.MAX2D, k=3, stride=2)
+    x = b.conv2d(x, 256, 5, 5, stride=1, pad=2, relu=True)
+    x = b.lrn(x)
+    x = b.pool2d(x, Opcode.MAX2D, k=3, stride=2)
+    x = b.conv2d(x, 384, 3, 3, stride=1, pad=1, relu=True)
+    x = b.conv2d(x, 384, 3, 3, stride=1, pad=1, relu=True)
+    x = b.conv2d(x, 256, 3, 3, stride=1, pad=1, relu=True)
+    x = b.pool2d(x, Opcode.MAX2D, k=3, stride=2)
+    x = b.flatten(x)
+    x = b.fc(x, 4096, relu=True)
+    x = b.fc(x, 4096, relu=True)
+    x = b.fc(x, num_classes)
+    b.mark_output(x.tensor)
+    return b.build(batch=batch, input_size=input_size)
+
+
+def mlp(batch: int = 64, features: int = 2048, hidden: int = 4096,
+        num_classes: int = 1000) -> Workload:
+    """A 3-layer multi-layer perceptron -- the Table-1 'DNN' representative
+    (its time is almost entirely MMM)."""
+    b = ProgramBuilder("mlp")
+    x = b.input("x", (batch, features)).region()
+    x = b.fc(x, hidden, relu=True)
+    x = b.fc(x, hidden, relu=True)
+    x = b.fc(x, num_classes)
+    b.mark_output(x.tensor)
+    return b.build(batch=batch, features=features)

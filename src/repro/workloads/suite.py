@@ -1,0 +1,54 @@
+"""The seven paper benchmarks (Table 5) at paper scale and at test scale.
+
+``paper_benchmark(name)`` builds the configuration the evaluation section
+uses; ``small_benchmark(name)`` builds a miniature with identical structure
+for functional verification, where programs must actually execute to
+numerically correct results in milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .builder import Workload
+from .matmul import matmul_workload
+from .mlalgos import kmeans_workload, knn_workload, lvq_workload, svm_workload
+from .networks import resnet152, vgg16
+
+#: benchmark name -> paper-scale factory (Table 5 parameters)
+PAPER_BENCHMARKS: Dict[str, Callable[[], Workload]] = {
+    "VGG-16": lambda: vgg16(batch=32),
+    "ResNet-152": lambda: resnet152(batch=32),
+    "K-NN": lambda: knn_workload(n_samples=262_144, dims=512, categories=128),
+    "K-Means": lambda: kmeans_workload(n_samples=262_144, dims=512, k=128),
+    "LVQ": lambda: lvq_workload(n_samples=262_144, dims=512),
+    "SVM": lambda: svm_workload(n_sv=4096, n_samples=65_536, dims=512),
+    "MATMUL": lambda: matmul_workload(32_768),
+}
+
+_SMALL: Dict[str, Callable[[], Workload]] = {
+    "VGG-16": lambda: vgg16(batch=1, input_size=32, num_classes=10),
+    "ResNet-152": lambda: resnet152(batch=1, input_size=32, num_classes=10,
+                                    blocks=[1, 1, 1, 1]),
+    "K-NN": lambda: knn_workload(n_samples=64, dims=8, categories=4, batch=16),
+    "K-Means": lambda: kmeans_workload(n_samples=64, dims=8, k=4, batch=16),
+    "LVQ": lambda: lvq_workload(n_samples=64, dims=8, prototypes=2, batch=16),
+    "SVM": lambda: svm_workload(n_sv=8, n_samples=32, dims=8, batch=16),
+    "MATMUL": lambda: matmul_workload(24),
+}
+
+
+def paper_benchmark(name: str) -> Workload:
+    """Build one of the seven Table-5 benchmarks at paper scale."""
+    try:
+        return PAPER_BENCHMARKS[name]()
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; one of {sorted(PAPER_BENCHMARKS)}")
+
+
+def small_benchmark(name: str) -> Workload:
+    """Structurally identical miniature for functional tests."""
+    try:
+        return _SMALL[name]()
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; one of {sorted(_SMALL)}")

@@ -1,0 +1,118 @@
+"""FISA assembler tests: grammar, regions, attrs, errors, execution."""
+
+import numpy as np
+import pytest
+
+from repro import FractalExecutor, Opcode, TensorStore
+from repro.core.executor import run_reference
+from repro.frontend import AssemblyError, assemble
+
+from conftest import tiny_machine
+
+
+GOOD = """
+; declarations
+input  a 4 6
+input  b 6 5
+tensor c 4 5 fp32
+MatMul c, a, b
+output c
+"""
+
+
+class TestGrammar:
+    def test_basic_program(self):
+        w = assemble(GOOD)
+        assert len(w.program) == 1
+        inst = w.program[0]
+        assert inst.opcode is Opcode.MATMUL
+        assert inst.outputs[0].shape == (4, 5)
+        assert inst.outputs[0].dtype.name == "fp32"
+        assert len(w.inputs) == 2 and len(w.outputs) == 1
+
+    def test_comments_and_blank_lines(self):
+        w = assemble("# nothing\n\n; also nothing\ninput x 4\ntensor y 4\n"
+                     "Act1D y, x func=relu\n")
+        assert len(w.program) == 1
+        assert w.program[0].attrs == {"func": "relu"}
+
+    def test_region_slices(self):
+        w = assemble("input x 8 8\ntensor y 4 8\nAct1D y, x[0:4, :]\n")
+        assert w.program[0].inputs[0].shape == (4, 8)
+
+    def test_integer_index(self):
+        w = assemble("input x 8 8\ntensor y 1 8\nAct1D y, x[3, :]\n")
+        assert w.program[0].inputs[0].bounds[0] == (3, 4)
+
+    def test_numeric_attrs(self):
+        w = assemble("input x 4 4 4 4\ntensor w 2 2 4 8\ninput w2 2 2 4 8\n"
+                     "tensor o 4 2 2 8\nCv2D o, x, w2 stride=2\n")
+        assert w.program[0].attrs["stride"] == 2
+
+    def test_merge_multiple_inputs(self):
+        src = "input a 4\ninput b 4\ninput c 4\ntensor o 12\nMerge1D o, a, b, c\n"
+        w = assemble(src)
+        assert len(w.program[0].inputs) == 3
+
+    def test_opcode_case_insensitive(self):
+        w = assemble("input x 4\ntensor y 4\nact1d y, x\n")
+        assert w.program[0].opcode is Opcode.ACT1D
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src,fragment", [
+        ("tensor x\n", "dimensions"),
+        ("tensor x four\n", "bad dimension"),
+        ("input x 4\ninput x 4\n", "duplicate"),
+        ("Act1D y, x\n", "unknown opcode" if False else "undeclared"),
+        ("Frobnicate y, x\n", "unknown opcode"),
+        ("input x 4\nAct1D x\n", "needs an output"),
+        ("output y\n", "undeclared"),
+    ])
+    def test_error_messages(self, src, fragment):
+        with pytest.raises(AssemblyError) as err:
+            assemble(src)
+        assert fragment in str(err.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble("input x 4\n\nNopeOp y, x\n")
+        assert err.value.lineno == 3
+
+    def test_bad_region(self):
+        with pytest.raises(AssemblyError):
+            assemble("input x 4\ntensor y 4\nAct1D y, x[9:12]\n")
+
+
+class TestExecution:
+    def test_assembled_program_runs_fractally(self, rng):
+        src = """
+        input  refs 4 8
+        input  batch 16 8
+        tensor dist 16 4
+        tensor flat 64
+        tensor cnt 1
+        Euclidian1D dist, batch, refs
+        Sort1D flat, dist
+        Count1D cnt, dist value=0
+        output flat
+        output cnt
+        """
+        w = assemble(src, "knn")
+        frac, ref = TensorStore(), TensorStore()
+        for t in w.inputs.values():
+            arr = rng.normal(size=t.shape)
+            frac.bind(t, arr)
+            ref.bind(t, arr)
+        for inst in w.program:
+            run_reference(inst, ref)
+        FractalExecutor(tiny_machine(), frac).run_program(w.program)
+        for t in w.outputs.values():
+            np.testing.assert_allclose(frac.read(t.region()),
+                                       ref.read(t.region()), atol=1e-9)
+
+    def test_workload_metadata(self):
+        w = assemble(GOOD, name="demo")
+        assert w.name == "demo"
+        assert w.meta["source"] == "assembly"
+        assert w.work == 2 * 4 * 6 * 5

@@ -1,0 +1,54 @@
+"""Chrome trace export tests."""
+
+import json
+
+import pytest
+
+from repro import Instruction, Opcode, Tensor, custom_machine
+from repro.core.machine import KB, MB
+from repro.sim import FractalSimulator
+from repro.sim.chrometrace import to_chrome_trace, write_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def report():
+    a, b = Tensor("a", (128, 128)), Tensor("b", (128, 128))
+    c = Tensor("c", (128, 128))
+    inst = Instruction(Opcode.MATMUL, (a.region(), b.region()), (c.region(),))
+    m = custom_machine("ct", [2, 2], [4 * MB, MB, 128 * KB], [32e9] * 3,
+                       core_peak_ops=100e9)
+    return FractalSimulator(m, collect_profiles=True).simulate([inst])
+
+
+class TestTraceStructure:
+    def test_has_events_and_metadata(self, report):
+        trace = to_chrome_trace(report)
+        assert trace["otherData"]["machine"] == "ct"
+        kinds = {e["ph"] for e in trace["traceEvents"]}
+        assert "X" in kinds and "M" in kinds
+
+    def test_durations_within_total(self, report):
+        trace = to_chrome_trace(report)
+        total_us = report.total_time * 1e6
+        for e in trace["traceEvents"]:
+            if e["ph"] == "X":
+                assert e["ts"] >= 0
+                assert e["ts"] + e["dur"] <= total_us * 1.01 + 1e-3
+
+    def test_levels_become_processes(self, report):
+        trace = to_chrome_trace(report, level_names=["Top", "Mid", "Leaf"])
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("name") == "process_name"}
+        assert any("Top" in n for n in names)
+        assert any("Leaf" in n for n in names)
+
+    def test_max_depth(self, report):
+        trace = to_chrome_trace(report, max_depth=0)
+        pids = {e["pid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert pids == {0}
+
+    def test_json_serializable_and_written(self, report, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]

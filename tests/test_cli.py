@@ -1,0 +1,113 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestSpecs:
+    def test_prints_both_instances(self, capsys):
+        code, out = run_cli(capsys, "specs")
+        assert code == 0
+        assert "Cambricon-F100" in out and "Cambricon-F1" in out
+        assert "2048 cores" in out
+
+
+class TestSimulate:
+    def test_knn_on_f1(self, capsys):
+        code, out = run_cli(capsys, "simulate", "-m", "f1", "-b", "K-NN")
+        assert code == 0
+        assert "attained" in out and "ops/B" in out
+
+    def test_flags_accepted(self, capsys):
+        code, out = run_cli(capsys, "simulate", "-m", "f1", "-b", "K-NN",
+                            "--no-ttt", "--no-broadcast")
+        assert code == 0
+
+    def test_unknown_benchmark(self, capsys):
+        with pytest.raises(KeyError):
+            run_cli(capsys, "simulate", "-b", "nope")
+
+    def test_unknown_machine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "simulate", "-m", "tpu", "-b", "K-NN")
+
+
+class TestTimeline:
+    def test_renders(self, capsys):
+        code, out = run_cli(capsys, "timeline", "-m", "f1", "-b", "K-NN",
+                            "--width", "60")
+        assert code == 0
+        assert "timeline" in out and "|" in out
+
+
+class TestDSE:
+    def test_prints_all_hierarchies(self, capsys):
+        code, out = run_cli(capsys, "dse")
+        assert code == 0
+        for name in ("1-512", "1-2-16-512", "1-4-16-64-512"):
+            assert name in out
+
+
+class TestVerifyAndCost:
+    def test_verify_suite_passes(self, capsys):
+        code, out = run_cli(capsys, "verify", "-m", "f1")
+        assert code == 0
+        assert out.count("PASS") == 7
+        assert "FAIL" not in out
+
+    def test_cost_breakdown(self, capsys):
+        code, out = run_cli(capsys, "cost", "-m", "f100")
+        assert code == 0
+        assert "Chip" in out and "cross-check" in out
+
+
+class TestAssemblerPipeline:
+    SOURCE = """
+    input a 6 4
+    input b 4 5
+    tensor c 6 5
+    MatMul c, a, b
+    output c
+    """
+
+    def test_assemble_disasm_run(self, capsys, tmp_path):
+        src = tmp_path / "prog.fisa"
+        src.write_text(self.SOURCE)
+        binary = tmp_path / "prog.bin"
+
+        code, out = run_cli(capsys, "assemble", str(src), "-o", str(binary))
+        assert code == 0 and binary.exists()
+        assert "1 instructions" in out
+
+        code, out = run_cli(capsys, "disasm", str(binary))
+        assert code == 0
+        assert "MatMul" in out
+
+        code, out = run_cli(capsys, "run", str(src))
+        assert code == 0
+        assert "ran 1 instructions" in out
+        assert "shape (6, 5)" in out
+
+    def test_trace_command(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        code, text = run_cli(capsys, "trace", "-m", "f1", "-b", "K-NN",
+                             "-o", str(out), "--depth", "1")
+        assert code == 0 and out.exists()
+        import json
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_figures_command(self, capsys, tmp_path, monkeypatch):
+        # patch render_all to avoid the heavy full-figure sweep
+        import repro.viz as viz
+        monkeypatch.setattr(viz, "render_all",
+                            lambda out: {"fig": f"{out}/fig.svg"})
+        code, out = run_cli(capsys, "figures", "-o", str(tmp_path))
+        assert code == 0
+        assert "wrote" in out

@@ -1,0 +1,231 @@
+"""Graph compiler tests: shape inference, passes, lowering, end-to-end
+execution of compiled networks."""
+
+import numpy as np
+import pytest
+
+from repro import FractalExecutor, TensorStore
+from repro.compiler import (
+    Graph,
+    GraphError,
+    common_subexpression_elimination,
+    dead_code_elimination,
+    fold_pads,
+    lower,
+    optimize,
+)
+from repro.core.executor import run_reference
+
+from conftest import tiny_machine
+
+
+def small_cnn():
+    g = Graph("cnn")
+    x = g.input("img", (1, 16, 16, 3))
+    h = g.conv2d(x, 8, 3, padding=1, activation="relu")
+    h = g.maxpool(h, 2)
+    h = g.flatten(h)
+    y = g.dense(h, 10)
+    g.output(y)
+    return g
+
+
+class TestShapeInference:
+    def test_conv_shapes(self):
+        g = Graph()
+        x = g.input("x", (2, 16, 16, 3))
+        c = g.conv2d(x, 8, 3, stride=1, padding=1)
+        assert g.shape(c) == (2, 16, 16, 8)
+        c2 = g.conv2d(c, 4, 3, stride=2)
+        assert g.shape(c2) == (2, 7, 7, 4)
+
+    def test_pool_shapes(self):
+        g = Graph()
+        x = g.input("x", (1, 8, 8, 4))
+        assert g.shape(g.maxpool(x, 2)) == (1, 4, 4, 4)
+        assert g.shape(g.avgpool(x, 3, stride=1)) == (1, 6, 6, 4)
+
+    def test_flatten_dense(self):
+        g = Graph()
+        x = g.input("x", (2, 4, 4, 3))
+        f = g.flatten(x)
+        assert g.shape(f) == (2, 48)
+        assert g.shape(g.dense(f, 7)) == (2, 7)
+
+    def test_oversized_kernel_rejected(self):
+        g = Graph()
+        x = g.input("x", (1, 4, 4, 1))
+        with pytest.raises(GraphError):
+            g.conv2d(x, 2, 5)
+
+    def test_add_shape_mismatch(self):
+        g = Graph()
+        a = g.input("a", (1, 4, 4, 2))
+        b = g.input("b", (1, 4, 4, 3))
+        with pytest.raises(GraphError):
+            g.add(a, b)
+
+    def test_rank_check(self):
+        g = Graph()
+        x = g.input("x", (4, 8))
+        with pytest.raises(GraphError):
+            g.conv2d(x, 2, 3)
+
+    def test_unknown_input_node(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.activation("nope")
+
+    def test_validate_requires_output(self):
+        g = Graph()
+        g.input("x", (1, 4))
+        with pytest.raises(GraphError):
+            g.validate()
+
+
+class TestPasses:
+    def test_dce_removes_dangling(self):
+        g = Graph()
+        x = g.input("x", (1, 8, 8, 2))
+        used = g.conv2d(x, 2, 3)
+        g.conv2d(x, 4, 3)  # dead
+        g.output(used)
+        out, removed = dead_code_elimination(g)
+        assert removed == 1
+        assert len(out) == len(g) - 1
+
+    def test_dce_noop_when_all_live(self):
+        g = small_cnn()
+        _, removed = dead_code_elimination(g)
+        assert removed == 0
+
+    def test_cse_merges_duplicates(self):
+        g = Graph()
+        x = g.input("x", (1, 8, 8, 2))
+        a = g.activation(x, "relu")
+        bb = g.activation(x, "relu")  # identical
+        y = g.add(a, bb)
+        g.output(y)
+        out, merged = common_subexpression_elimination(g)
+        assert merged == 1
+        add_node = next(n for n in out.topological() if n.op == "add")
+        assert add_node.inputs[0] == add_node.inputs[1]
+
+    def test_cse_keeps_distinct_params(self):
+        g = Graph()
+        x = g.input("x", (1, 4))
+        g.output(g.add(g.activation(x, "relu"), g.activation(x, "tanh")))
+        _, merged = common_subexpression_elimination(g)
+        assert merged == 0
+
+    def test_fold_pad_into_conv(self):
+        g = Graph()
+        x = g.input("x", (1, 8, 8, 2))
+        p = g.pad(x, 1)
+        c = g.conv2d(p, 4, 3)
+        g.output(c)
+        out, folded = fold_pads(g)
+        assert folded == 1
+        conv = next(n for n in out.topological() if n.op == "conv2d")
+        assert conv.param_dict["padding"] == 1
+        assert all(n.op != "pad" for n in out.topological())
+
+    def test_fold_pad_skips_shared(self):
+        g = Graph()
+        x = g.input("x", (1, 8, 8, 2))
+        p = g.pad(x, 1)
+        g.output(g.conv2d(p, 2, 3))
+        g.output(g.maxpool(p, 2))
+        _, folded = fold_pads(g)
+        assert folded == 0  # two consumers: cannot fold
+
+    def test_optimize_fixpoint(self):
+        g = Graph()
+        x = g.input("x", (1, 8, 8, 2))
+        p1 = g.pad(x, 1)
+        p2 = g.pad(x, 1)  # duplicate of p1
+        a = g.conv2d(p1, 2, 3)
+        b = g.conv2d(p2, 2, 3)  # CSE collapses after pad folding
+        g.conv2d(x, 7, 3)  # dead
+        g.output(g.add(a, b))
+        out, stats = optimize(g)
+        assert stats["dce"] >= 1
+        assert stats["cse"] + stats["pad_fold"] >= 2
+
+    def test_passes_preserve_semantics(self, rng):
+        """Optimized graph computes the same numbers as the naive one."""
+        g = Graph("semantics")
+        x = g.input("img", (1, 8, 8, 2))
+        p = g.pad(x, 1)
+        c = g.conv2d(p, 4, 3, activation="relu")
+        g.conv2d(x, 3, 3)  # dead branch
+        g.output(c)
+        opt, _ = optimize(g)
+        image = rng.normal(size=(1, 8, 8, 2))
+        outs = []
+        for graph in (g, opt):
+            w = lower(graph)
+            store = TensorStore()
+            for t in w.inputs.values():
+                store.bind(t, image)
+            # parameters must match across both compilations: seed per-shape
+            for t in w.params.values():
+                store.bind(t, 0.1 * np.random.default_rng(
+                    sum(t.shape)).normal(size=t.shape))
+            for inst in w.program:
+                run_reference(inst, store)
+            out = list(w.outputs.values())[0]
+            outs.append(store.read(out.region()))
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-9)
+
+
+class TestLowering:
+    def test_cnn_lowers_and_runs(self, rng):
+        w = lower(small_cnn())
+        assert len(w.program) > 4
+        store = TensorStore()
+        for t in list(w.inputs.values()) + list(w.params.values()):
+            store.bind(t, 0.1 * rng.normal(size=t.shape))
+        ref = TensorStore()
+        for t in list(w.inputs.values()) + list(w.params.values()):
+            ref.bind(t, store.read(t.region()))
+        for inst in w.program:
+            run_reference(inst, ref)
+        FractalExecutor(tiny_machine(), store).run_program(w.program)
+        out = list(w.outputs.values())[0]
+        np.testing.assert_allclose(store.read(out.region()),
+                                   ref.read(out.region()), atol=1e-8)
+
+    def test_lowered_shapes_match_graph(self):
+        g = small_cnn()
+        w = lower(g)
+        out_tensor = list(w.outputs.values())[0]
+        assert out_tensor.shape == g.shape(g.outputs[0])
+
+    def test_residual_block_lowers(self, rng):
+        g = Graph("res")
+        x = g.input("x", (1, 8, 8, 4))
+        h = g.conv2d(x, 4, 3, padding=1, activation="relu")
+        h = g.conv2d(h, 4, 3, padding=1)
+        y = g.activation(g.add(h, x), "relu")
+        g.output(y)
+        w = lower(g)
+        store = TensorStore()
+        for t in list(w.inputs.values()) + list(w.params.values()):
+            store.bind(t, 0.1 * rng.normal(size=t.shape))
+        FractalExecutor(tiny_machine(), store).run_program(w.program)
+        out = list(w.outputs.values())[0]
+        assert np.all(store.read(out.region()) >= 0)  # final relu
+
+    def test_lrn_lowering(self):
+        g = Graph()
+        x = g.input("x", (1, 4, 4, 8))
+        g.output(g.lrn(x, size=5))
+        w = lower(g)
+        from repro.core.isa import Opcode
+        assert any(i.opcode is Opcode.LRN for i in w.program)
+
+    def test_metadata(self):
+        w = lower(small_cnn())
+        assert w.meta["compiled_from"] == "cnn"
+        assert w.meta["nodes"] == len(small_cnn())

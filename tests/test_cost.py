@@ -1,0 +1,169 @@
+"""Cost model tests: calibration against the paper's published silicon
+numbers, design-space orderings, survey growth rates."""
+
+import pytest
+
+from repro import cambricon_f1, cambricon_f100
+from repro.cost.compare import ACCELERATOR_CHIPS, fractal_chips
+from repro.cost.dse import TABLE4_HIERARCHIES, build_design, explore_design_space, mboi_ref
+from repro.cost.edram import (
+    edram_area_mm2,
+    edram_bandwidth,
+    edram_power_mw,
+)
+from repro.cost.layout import (
+    CORE_AREA_UM2,
+    CORE_POWER_MW,
+    chip_cost,
+    core_cost,
+    table7_rows,
+)
+from repro.cost.survey import (
+    ACCELERATOR_EFFICIENCY_TREND,
+    NVIDIA_GPU_TREND,
+    annual_growth,
+    efficiency_growth,
+    gpu_bandwidth_growth,
+    gpu_core_growth,
+)
+
+MB = 1 << 20
+
+
+class TestEDRAM:
+    def test_anchor_point(self):
+        """The 256 KB leaf macro must match Table 7 exactly."""
+        assert edram_area_mm2(256 << 10) == pytest.approx(201_588 / 1e6, rel=1e-3)
+        assert edram_power_mw(256 << 10) == pytest.approx(16.15, rel=1e-3)
+
+    def test_monotone(self):
+        assert edram_area_mm2(8 * MB) > edram_area_mm2(MB)
+        assert edram_power_mw(8 * MB) > edram_power_mw(MB)
+
+    def test_sublinear_power(self):
+        p1, p64 = edram_power_mw(MB), edram_power_mw(64 * MB)
+        assert p64 < 64 * p1
+
+    def test_zero_capacity(self):
+        assert edram_area_mm2(0) == 0.0
+        assert edram_power_mw(0) == 0.0
+
+    def test_bandwidth_saturates(self):
+        assert edram_bandwidth(MB) == edram_bandwidth(256 * MB)
+        assert edram_bandwidth(256 << 10) < edram_bandwidth(MB)
+
+
+class TestLayoutCalibration:
+    """Model totals must land near the published Table-7 values."""
+
+    def test_core_matches_table7(self):
+        c = core_cost()
+        assert c.area_mm2 == pytest.approx(CORE_AREA_UM2 / 1e6)
+        assert c.power_w == pytest.approx(CORE_POWER_MW / 1e3)
+        assert c.area_mm2 == pytest.approx(0.4263, rel=1e-3)
+        assert c.power_w == pytest.approx(0.07518, rel=0.02)
+
+    def test_f1_chip_within_10pct(self):
+        got = chip_cost(cambricon_f1(), "FMP")
+        assert got.area_mm2 == pytest.approx(29.206, rel=0.10)
+        assert got.power_w == pytest.approx(4.935, rel=0.10)
+
+    def test_f100_chip_within_10pct(self):
+        got = chip_cost(cambricon_f100(), "Chip")
+        assert got.area_mm2 == pytest.approx(415.1, rel=0.10)
+        assert got.power_w == pytest.approx(42.87, rel=0.10)
+
+    def test_unknown_level(self):
+        with pytest.raises(KeyError):
+            chip_cost(cambricon_f1(), "Nope")
+
+    def test_table7_rows_render(self):
+        rows = table7_rows(cambricon_f1(), cambricon_f100())
+        assert any("Cambricon-F100" in r for r in rows)
+
+
+class TestTable8:
+    def test_f1_efficiency_near_paper(self):
+        f1 = fractal_chips()[0]
+        assert f1.power_efficiency == pytest.approx(3.02, rel=0.08)
+        assert f1.area_efficiency == pytest.approx(0.51, rel=0.10)
+
+    def test_f100_efficiency_near_paper(self):
+        f100 = fractal_chips()[1]
+        assert f100.power_efficiency == pytest.approx(2.78, rel=0.10)
+        assert f100.area_efficiency == pytest.approx(0.29, rel=0.15)
+
+    def test_fractal_beats_published_asics(self):
+        """Headline: Cam-F1 has the best power and area efficiency."""
+        f1 = fractal_chips()[0]
+        for spec in ACCELERATOR_CHIPS.values():
+            if spec.power_efficiency:
+                assert f1.power_efficiency > spec.power_efficiency
+            if spec.area_efficiency:
+                assert f1.area_efficiency > spec.area_efficiency
+
+
+class TestDesignSpace:
+    def test_hierarchies_all_512_cores(self):
+        for name, fanouts in TABLE4_HIERARCHIES.items():
+            cores = 1
+            for f in fanouts:
+                cores *= f
+            assert cores == 512, name
+
+    def test_mboi_ref_monotone(self):
+        assert mboi_ref(64 * MB) > mboi_ref(MB)
+
+    def test_flat_design_is_worst(self):
+        """Table 4's point: the flat 1-512 design pays far more area and
+        power than any layered design."""
+        points = {p.hierarchy: p for p in explore_design_space()}
+        flat = points["1-512"]
+        for name, p in points.items():
+            if name != "1-512":
+                assert flat.area_mm2 > 2 * p.area_mm2
+                assert flat.power_w > 2 * p.power_w
+
+    def test_design_memories_shrink_with_depth(self):
+        m = build_design("1-2-16-512", [2, 8, 32])
+        mems = [lv.mem_bytes for lv in m.levels]
+        assert mems[0] >= mems[-1]
+
+    def test_design_peak_is_iso_capability(self):
+        for name, fanouts in TABLE4_HIERARCHIES.items():
+            m = build_design(name, fanouts)
+            assert m.peak_ops == pytest.approx(512 * 466.8e9, rel=1e-6)
+
+
+class TestSurvey:
+    def test_fig1_growth_rate(self):
+        """Paper: ~3.2x per year.  Our endpoint fit gives >2x per year."""
+        assert efficiency_growth() > 2.0
+
+    def test_fig1_total_improvement(self):
+        first = ACCELERATOR_EFFICIENCY_TREND[0]
+        last = ACCELERATOR_EFFICIENCY_TREND[-1]
+        assert last.tops_per_watt / first.tops_per_watt > 100  # paper: 1213x
+
+    def test_fig16_core_growth_slowdown(self):
+        """Paper: 67.6%/yr during 2009-2013 vs 8.8%/yr for the last 5."""
+        early = gpu_core_growth(2009, 2013)
+        late = gpu_core_growth(2013, 2018)
+        assert early > 1.5
+        assert late < 1.15
+        assert early > late
+
+    def test_fig16_bandwidth_slow(self):
+        g = gpu_bandwidth_growth()
+        assert 1.05 < g < 1.30  # ~15% annually
+
+    def test_annual_growth_validation(self):
+        with pytest.raises(ValueError):
+            annual_growth([(2010, 1.0)])
+        with pytest.raises(ValueError):
+            annual_growth([(2010, 1.0), (2010, 2.0)])
+
+    def test_trend_data_sorted_sane(self):
+        years = [p.year for p in NVIDIA_GPU_TREND]
+        assert years == sorted(years)
+        assert all(p.cores > 0 and p.bandwidth_gb_s > 0 for p in NVIDIA_GPU_TREND)

@@ -1,0 +1,73 @@
+"""Energy model tests (Section 6 power methodology)."""
+
+import pytest
+
+from repro import Instruction, Opcode, Tensor, cambricon_f1, cambricon_f100
+from repro.cost.energy import (
+    EnergyReport,
+    card_subsystem_power_w,
+    estimate_energy,
+)
+from repro.sim import FractalSimulator
+
+
+def _run(machine, m=1024):
+    a, b, c = Tensor("a", (m, m)), Tensor("b", (m, m)), Tensor("c", (m, m))
+    inst = Instruction(Opcode.MATMUL, (a.region(), b.region()), (c.region(),))
+    rep = FractalSimulator(machine, collect_profiles=False).simulate([inst])
+    return rep
+
+
+class TestCardSubsystem:
+    def test_f1_has_one_card(self):
+        """32 GB @ 512 GB/s: ~77 W of DRAM interface + board."""
+        p = card_subsystem_power_w(cambricon_f1())
+        assert 60 < p < 90
+
+    def test_f100_has_four_cards(self):
+        p100 = card_subsystem_power_w(cambricon_f100())
+        p1 = card_subsystem_power_w(cambricon_f1())
+        assert p100 == pytest.approx(4 * p1, rel=1e-6)
+
+    def test_host_memory_excluded(self):
+        """The F100's 1 TB host memory must not count as card DRAM."""
+        m = cambricon_f100()
+        # if the 1 TB level were counted, power would jump by ~25 W
+        assert card_subsystem_power_w(m) < 350
+
+
+class TestEnergyReport:
+    def test_components_positive(self):
+        m = cambricon_f1()
+        er = estimate_energy(m, _run(m), "matmul")
+        assert er.compute_j > 0
+        assert er.memory_j > 0
+        assert er.static_j > 0
+        assert er.total_j == pytest.approx(
+            er.compute_j + er.memory_j + er.static_j)
+
+    def test_breakdown_sums_to_one(self):
+        m = cambricon_f1()
+        er = estimate_energy(m, _run(m), "matmul")
+        assert sum(er.breakdown().values()) == pytest.approx(1.0)
+
+    def test_average_power_plausible(self):
+        """The F1 card draws 80-ish W (paper: 83.1 W average, 90.2 W peak)."""
+        m = cambricon_f1()
+        er = estimate_energy(m, _run(m, 4096))
+        assert 60 < er.average_power_w < 110
+
+    def test_more_work_more_energy(self):
+        m = cambricon_f1()
+        small = estimate_energy(m, _run(m, 512))
+        big = estimate_energy(m, _run(m, 2048))
+        assert big.total_j > small.total_j
+
+    def test_f100_scales_up(self):
+        e1 = estimate_energy(cambricon_f1(), _run(cambricon_f1(), 2048))
+        e100 = estimate_energy(cambricon_f100(), _run(cambricon_f100(), 2048))
+        assert e100.average_power_w > 3 * e1.average_power_w
+
+    def test_zero_time_zero_power(self):
+        er = EnergyReport("m", "b", 0.0, 0.0, 0.0, 0.0)
+        assert er.average_power_w == 0.0

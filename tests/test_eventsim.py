@@ -1,0 +1,84 @@
+"""Cross-validation: the closed-form pipeline recurrence vs the explicit
+discrete-event simulation must agree on arbitrary stage streams."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.eventsim import EventDrivenPipeline, cross_validate
+from repro.sim.pipeline import StageTimes, schedule_pipeline
+
+durations = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+def stage_strategy(max_inst=8):
+    return st.lists(
+        st.builds(
+            StageTimes,
+            decode=durations,
+            load=durations,
+            exec=durations,
+            reduce=durations,
+            writeback=durations,
+            exec_fill=st.floats(0.0, 3.0),
+            pre_assignable=st.booleans(),
+        ),
+        min_size=0, max_size=max_inst,
+    )
+
+
+class TestAgreement:
+    def test_simple_stream(self):
+        stages = [StageTimes(decode=1, load=2, exec=3, reduce=1, writeback=2)
+                  for _ in range(4)]
+        agree, closed, des = cross_validate(stages)
+        assert agree, (closed, des)
+
+    def test_with_stalls(self):
+        stages = [
+            StageTimes(load=1, exec=2, writeback=3),
+            StageTimes(load=1, exec=2, stall_on=0),
+            StageTimes(load=1, exec=2, stall_on=1, writeback=1),
+        ]
+        agree, closed, des = cross_validate(stages)
+        assert agree, (closed, des)
+
+    def test_with_concatenation(self):
+        stages = [StageTimes(load=1, exec=4, exec_fill=2, pre_assignable=True)
+                  for _ in range(5)]
+        for concat in (True, False):
+            agree, closed, des = cross_validate(stages, concat)
+            assert agree, (concat, closed, des)
+
+    def test_empty(self):
+        agree, closed, des = cross_validate([])
+        assert agree and closed == 0.0 and des == 0.0
+
+    def test_placements_match_closed_form(self):
+        stages = [StageTimes(decode=0.5, load=1, exec=2, reduce=0.5,
+                             writeback=1) for _ in range(3)]
+        closed = schedule_pipeline(stages, True)
+        placements = EventDrivenPipeline(stages, True).run()
+        for i, sched in enumerate(closed.instructions):
+            assert placements[(i, "ld")] == pytest.approx(
+                (sched.ld_iv.start, sched.ld_iv.end))
+            assert placements[(i, "ex")] == pytest.approx(
+                (sched.ex_iv.start, sched.ex_iv.end))
+            assert placements[(i, "wb")] == pytest.approx(
+                (sched.wb_iv.start, sched.wb_iv.end))
+
+
+@settings(deadline=None, max_examples=150)
+@given(stages=stage_strategy(), concat=st.booleans())
+def test_schedulers_agree_on_random_streams(stages, concat):
+    agree, closed, des = cross_validate(stages, concat)
+    assert agree, (closed, des)
+
+
+@settings(deadline=None, max_examples=60)
+@given(stages=stage_strategy(), stall_gap=st.integers(1, 3),
+       concat=st.booleans())
+def test_schedulers_agree_with_random_stalls(stages, stall_gap, concat):
+    for i in range(stall_gap, len(stages)):
+        stages[i].stall_on = i - stall_gap
+    agree, closed, des = cross_validate(stages, concat)
+    assert agree, (closed, des)

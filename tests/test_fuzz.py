@@ -1,0 +1,155 @@
+"""Fuzz suites: random machines x random programs through the full stack.
+
+These don't check golden values -- they check that *no* configuration
+violates the system's invariants: functional execution always matches the
+reference kernels, the timing simulator never crashes or produces
+non-physical numbers, and the binary format round-trips everything the
+builder can produce.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    FractalExecutor,
+    Instruction,
+    Opcode,
+    Tensor,
+    TensorStore,
+    custom_machine,
+)
+from repro.core.executor import run_reference
+from repro.frontend import decode_program, encode_program
+from repro.sim import FractalSimulator
+
+# -- strategies -----------------------------------------------------------------
+
+machines = st.builds(
+    lambda fanouts, mem_exp: custom_machine(
+        "fuzz",
+        list(fanouts),
+        [1 << (mem_exp - 2 * i) for i in range(len(fanouts) + 1)],
+        [1e9] * (len(fanouts) + 1),
+        core_peak_ops=1e11,
+    ),
+    fanouts=st.lists(st.integers(1, 6), min_size=1, max_size=3),
+    mem_exp=st.integers(14, 20),
+)
+
+
+@st.composite
+def random_instruction(draw):
+    kind = draw(st.sampled_from(["matmul", "conv", "pool", "eltwise",
+                                 "sort", "euclid", "hsum"]))
+    rng_dim = lambda lo, hi: draw(st.integers(lo, hi))
+    if kind == "matmul":
+        m, k, n = rng_dim(1, 12), rng_dim(1, 12), rng_dim(1, 12)
+        a, b = Tensor("a", (m, k)), Tensor("b", (k, n))
+        c = Tensor("c", (m, n))
+        return Instruction(Opcode.MATMUL, (a.region(), b.region()),
+                           (c.region(),))
+    if kind == "conv":
+        n, hw, cin, cout = rng_dim(1, 3), rng_dim(3, 8), rng_dim(1, 3), rng_dim(1, 4)
+        x = Tensor("x", (n, hw, hw, cin))
+        w = Tensor("w", (3, 3, cin, cout))
+        out = Tensor("o", (n, hw - 2, hw - 2, cout))
+        return Instruction(Opcode.CV2D, (x.region(), w.region()),
+                           (out.region(),), {"stride": 1})
+    if kind == "pool":
+        n, hw, c = rng_dim(1, 3), rng_dim(4, 9), rng_dim(1, 4)
+        x = Tensor("x", (n, hw, hw, c))
+        out = Tensor("o", (n, hw // 2, hw // 2, c))
+        return Instruction(Opcode.MAX2D, (x.region(),), (out.region(),),
+                           {"kh": 2, "kw": 2, "sh": 2, "sw": 2})
+    if kind == "eltwise":
+        n = rng_dim(1, 64)
+        a, b, o = (Tensor(s, (n,)) for s in "abo")
+        op = draw(st.sampled_from([Opcode.ADD1D, Opcode.SUB1D, Opcode.MUL1D]))
+        return Instruction(op, (a.region(), b.region()), (o.region(),))
+    if kind == "sort":
+        n = rng_dim(1, 48)
+        x, o = Tensor("x", (n,)), Tensor("o", (n,))
+        return Instruction(Opcode.SORT1D, (x.region(),), (o.region(),))
+    if kind == "euclid":
+        n, m, d = rng_dim(1, 8), rng_dim(1, 8), rng_dim(1, 8)
+        x, y = Tensor("x", (n, d)), Tensor("y", (m, d))
+        o = Tensor("o", (n, m))
+        return Instruction(Opcode.EUCLIDIAN1D, (x.region(), y.region()),
+                           (o.region(),))
+    n = rng_dim(1, 64)
+    x, o = Tensor("x", (n,)), Tensor("o", (1,))
+    return Instruction(Opcode.HSUM1D, (x.region(),), (o.region(),))
+
+
+# -- fuzz: functional stack -------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(machine=machines, inst=random_instruction(), seed=st.integers(0, 9999))
+def test_fuzz_functional_equivalence(machine, inst, seed):
+    """Any machine x any instruction: fractal == reference."""
+    rng = np.random.default_rng(seed)
+    frac, ref = TensorStore(), TensorStore()
+    for r in inst.inputs:
+        arr = rng.normal(size=r.tensor.shape)
+        frac.bind(r.tensor, arr)
+        ref.bind(r.tensor, arr)
+    run_reference(inst, ref)
+    FractalExecutor(machine, frac).run(inst)
+    np.testing.assert_allclose(frac.read(inst.outputs[0]),
+                               ref.read(inst.outputs[0]),
+                               atol=1e-8, rtol=1e-6)
+
+
+# -- fuzz: timing stack -------------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(machine=machines, inst=random_instruction(),
+       flags=st.tuples(st.booleans(), st.booleans(), st.booleans(),
+                       st.booleans()))
+def test_fuzz_simulator_invariants(machine, inst, flags):
+    """Any machine x instruction x feature combination: physical results."""
+    machine = machine.with_features(
+        use_ttt=flags[0], use_broadcast=flags[1],
+        use_concatenation=flags[2], use_sibling_links=flags[3])
+    rep = FractalSimulator(machine, collect_profiles=False).simulate([inst])
+    assert rep.total_time > 0
+    assert np.isfinite(rep.total_time)
+    assert rep.work == inst.work()
+    assert rep.attained_ops <= machine.peak_ops * 1.01
+    assert rep.root_traffic >= 0
+    assert rep.root.served_bytes >= 0
+
+
+@settings(deadline=None, max_examples=15)
+@given(machine=machines, inst=random_instruction())
+def test_fuzz_simulation_deterministic(machine, inst):
+    r1 = FractalSimulator(machine, collect_profiles=False).simulate([inst])
+    r2 = FractalSimulator(machine, collect_profiles=False).simulate([inst])
+    assert r1.total_time == r2.total_time
+    assert r1.root_traffic == r2.root_traffic
+
+
+# -- fuzz: binary format --------------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(insts=st.lists(random_instruction(), min_size=1, max_size=5))
+def test_fuzz_encoding_round_trip(insts):
+    _, decoded = decode_program(encode_program(insts))
+    assert len(decoded) == len(insts)
+    for a, b in zip(insts, decoded):
+        assert a.signature() == b.signature()
+
+
+@settings(deadline=None, max_examples=30)
+@given(insts=st.lists(random_instruction(), min_size=1, max_size=3),
+       cut=st.floats(0.1, 0.95))
+def test_fuzz_truncated_binaries_rejected_cleanly(insts, cut):
+    """Truncation must raise EncodingError, never crash differently."""
+    from repro.frontend import EncodingError
+    data = encode_program(insts)
+    truncated = data[: max(1, int(len(data) * cut))]
+    if truncated == data:
+        return
+    with pytest.raises(EncodingError):
+        decode_program(truncated)

@@ -1,0 +1,134 @@
+"""Kernel-level GPU simulator tests."""
+
+import pytest
+
+from repro.core.isa import Instruction, Opcode
+from repro.core.tensor import Tensor
+from repro.gpusim import (
+    GPUSimulator,
+    GTX_1080TI_DEVICE,
+    V100_DEVICE,
+    lower_to_kernels,
+)
+from repro.gpusim.kernels import lower_instruction
+from repro.workloads import small_benchmark
+
+
+def matmul_inst(m, k, n):
+    a, b, c = Tensor("a", (m, k)), Tensor("b", (k, n)), Tensor("c", (m, n))
+    return Instruction(Opcode.MATMUL, (a.region(), b.region()), (c.region(),))
+
+
+def eltwise_inst(n):
+    a, b, o = (Tensor(s, (n,)) for s in "abo")
+    return Instruction(Opcode.ADD1D, (a.region(), b.region()), (o.region(),))
+
+
+class TestKernelLowering:
+    def test_matmul_is_one_gemm(self):
+        kernels = lower_instruction(matmul_inst(256, 256, 256),
+                                    GTX_1080TI_DEVICE)
+        assert len(kernels) == 1
+        assert kernels[0].kind == "gemm"
+        assert kernels[0].flops == 2 * 256 ** 3
+
+    def test_gemm_traffic_below_naive(self):
+        """Shared-memory tiling must beat the no-reuse traffic bound."""
+        (k,) = lower_instruction(matmul_inst(2048, 2048, 2048),
+                                 GTX_1080TI_DEVICE)
+        naive = 4 * (2048 ** 2 * 2048) * 2  # every element re-read
+        assert k.dram_bytes < naive / 10
+
+    def test_sort_is_multi_launch(self):
+        x, o = Tensor("x", (1 << 20,)), Tensor("o", (1 << 20,))
+        inst = Instruction(Opcode.SORT1D, (x.region(),), (o.region(),))
+        (k,) = lower_instruction(inst, GTX_1080TI_DEVICE)
+        assert k.launches > 4  # radix passes
+
+    def test_eltwise_is_stream(self):
+        (k,) = lower_instruction(eltwise_inst(4096), GTX_1080TI_DEVICE)
+        assert k.kind == "stream"
+
+    def test_program_lowering_covers_all(self):
+        w = small_benchmark("K-NN")
+        kernels = lower_to_kernels(w.program, GTX_1080TI_DEVICE)
+        assert len(kernels) >= len(w.program)
+
+
+class TestTiming:
+    def test_large_gemm_near_library_efficiency(self):
+        rep = GPUSimulator(GTX_1080TI_DEVICE).simulate(
+            [matmul_inst(8192, 8192, 8192)])
+        frac = rep.attained_ops / GTX_1080TI_DEVICE.peak_ops
+        assert 0.6 < frac <= GTX_1080TI_DEVICE.gemm_efficiency + 0.01
+
+    def test_eltwise_bandwidth_bound(self):
+        rep = GPUSimulator(GTX_1080TI_DEVICE).simulate(
+            [eltwise_inst(1 << 24)])
+        assert rep.memory_time > rep.compute_time
+
+    def test_launch_overhead_dominates_tiny_kernels(self):
+        """A stream of tiny kernels is launch-bound -- the paper's
+        control-flow collapse mechanism."""
+        program = [eltwise_inst(128) for _ in range(200)]
+        rep = GPUSimulator(GTX_1080TI_DEVICE).simulate(program)
+        assert rep.launch_fraction > 0.9
+
+    def test_multi_gpu_scales_device_work(self):
+        prog = [matmul_inst(8192, 8192, 8192)]
+        one = GPUSimulator(V100_DEVICE, n_gpus=1).simulate(prog)
+        eight = GPUSimulator(V100_DEVICE, n_gpus=8).simulate(prog)
+        assert eight.total_time < one.total_time
+        assert eight.attained_ops > 4 * one.attained_ops
+
+    def test_host_link_binds_when_present(self):
+        big = 1 << 26
+        prog = [eltwise_inst(big)]
+        free = GPUSimulator(V100_DEVICE, n_gpus=8).simulate(prog)
+        tied = GPUSimulator(V100_DEVICE, n_gpus=8,
+                            host_bandwidth=84.24 * 2 ** 30).simulate(prog)
+        assert tied.total_time > free.total_time
+        assert tied.host_transfer_time > 0
+
+    def test_launches_not_scaled_by_gpus(self):
+        program = [eltwise_inst(128) for _ in range(50)]
+        one = GPUSimulator(V100_DEVICE, 1).simulate(program)
+        eight = GPUSimulator(V100_DEVICE, 8).simulate(program)
+        assert one.launch_time == pytest.approx(eight.launch_time)
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            GPUSimulator(V100_DEVICE, n_gpus=0)
+
+    def test_report_bookkeeping(self):
+        rep = GPUSimulator(GTX_1080TI_DEVICE).simulate(
+            [matmul_inst(512, 512, 512), eltwise_inst(4096)])
+        assert rep.kernel_count >= 2
+        assert set(rep.by_kind) == {"gemm", "stream"}
+        assert rep.work == 2 * 512 ** 3 + 4096
+
+
+class TestCrossCheck:
+    """The kernel simulator must agree in *direction* with the calibrated
+    roofline baselines and with Fig 15's verdict."""
+
+    def test_fractal_wins_everywhere(self):
+        from repro import cambricon_f1
+        from repro.sim import FractalSimulator
+        from repro.workloads import paper_benchmark
+
+        gtx = GPUSimulator(GTX_1080TI_DEVICE)
+        f1 = cambricon_f1()
+        for name in ("K-NN", "K-Means", "LVQ"):
+            w = paper_benchmark(name)
+            frac = FractalSimulator(f1, collect_profiles=False) \
+                .simulate(w.program)
+            gpu = gtx.simulate(w.program)
+            assert frac.attained_ops > gpu.attained_ops, name
+
+    def test_gemm_agrees_with_calibrated_model(self):
+        from repro.model.gpu import GTX1080TI
+        rep = GPUSimulator(GTX_1080TI_DEVICE).simulate(
+            [matmul_inst(8192, 8192, 8192)])
+        calibrated = GTX1080TI.attained("MATMUL")
+        assert rep.attained_ops == pytest.approx(calibrated, rel=0.25)

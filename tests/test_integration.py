@@ -1,0 +1,168 @@
+"""Cross-module integration tests: the same FISA program running on
+different Cambricon-F instances (the STMH "single task, multiple heritors"
+property), timing simulation of every benchmark, timelines, and the
+functional/timing agreement on instruction streams."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FractalExecutor,
+    TensorStore,
+    cambricon_f1,
+    cambricon_f100,
+    custom_machine,
+)
+from repro.core.executor import run_reference
+from repro.core.machine import GB, KB, MB
+from repro.frontend import assemble
+from repro.sim import FractalSimulator
+from repro.sim.trace import flatten_timeline, level_busy_fractions, render_ascii
+from repro.workloads import PAPER_BENCHMARKS, small_benchmark, vgg16
+
+
+def machines_zoo():
+    """Differently-shaped machines that must all run the same binary."""
+    return [
+        custom_machine("zoo-flat", [4], [1 << 18, 1 << 14], [1e9] * 2),
+        custom_machine("zoo-deep", [2, 2, 2],
+                       [1 << 20, 1 << 17, 1 << 14, 1 << 12], [1e9] * 4),
+        custom_machine("zoo-wide", [8, 4], [1 << 20, 1 << 15, 1 << 12],
+                       [1e9] * 3),
+    ]
+
+
+class TestSTMH:
+    """Section 4: the identical program runs unmodified on every instance."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_BENCHMARKS))
+    def test_same_binary_every_machine(self, rng, name):
+        w = small_benchmark(name)
+        arrays = {t: 0.1 * rng.normal(size=t.shape)
+                  for t in list(w.inputs.values()) + list(w.params.values())}
+        ref = TensorStore()
+        for t, arr in arrays.items():
+            ref.bind(t, arr)
+        for inst in w.program:
+            run_reference(inst, ref)
+        for machine in machines_zoo():
+            store = TensorStore()
+            for t, arr in arrays.items():
+                store.bind(t, arr)
+            FractalExecutor(machine, store).run_program(w.program)
+            for t in w.outputs.values():
+                np.testing.assert_allclose(
+                    store.read(t.region()), ref.read(t.region()),
+                    atol=1e-7, rtol=1e-6,
+                    err_msg=f"{name} diverged on {machine.name}")
+
+    def test_assembly_program_portable(self, rng):
+        src = """
+        input a 12 8
+        input b 8 10
+        tensor c 12 10
+        MatMul c, a, b
+        output c
+        """
+        w = assemble(src)
+        arrays = {t: rng.normal(size=t.shape) for t in w.inputs.values()}
+        results = []
+        for machine in machines_zoo():
+            store = TensorStore()
+            for t, arr in arrays.items():
+                store.bind(t, arr)
+            FractalExecutor(machine, store).run_program(w.program)
+            out = list(w.outputs.values())[0]
+            results.append(store.read(out.region()))
+        for r in results[1:]:
+            np.testing.assert_allclose(r, results[0], atol=1e-9)
+
+
+class TestTimingIntegration:
+    @pytest.mark.parametrize("name", sorted(PAPER_BENCHMARKS))
+    def test_small_benchmarks_simulate_on_f1(self, name):
+        w = small_benchmark(name)
+        rep = FractalSimulator(cambricon_f1(),
+                               collect_profiles=False).simulate(w.program)
+        assert rep.total_time > 0
+        assert rep.work == w.work
+        assert rep.attained_ops <= cambricon_f1().peak_ops * 1.01
+
+    def test_f100_not_slower_than_f1_on_compute_bound(self):
+        """A big MatMul must run faster on the 64x bigger machine."""
+        from repro.workloads import matmul_workload
+        w = matmul_workload(4096)
+        t1 = FractalSimulator(cambricon_f1(),
+                              collect_profiles=False).simulate(w.program)
+        t100 = FractalSimulator(cambricon_f100(),
+                                collect_profiles=False).simulate(w.program)
+        assert t100.total_time < t1.total_time
+
+    def test_vgg_scaled_runs_on_both_instances(self):
+        w = vgg16(batch=2, input_size=64, num_classes=100)
+        for mach in (cambricon_f1(), cambricon_f100()):
+            rep = FractalSimulator(mach, collect_profiles=False).simulate(w.program)
+            assert 0 < rep.total_time < 10.0
+
+
+class TestTimelines:
+    def test_knn_timeline_renders_fig13_style(self):
+        """The Fig-13 reproduction path: k-NN program -> per-level timeline."""
+        from repro.workloads import knn_workload
+        w = knn_workload(n_samples=8192, dims=64, categories=16, batch=2048)
+        sim = FractalSimulator(cambricon_f1(), collect_profiles=True)
+        rep = sim.simulate(w.program)
+        segs = flatten_timeline(rep.root, max_depth=2)
+        assert segs
+        fractions = level_busy_fractions(segs, rep.total_time)
+        assert 0 in fractions
+        art = render_ascii(rep, width=80, max_depth=2)
+        assert "timeline" in art
+
+    def test_busy_fractions_bounded(self):
+        from repro.workloads import matmul_workload
+        w = matmul_workload(1024)
+        rep = FractalSimulator(cambricon_f1(), collect_profiles=True).simulate(w.program)
+        fr = level_busy_fractions(flatten_timeline(rep.root), rep.total_time)
+        for kinds in fr.values():
+            for frac in kinds.values():
+                assert frac <= 1.0001
+
+
+class TestInstanceSpecs:
+    """Table 6 fidelity of the shipped machine configurations."""
+
+    def test_f100_structure(self):
+        m = cambricon_f100()
+        assert m.depth == 5
+        assert [lv.name for lv in m.levels] == ["Server", "Card", "Chip",
+                                                "FMP", "Core"]
+        assert [lv.fanout for lv in m.levels] == [4, 2, 8, 32, 0]
+        assert m.total_cores == 2048
+        assert m.peak_ops == pytest.approx(956e12, rel=0.01)
+        assert m.level(2).mem_bytes == 256 * MB
+        assert m.level(4).mem_bytes == 256 * KB
+
+    def test_f1_structure(self):
+        m = cambricon_f1()
+        assert m.depth == 3
+        assert m.total_cores == 32
+        assert m.peak_ops == pytest.approx(14.9e12, rel=0.01)
+        assert m.level(0).mem_bytes == 32 * GB
+        assert m.root_bandwidth == 512 * GB
+
+    def test_describe_renders(self):
+        text = cambricon_f100().describe()
+        assert "Cambricon-F100" in text and "Core" in text
+
+    def test_feature_toggles(self):
+        m = cambricon_f1().with_features(use_ttt=False, use_broadcast=False)
+        assert not m.use_ttt and not m.use_broadcast
+        assert cambricon_f1().use_ttt  # original untouched
+
+    def test_machine_validation(self):
+        from repro.core.machine import LevelSpec, Machine
+        with pytest.raises(ValueError):
+            Machine("bad", [LevelSpec("x", 2, 0, 1024, 1e9, 1e9)])  # no leaf
+        with pytest.raises(ValueError):
+            Machine("bad", [])

@@ -1,0 +1,140 @@
+"""FISA instruction tests: work models, signatures, classification."""
+
+import math
+
+import pytest
+
+from repro.core.isa import (
+    Instruction,
+    Opcode,
+    POOL_OPCODES,
+    REDUCTION_OPCODES,
+    program_work,
+)
+from repro.core.tensor import Tensor
+
+
+def matmul(m, k, n):
+    a, b, c = Tensor("a", (m, k)), Tensor("b", (k, n)), Tensor("c", (m, n))
+    return Instruction(Opcode.MATMUL, (a.region(), b.region()), (c.region(),))
+
+
+def conv(n, h, w, cin, kh, kw, cout, stride=1):
+    x = Tensor("x", (n, h, w, cin))
+    wt = Tensor("w", (kh, kw, cin, cout))
+    ho, wo = (h - kh) // stride + 1, (w - kw) // stride + 1
+    out = Tensor("o", (n, ho, wo, cout))
+    return Instruction(Opcode.CV2D, (x.region(), wt.region()), (out.region(),),
+                       {"stride": stride})
+
+
+class TestWorkModels:
+    def test_matmul_flops(self):
+        assert matmul(4, 5, 6).work() == 2 * 4 * 5 * 6
+
+    def test_matmul_shape_mismatch(self):
+        a, b = Tensor("a", (4, 5)), Tensor("b", (6, 7))
+        c = Tensor("c", (4, 7))
+        bad = Instruction(Opcode.MATMUL, (a.region(), b.region()), (c.region(),))
+        with pytest.raises(ValueError):
+            bad.work()
+
+    def test_conv_flops(self):
+        inst = conv(2, 8, 8, 3, 3, 3, 16)
+        assert inst.work() == 2 * 2 * 6 * 6 * 16 * 3 * 3 * 3
+
+    def test_pool_work_scales_with_window(self):
+        x = Tensor("x", (1, 8, 8, 4))
+        out = Tensor("o", (1, 4, 4, 4))
+        small = Instruction(Opcode.MAX2D, (x.region(),), (out.region(),),
+                            {"kh": 2, "kw": 2})
+        big = Instruction(Opcode.MAX2D, (x.region(),), (out.region(),),
+                          {"kh": 3, "kw": 3})
+        assert big.work() > small.work()
+
+    def test_sort_is_nlogn(self):
+        x, o = Tensor("x", (1024,)), Tensor("o", (1024,))
+        inst = Instruction(Opcode.SORT1D, (x.region(),), (o.region(),))
+        assert inst.work() == 1024 * int(math.log2(1024)) * 1  # n log n
+
+    def test_euclidian_flops(self):
+        x, y = Tensor("x", (10, 8)), Tensor("y", (6, 8))
+        o = Tensor("o", (10, 6))
+        inst = Instruction(Opcode.EUCLIDIAN1D, (x.region(), y.region()), (o.region(),))
+        assert inst.work() == 3 * 10 * 6 * 8
+
+    def test_eltwise_work_is_output_size(self):
+        a, b, o = (Tensor(s, (37,)) for s in "abo")
+        inst = Instruction(Opcode.ADD1D, (a.region(), b.region()), (o.region(),))
+        assert inst.work() == 37
+
+    def test_merge_work_sums_inputs(self):
+        a, b = Tensor("a", (10,)), Tensor("b", (22,))
+        o = Tensor("o", (32,))
+        inst = Instruction(Opcode.MERGE1D, (a.region(), b.region()), (o.region(),))
+        assert inst.work() == 32
+
+    def test_program_work_sums(self):
+        insts = [matmul(2, 2, 2), matmul(3, 3, 3)]
+        assert program_work(insts) == insts[0].work() + insts[1].work()
+
+
+class TestClassification:
+    def test_reduction_group_matches_table3(self):
+        names = {op.value for op in REDUCTION_OPCODES}
+        assert names == {"Add1D", "Sub1D", "Mul1D", "Act1D",
+                         "HSum1D", "HProd1D", "Merge1D"}
+
+    def test_pool_group(self):
+        assert {op.value for op in POOL_OPCODES} == {"Max2D", "Min2D", "Avg2D"}
+
+    def test_is_reduction_style(self):
+        a, b, o = (Tensor(s, (4,)) for s in "abo")
+        add = Instruction(Opcode.ADD1D, (a.region(), b.region()), (o.region(),))
+        assert add.is_reduction_style
+        assert not matmul(2, 2, 2).is_reduction_style
+
+
+class TestIdentity:
+    def test_signature_equal_for_same_shapes(self):
+        assert matmul(4, 5, 6).signature() == matmul(4, 5, 6).signature()
+
+    def test_signature_differs_on_shape(self):
+        assert matmul(4, 5, 6).signature() != matmul(4, 5, 7).signature()
+
+    def test_signature_differs_on_attrs(self):
+        assert (conv(1, 6, 6, 2, 3, 3, 4, stride=1).signature()
+                != conv(1, 9, 9, 2, 3, 3, 4, stride=2).signature())
+
+    def test_signature_ignores_acc_chain(self):
+        i1 = matmul(4, 4, 4)
+        j1 = Instruction(i1.opcode, i1.inputs, i1.outputs, {"acc_chain": 1})
+        j2 = Instruction(i1.opcode, i1.inputs, i1.outputs, {"acc_chain": 2})
+        assert j1.signature() == j2.signature()
+
+    def test_signature_memoized(self):
+        inst = matmul(4, 4, 4)
+        assert inst.signature() is inst.signature()
+
+    def test_granularity_is_output_elems(self):
+        assert matmul(4, 5, 6).granularity == 24
+
+    def test_io_bytes_dedup(self):
+        a = Tensor("a", (8,))
+        o = Tensor("o", (8,))
+        inst = Instruction(Opcode.ADD1D, (a.region(), a.region()), (o.region(),))
+        assert inst.io_bytes() == a.nbytes + o.nbytes
+
+    def test_operational_intensity_positive(self):
+        assert matmul(64, 64, 64).operational_intensity() > 1.0
+
+    def test_with_operands_replaces(self):
+        inst = matmul(4, 4, 4)
+        smaller = inst.inputs[0][0:2, :]
+        new = inst.with_operands(inputs=(smaller, inst.inputs[1]))
+        assert new.inputs[0].shape == (2, 4)
+        assert new.outputs == inst.outputs
+        assert new.attrs == inst.attrs
+
+    def test_repr_contains_opcode(self):
+        assert "MatMul" in repr(matmul(2, 2, 2))

@@ -1,0 +1,104 @@
+"""Machine model tests: level specs, construction, validation, rates."""
+
+import pytest
+
+from repro.core.machine import (
+    CORE_PEAK_OPS,
+    GB,
+    KB,
+    MB,
+    LevelSpec,
+    Machine,
+    cambricon_f1,
+    cambricon_f100,
+    custom_machine,
+)
+
+
+class TestLevelSpec:
+    def test_leaf_detection(self):
+        assert LevelSpec("Core", 0, 0, 1024, 1e9, 1e9).is_leaf
+        assert not LevelSpec("FMP", 4, 0, 1024, 1e9, 1e9).is_leaf
+
+
+class TestMachineValidation:
+    def _leaf(self):
+        return LevelSpec("Core", 0, 0, 1024, 1e9, 1e9)
+
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            Machine("m", [])
+
+    def test_last_must_be_leaf(self):
+        with pytest.raises(ValueError):
+            Machine("m", [LevelSpec("A", 2, 0, 1024, 1e9, 1e9)])
+
+    def test_leaf_only_at_bottom(self):
+        with pytest.raises(ValueError):
+            Machine("m", [self._leaf(), self._leaf()])
+
+    def test_single_leaf_machine_valid(self):
+        m = Machine("solo", [self._leaf()])
+        assert m.depth == 1
+        assert m.total_cores == 1
+
+
+class TestStructure:
+    def test_nodes_at(self):
+        m = cambricon_f100()
+        assert m.nodes_at(0) == 1
+        assert m.nodes_at(1) == 4
+        assert m.nodes_at(2) == 8
+        assert m.nodes_at(3) == 64
+        assert m.nodes_at(4) == 2048
+
+    def test_peak_consistency(self):
+        """Every level's quoted peak equals its subtree's core total."""
+        m = cambricon_f100()
+        for i, spec in enumerate(m.levels):
+            cores_below = m.total_cores // m.nodes_at(i)
+            assert spec.peak_ops == pytest.approx(
+                cores_below * CORE_PEAK_OPS, rel=1e-6), spec.name
+
+    def test_with_features_is_copy(self):
+        base = cambricon_f1()
+        variant = base.with_features(use_ttt=False)
+        assert base.use_ttt and not variant.use_ttt
+        assert base.levels == variant.levels
+
+
+class TestCustomMachine:
+    def test_basic_build(self):
+        m = custom_machine("c", [4, 8], [16 * MB, MB, 64 * KB],
+                           [1e9, 1e9, 1e9])
+        assert m.depth == 3
+        assert m.total_cores == 32
+        assert m.level(1).fanout == 8
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            custom_machine("c", [4], [MB], [1e9])
+
+    def test_custom_lfus(self):
+        m = custom_machine("c", [4], [MB, KB], [1e9, 1e9], n_lfus=[2, 0])
+        assert m.level(0).n_lfus == 2
+
+    def test_default_lfus_half_fanout(self):
+        m = custom_machine("c", [8], [MB, KB], [1e9, 1e9])
+        assert m.level(0).n_lfus == 4
+
+    def test_core_peak_override(self):
+        m = custom_machine("c", [2], [MB, KB], [1e9, 1e9],
+                           core_peak_ops=5e9)
+        assert m.peak_ops == pytest.approx(1e10)
+
+
+class TestDescribe:
+    def test_mentions_every_level(self):
+        text = cambricon_f100().describe()
+        for name in ("Server", "Card", "Chip", "FMP", "Core"):
+            assert name in text
+
+    def test_units_format(self):
+        text = cambricon_f1().describe()
+        assert "GB" in text and "KB" in text

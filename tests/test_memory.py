@@ -1,0 +1,214 @@
+"""Memory subsystem tests: the Fig-9 segmented allocator and the two-bank
+Tensor Transposition Table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.memory.allocator import AllocationError, NodeMemoryManager
+from repro.core.memory.ttt import TensorTranspositionTable
+from repro.core.tensor import Tensor
+
+
+def manager(capacity=4096, static_fraction=0.25):
+    return NodeMemoryManager(capacity, static_fraction)
+
+
+class TestSegmentLayout:
+    def test_segment_sizes(self):
+        m = manager(4000, 0.25)
+        assert m.static_segment_bytes == 1000
+        assert m.recycled_segment_bytes == 1000
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            NodeMemoryManager(0)
+        with pytest.raises(ValueError):
+            NodeMemoryManager(1024, static_fraction=1.5)
+
+
+class TestRecycledSegments:
+    def test_alloc_needs_cycle(self):
+        with pytest.raises(AllocationError):
+            manager().alloc(16)
+
+    def test_list_order_placement(self):
+        m = manager()
+        m.begin_fisa_cycle(0)
+        b1 = m.alloc(100)
+        b2 = m.alloc(50)
+        assert b2.offset == b1.offset + 100  # "allocated in the list order"
+
+    def test_three_way_rotation(self):
+        m = manager()
+        offsets = []
+        for i in range(6):
+            m.begin_fisa_cycle(i)
+            offsets.append(m.alloc(16).offset)
+        # cycles i and i+3 reuse the same segment base
+        assert offsets[0] == offsets[3]
+        assert offsets[1] == offsets[4]
+        assert len({offsets[0], offsets[1], offsets[2]}) == 3
+
+    def test_overflow_raises(self):
+        m = manager(4096)
+        m.begin_fisa_cycle(0)
+        with pytest.raises(AllocationError):
+            m.alloc(m.recycled_segment_bytes + 1)
+
+    def test_cycles_must_increase(self):
+        m = manager()
+        m.begin_fisa_cycle(3)
+        with pytest.raises(ValueError):
+            m.begin_fisa_cycle(3)
+
+    def test_live_blocks_never_overlap(self):
+        """Blocks of the three in-flight instructions must be disjoint."""
+        m = manager(6000)
+        for i in range(9):
+            m.begin_fisa_cycle(i)
+            m.alloc(200, tag=f"a{i}")
+            m.alloc(100, tag=f"b{i}")
+            live = m.live_blocks()
+            for x in range(len(live)):
+                for y in range(x + 1, len(live)):
+                    assert not live[x].overlaps(live[y]), (live[x], live[y])
+
+
+class TestStaticSegment:
+    def test_parity_ends(self):
+        m = manager(8000, 0.5)
+        m.begin_fisa_cycle(0)
+        even = m.alloc_static(100, owner=0)
+        m.begin_fisa_cycle(1)
+        odd = m.alloc_static(100, owner=1)
+        assert even.segment == "static-even"
+        assert odd.segment == "static-odd"
+        assert odd.offset > even.offset  # opposite ends
+
+    def test_same_parity_reset(self):
+        """Instruction i+2 reclaims instruction i's end of the segment."""
+        m = manager(8000, 0.5)
+        m.begin_fisa_cycle(0)
+        first = m.alloc_static(100, owner=0)
+        m.begin_fisa_cycle(1)
+        m.alloc_static(100, owner=1)
+        m.begin_fisa_cycle(2)
+        third = m.alloc_static(100, owner=2)
+        assert third.offset == first.offset  # even end was recycled
+
+    def test_adjacent_parities_coexist(self):
+        m = manager(8000, 0.5)
+        m.begin_fisa_cycle(0)
+        even = m.alloc_static(100, owner=0)
+        m.begin_fisa_cycle(1)
+        odd = m.alloc_static(100, owner=1)
+        assert not even.overlaps(odd)
+
+    def test_stack_collision_detected(self):
+        m = manager(1000, 0.5)  # 500 B static
+        m.begin_fisa_cycle(0)
+        m.alloc_static(300, owner=0)
+        m.begin_fisa_cycle(1)
+        with pytest.raises(AllocationError):
+            m.alloc_static(300, owner=1)
+
+    def test_utilization_tracks_high_water(self):
+        m = manager(4000)
+        m.begin_fisa_cycle(0)
+        m.alloc(500)
+        assert 0 < m.utilization() <= 1.0
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.lists(st.tuples(st.integers(1, 120), st.booleans()),
+                min_size=1, max_size=40))
+def test_allocator_never_overlaps_live_blocks(requests):
+    """Property: across any request sequence, live blocks stay disjoint
+    and inside the node's capacity."""
+    m = manager(16384)
+    for cycle, (size, use_static) in enumerate(requests):
+        m.begin_fisa_cycle(cycle)
+        try:
+            if use_static:
+                m.alloc_static(size, owner=cycle)
+            else:
+                m.alloc(size)
+        except AllocationError:
+            continue
+        live = m.live_blocks()
+        for i in range(len(live)):
+            assert 0 <= live[i].offset and live[i].end <= 16384
+            for j in range(i + 1, len(live)):
+                assert not live[i].overlaps(live[j])
+
+
+class TestTTT:
+    def _region(self, n=64, name="t"):
+        return Tensor(name, (n,)).region()
+
+    def test_lookup_before_begin_is_none(self):
+        assert TensorTranspositionTable().lookup(self._region()) is None
+
+    def test_hit_same_cycle(self):
+        ttt = TensorTranspositionTable()
+        ttt.begin_cycle(0)
+        r = self._region()
+        ttt.record(r, 0)
+        assert ttt.lookup(r) is not None
+
+    def test_hit_next_cycle(self):
+        ttt = TensorTranspositionTable()
+        ttt.begin_cycle(0)
+        r = self._region()
+        ttt.record(r, 0)
+        ttt.begin_cycle(1)
+        assert ttt.lookup(r) is not None
+
+    def test_expires_after_two_cycles(self):
+        """A record written in cycle i is gone by cycle i+2 (its bank is
+        reclaimed) -- the paper's validity mechanism."""
+        ttt = TensorTranspositionTable()
+        ttt.begin_cycle(0)
+        r = self._region()
+        ttt.record(r, 0)
+        ttt.begin_cycle(1)
+        ttt.begin_cycle(2)  # reclaims bank 0
+        assert ttt.lookup(r) is None
+
+    def test_forward_flag(self):
+        ttt = TensorTranspositionTable()
+        ttt.begin_cycle(0)
+        r = self._region()
+        ttt.record(r, 0, is_output=True)
+        ttt.begin_cycle(1)
+        rec = ttt.lookup(r)
+        assert rec is not None and rec.is_output
+        assert ttt.forwards == 1
+
+    def test_exact_match_only(self):
+        ttt = TensorTranspositionTable()
+        ttt.begin_cycle(0)
+        t = Tensor("t", (64,))
+        ttt.record(t.region()[0:32], 0)
+        assert ttt.lookup(t.region()[0:16]) is None  # sub-region: miss
+
+    def test_hit_rate(self):
+        ttt = TensorTranspositionTable()
+        ttt.begin_cycle(0)
+        r = self._region()
+        ttt.record(r, 0)
+        ttt.lookup(r)
+        ttt.lookup(self._region(name="other"))
+        assert ttt.hit_rate == pytest.approx(0.5)
+
+    def test_record_requires_cycle(self):
+        with pytest.raises(RuntimeError):
+            TensorTranspositionTable().record(self._region(), 0)
+
+    def test_valid_records_counts_both_banks(self):
+        ttt = TensorTranspositionTable()
+        ttt.begin_cycle(0)
+        ttt.record(self._region(name="a"), 0)
+        ttt.begin_cycle(1)
+        ttt.record(self._region(name="b"), 64)
+        assert ttt.valid_records() == 2

@@ -1,0 +1,135 @@
+"""Analytic model tests: roofline, MBOI, GPU baselines."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.gpu import ALL_GPUS, DGX1, GTX1080TI, gpu_attained
+from repro.model.mboi import (
+    average_mboi,
+    mboi_curve,
+    mboi_inverse,
+    measured_mboi,
+    theoretical_mboi,
+)
+from repro.model.roofline import RooflinePoint, attainable, ridge_point, roofline_table
+
+MB = 1 << 20
+
+
+class TestRoofline:
+    def test_attainable_memory_bound(self):
+        assert attainable(oi=2, peak_ops=100, bandwidth=10) == 20
+
+    def test_attainable_compute_bound(self):
+        assert attainable(oi=50, peak_ops=100, bandwidth=10) == 100
+
+    def test_ridge_point(self):
+        assert ridge_point(100, 10) == 10
+
+    def test_point_bound_classification(self):
+        p = RooflinePoint("x", 5, 40)
+        assert p.bound(100, 10) == "memory"
+        assert RooflinePoint("y", 50, 90).bound(100, 10) == "compute"
+
+    def test_efficiency(self):
+        p = RooflinePoint("x", 5, 25)
+        assert p.efficiency(100, 10) == pytest.approx(0.5)
+
+    def test_table_renders(self):
+        rows = roofline_table([RooflinePoint("a", 5, 25)], 100, 10)
+        assert len(rows) >= 3
+        assert "ridge" in rows[-1]
+
+
+class TestMBOITheory:
+    def test_matmul_monotone(self):
+        vals = [theoretical_mboi("MatMul", m) for m in (MB, 4 * MB, 64 * MB)]
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_pool_constant(self):
+        assert (theoretical_mboi("Pool2D", MB)
+                == theoretical_mboi("Pool2D", 64 * MB))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            theoretical_mboi("nope", MB)
+
+    def test_inverse_round_trip(self):
+        target = theoretical_mboi("MatMul", 8 * MB)
+        m = mboi_inverse(target, "MatMul")
+        assert m == pytest.approx(8 * MB, rel=0.01)
+
+    def test_inverse_caps_at_hi(self):
+        assert mboi_inverse(1e12, "Pool2D", hi=1 << 20) == 1 << 20
+
+
+class TestMBOIMeasured:
+    def test_measured_monotone_matmul(self):
+        small = measured_mboi("MatMul", 256 << 10)
+        big = measured_mboi("MatMul", 16 * MB)
+        assert big > small
+
+    def test_measured_within_factor_of_theory(self):
+        """Fig 10: measured tracks the theoretical curve."""
+        for m in (MB, 8 * MB):
+            measured = measured_mboi("MatMul", m)
+            theory = theoretical_mboi("MatMul", m)
+            assert theory / 6 < measured < theory * 6
+
+    def test_conv_measured_positive(self):
+        assert measured_mboi("Conv2D", 2 * MB) > 1.0
+
+    def test_pool_measured_low_constantish(self):
+        lo = measured_mboi("Pool2D", MB)
+        hi = measured_mboi("Pool2D", 32 * MB)
+        assert lo < 2.0
+        assert hi / lo < 3.0  # pooling cannot gain intensity from memory
+
+    def test_curve_shape(self):
+        curve = mboi_curve("MatMul", [MB, 4 * MB])
+        assert len(curve) == 2
+        m, measured, theory = curve[0]
+        assert m == MB and measured > 0 and theory > 0
+
+    def test_average_mboi_between_components(self):
+        avg = average_mboi(4 * MB)
+        parts = [measured_mboi(a, 4 * MB) for a in ("MatMul", "Conv2D", "Pool2D")]
+        assert min(parts) <= avg <= max(parts)
+
+
+class TestGPUModels:
+    def test_attained_below_peak(self):
+        for gpu in ALL_GPUS.values():
+            for bench in gpu.profiles:
+                assert gpu.attained(bench) <= gpu.peak_ops
+
+    def test_matmul_is_best_benchmark(self):
+        g = GTX1080TI
+        assert g.attained("MATMUL") == max(g.attained(b) for b in g.profiles)
+
+    def test_lvq_collapse(self):
+        """Control-flow-dominated LVQ attains a tiny fraction of peak
+        (paper: F1 beats 1080Ti by up to 659x on the worst benchmark)."""
+        assert GTX1080TI.attained("LVQ") < 0.005 * GTX1080TI.peak_ops
+
+    def test_dgx_root_is_host_link(self):
+        assert DGX1.root_bandwidth == pytest.approx(84.24 * (1 << 30))
+
+    def test_gpu_attained_helper(self):
+        assert gpu_attained("DGX-1", "VGG-16") == DGX1.attained("VGG-16")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            GTX1080TI.attained("nope")
+
+    def test_deep_learning_oi_hierarchy(self):
+        """DGX keeps data in HBM across kernels -> far higher root OI than
+        the single card (the paper's '85x higher' observation)."""
+        assert (DGX1.operational_intensity("K-NN")
+                > 10 * GTX1080TI.operational_intensity("K-NN"))
+
+
+@given(st.floats(0.1, 1e4), st.floats(1e9, 1e15), st.floats(1e8, 1e12))
+def test_attainable_is_min_of_roofs(oi, peak, bw):
+    got = attainable(oi, peak, bw)
+    assert got == pytest.approx(min(peak, oi * bw))

@@ -1,0 +1,248 @@
+"""Reference kernel tests: every FISA operation against hand-computed or
+independently-derived results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import ops
+from repro.core.isa import Opcode
+from repro.ops import conv as conv_mod
+from repro.ops import eltwise, linalg, pool, sortcount
+
+
+class TestConv2D:
+    def test_identity_kernel(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        w = np.ones((1, 1, 1, 1))
+        np.testing.assert_allclose(conv_mod.conv2d(x, w), x)
+
+    def test_box_filter(self):
+        x = np.ones((1, 4, 4, 1))
+        w = np.ones((2, 2, 1, 1))
+        out = conv_mod.conv2d(x, w)
+        assert out.shape == (1, 3, 3, 1)
+        np.testing.assert_allclose(out, 4.0)
+
+    def test_stride(self):
+        x = np.ones((1, 6, 6, 1))
+        w = np.ones((2, 2, 1, 1))
+        assert conv_mod.conv2d(x, w, stride=2).shape == (1, 3, 3, 1)
+
+    def test_channel_mixing(self):
+        x = np.zeros((1, 2, 2, 2))
+        x[..., 0], x[..., 1] = 1.0, 10.0
+        w = np.zeros((1, 1, 2, 1))
+        w[0, 0, 0, 0], w[0, 0, 1, 0] = 2.0, 3.0
+        np.testing.assert_allclose(conv_mod.conv2d(x, w), 32.0)
+
+    def test_matches_explicit_sum(self, rng):
+        x = rng.normal(size=(2, 5, 5, 3))
+        w = rng.normal(size=(3, 3, 3, 4))
+        out = conv_mod.conv2d(x, w)
+        # check one output element explicitly
+        want = sum(
+            x[1, 1 + i, 2 + j, c] * w[i, j, c, 3]
+            for i in range(3) for j in range(3) for c in range(3)
+        )
+        np.testing.assert_allclose(out[1, 1, 2, 3], want)
+
+    def test_rejects_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            conv_mod.conv2d(np.ones((1, 4, 4, 2)), np.ones((3, 3, 3, 1)))
+
+    def test_rejects_oversized_kernel(self):
+        with pytest.raises(ValueError):
+            conv_mod.conv2d(np.ones((1, 2, 2, 1)), np.ones((3, 3, 1, 1)))
+
+
+class TestConv3D:
+    def test_box_filter(self):
+        x = np.ones((1, 3, 3, 3, 1))
+        w = np.ones((2, 2, 2, 1, 1))
+        out = conv_mod.conv3d(x, w)
+        assert out.shape == (1, 2, 2, 2, 1)
+        np.testing.assert_allclose(out, 8.0)
+
+    def test_reduces_to_2d_when_depth1(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5, 2))
+        w = rng.normal(size=(1, 3, 3, 2, 3))
+        out3 = conv_mod.conv3d(x, w)
+        out2 = conv_mod.conv2d(x[:, 0], w[0])
+        np.testing.assert_allclose(out3[:, 0], out2)
+
+
+class TestLRN:
+    def test_uniform_input(self):
+        x = np.ones((1, 2, 2, 8))
+        out = conv_mod.lrn(x, size=5, alpha=1e-4, beta=0.75, k=2.0)
+        # interior channel: denom = 2 + 1e-4 * 5
+        want = 1.0 / (2.0 + 1e-4 * 5) ** 0.75
+        np.testing.assert_allclose(out[0, 0, 0, 4], want)
+
+    def test_edge_clipping(self):
+        x = np.ones((1, 1, 1, 8))
+        out = conv_mod.lrn(x, size=5)
+        # channel 0 window covers channels [0, 3): 3 elements
+        want = 1.0 / (2.0 + 1e-4 * 3) ** 0.75
+        np.testing.assert_allclose(out[0, 0, 0, 0], want)
+
+
+class TestPooling:
+    def test_max(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = pool.max_pool2d(x, 2, 2, 2, 2)
+        np.testing.assert_allclose(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_min(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = pool.min_pool2d(x, 2, 2, 2, 2)
+        np.testing.assert_allclose(out[0, :, :, 0], [[0, 2], [8, 10]])
+
+    def test_avg(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = pool.avg_pool2d(x, 2, 2, 2, 2)
+        np.testing.assert_allclose(out[0, 0, 0, 0], (0 + 1 + 4 + 5) / 4)
+
+    def test_overlapping_windows(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = pool.max_pool2d(x, 3, 3, 1, 1)
+        assert out.shape == (1, 2, 2, 1)
+        assert out[0, 0, 0, 0] == 10
+
+    def test_rejects_oversized_window(self):
+        with pytest.raises(ValueError):
+            pool.max_pool2d(np.ones((1, 2, 2, 1)), 3, 3, 1, 1)
+
+
+class TestLinalg:
+    def test_matmul(self, rng):
+        a, b = rng.normal(size=(4, 5)), rng.normal(size=(5, 6))
+        np.testing.assert_allclose(linalg.matmul(a, b), a @ b)
+
+    def test_matmul_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            linalg.matmul(np.ones((2, 3)), np.ones((4, 5)))
+
+    def test_euclidian_known(self):
+        x = np.array([[0.0, 0.0], [1.0, 1.0]])
+        y = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = linalg.euclidian(x, y)
+        np.testing.assert_allclose(d, [[0.0, 25.0], [2.0, 13.0]])
+
+    def test_euclidian_symmetry(self, rng):
+        x = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(linalg.euclidian(x, x),
+                                   linalg.euclidian(x, x).T, atol=1e-12)
+
+    def test_euclidian_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            linalg.euclidian(np.ones((2, 3)), np.ones((2, 4)))
+
+
+class TestSortCount:
+    def test_sort(self, rng):
+        x = rng.normal(size=50)
+        np.testing.assert_array_equal(sortcount.sort1d(x), np.sort(x))
+
+    def test_merge_two(self):
+        a, b = np.array([1.0, 4.0, 9.0]), np.array([2.0, 3.0, 10.0])
+        np.testing.assert_array_equal(sortcount.merge1d([a, b]),
+                                      [1, 2, 3, 4, 9, 10])
+
+    def test_merge_kway(self, rng):
+        parts = [np.sort(rng.normal(size=n)) for n in (5, 1, 8, 3)]
+        merged = sortcount.merge1d(parts)
+        np.testing.assert_array_equal(merged, np.sort(np.concatenate(parts)))
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sortcount.merge1d([])
+
+    def test_count_nonzero(self):
+        x = np.array([0.0, 1.0, 0.0, 2.0, 3.0])
+        assert sortcount.count1d(x)[0] == 3
+
+    def test_count_value(self):
+        x = np.array([1.0, 2.0, 2.0, 3.0])
+        assert sortcount.count1d(x, value=2.0)[0] == 2
+
+
+class TestEltwise:
+    def test_binary(self, rng):
+        a, b = rng.normal(size=7), rng.normal(size=7)
+        np.testing.assert_allclose(eltwise.add(a, b), a + b)
+        np.testing.assert_allclose(eltwise.sub(a, b), a - b)
+        np.testing.assert_allclose(eltwise.mul(a, b), a * b)
+
+    @pytest.mark.parametrize("func,ref", [
+        ("relu", lambda x: np.maximum(x, 0)),
+        ("sigmoid", lambda x: 1 / (1 + np.exp(-x))),
+        ("tanh", np.tanh),
+        ("exp", np.exp),
+        ("identity", lambda x: x),
+        ("neg", lambda x: -x),
+    ])
+    def test_activations(self, rng, func, ref):
+        x = rng.normal(size=11)
+        np.testing.assert_allclose(eltwise.activation(x, func), ref(x))
+
+    def test_sqrt_clamps_negative(self):
+        out = eltwise.activation(np.array([-4.0, 9.0]), "sqrt")
+        np.testing.assert_allclose(out, [0.0, 3.0])
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            eltwise.activation(np.ones(3), "nope")
+
+    def test_horizontal(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(eltwise.hsum(x), [x.sum()])
+        np.testing.assert_allclose(eltwise.hprod(x + 3), [(x + 3).prod()])
+
+
+class TestDispatch:
+    def test_execute_returns_tuple(self, rng):
+        out = ops.execute(Opcode.MATMUL,
+                          [rng.normal(size=(2, 3)), rng.normal(size=(3, 2))], {})
+        assert isinstance(out, tuple) and len(out) == 1
+
+    def test_unknown_kernel(self):
+        class Fake:
+            pass
+        with pytest.raises(NotImplementedError):
+            ops.kernel_for(Fake())
+
+    def test_pool_strides_default_to_window(self, rng):
+        x = rng.normal(size=(1, 6, 6, 1))
+        (out,) = ops.execute(Opcode.MAX2D, [x], {"kh": 3, "kw": 3})
+        assert out.shape == (1, 2, 2, 1)
+
+
+# -- property-based ------------------------------------------------------------
+
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@given(arrays(float, st.integers(1, 40), elements=floats))
+def test_sort_is_sorted_permutation(x):
+    s = sortcount.sort1d(x)
+    assert np.all(np.diff(s) >= 0)
+    np.testing.assert_array_equal(np.sort(x), s)
+
+
+@given(st.lists(arrays(float, st.integers(1, 15), elements=floats),
+                min_size=1, max_size=5))
+def test_merge_equals_global_sort(parts):
+    sorted_parts = [np.sort(p) for p in parts]
+    merged = sortcount.merge1d(sorted_parts)
+    np.testing.assert_array_equal(merged, np.sort(np.concatenate(parts)))
+
+
+@given(arrays(float, st.tuples(st.integers(1, 6), st.integers(1, 6)),
+              elements=floats))
+def test_euclidian_nonnegative_zero_diagonal(x):
+    d = linalg.euclidian(x, x)
+    assert np.all(d >= -1e-9)
+    np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)

@@ -1,0 +1,66 @@
+"""Workload profiler tests (op shares, CPU-time shares, program stats)."""
+
+import pytest
+
+from repro.core.isa import Opcode
+from repro.workloads import matmul_workload, mlp, vgg16
+from repro.workloads.profile import (
+    CPU_RATE,
+    PRIMITIVE_OF,
+    PRIMITIVES,
+    cpu_time_shares,
+    op_shares,
+    program_stats,
+)
+
+
+class TestClassification:
+    def test_every_opcode_classified(self):
+        for op in Opcode:
+            assert op in PRIMITIVE_OF, op
+            assert PRIMITIVE_OF[op] in PRIMITIVES
+
+    def test_every_primitive_has_a_rate(self):
+        assert set(CPU_RATE) == set(PRIMITIVES)
+
+
+class TestShares:
+    def test_shares_sum_to_one(self):
+        w = vgg16(batch=1, input_size=64, num_classes=10)
+        for shares in (op_shares(w.program), cpu_time_shares(w.program)):
+            assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_matmul_is_pure_mmm(self):
+        shares = op_shares(matmul_workload(64).program)
+        assert shares["MMM"] == pytest.approx(1.0)
+
+    def test_time_model_amplifies_slow_primitives(self):
+        """ELTW costs ~50x more time per op than MMM on the CPU model."""
+        w = mlp(batch=8)
+        ops = op_shares(w.program)
+        time = cpu_time_shares(w.program)
+        assert time["ELTW"] > ops["ELTW"]
+
+    def test_empty_program(self):
+        assert sum(op_shares([]).values()) == 0.0
+
+
+class TestProgramStats:
+    def test_counts(self):
+        w = matmul_workload(32)
+        stats = program_stats(w.program)
+        assert stats.instructions == 1
+        assert stats.work == 2 * 32 ** 3
+        assert stats.distinct_tensors == 3
+        assert stats.io_bytes == 3 * 32 * 32 * 2
+
+    def test_oi_upper_bound(self):
+        stats = program_stats(matmul_workload(256).program)
+        assert stats.operational_intensity == pytest.approx(
+            2 * 256 ** 3 / (3 * 256 * 256 * 2))
+
+    def test_largest_footprint(self):
+        w = vgg16(batch=1, input_size=32, num_classes=10)
+        stats = program_stats(w.program)
+        assert stats.largest_footprint > 0
+        assert stats.largest_footprint <= stats.io_bytes

@@ -1,0 +1,102 @@
+"""InferenceSession tests: the model-like API over compiled workloads."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Graph, lower
+from repro.core.executor import run_reference
+from repro.core.store import TensorStore
+from repro.runtime import InferenceSession
+
+from conftest import tiny_machine
+
+
+def small_net():
+    g = Graph("sess")
+    x = g.input("img", (2, 8, 8, 2))
+    h = g.conv2d(x, 4, 3, padding=1, activation="relu")
+    h = g.maxpool(h, 2)
+    h = g.flatten(h)
+    g.output(g.dense(h, 3))
+    return lower(g)
+
+
+@pytest.fixture
+def session():
+    s = InferenceSession(small_net(), machine=tiny_machine())
+    s.initialize_parameters(seed=1)
+    return s
+
+
+class TestParameters:
+    def test_initialize_covers_all(self, session):
+        assert set(session._params) == set(session.workload.params)
+        assert session.parameter_names
+
+    def test_initialization_deterministic(self):
+        w = small_net()
+        a = InferenceSession(w, tiny_machine())
+        b = InferenceSession(w, tiny_machine())
+        a.initialize_parameters(seed=5)
+        b.initialize_parameters(seed=5)
+        for name in a._params:
+            np.testing.assert_array_equal(a._params[name], b._params[name])
+
+    def test_load_validates_names_and_shapes(self, session):
+        with pytest.raises(KeyError):
+            session.load_parameters({"nope": np.zeros(3)})
+        name = session.parameter_names[0]
+        with pytest.raises(ValueError):
+            session.load_parameters({name: np.zeros((1, 1))})
+
+    def test_run_without_parameters_raises(self):
+        s = InferenceSession(small_net(), tiny_machine())
+        with pytest.raises(RuntimeError):
+            s(img=np.zeros((2, 8, 8, 2)))
+
+
+class TestExecution:
+    def test_call_returns_outputs(self, session, rng):
+        out = session(img=rng.normal(size=(2, 8, 8, 2)))
+        assert len(out) == 1
+        (logits,) = out.values()
+        assert logits.shape == (2, 3)
+
+    def test_matches_reference(self, session, rng):
+        image = rng.normal(size=(2, 8, 8, 2))
+        out = session(img=image)
+        (got,) = out.values()
+        # replay with the reference kernels
+        store = TensorStore()
+        for full, t in session.workload.inputs.items():
+            store.bind(t, image)
+        for name, t in session.workload.params.items():
+            store.bind(t, session._params[name])
+        for inst in session.workload.program:
+            run_reference(inst, store)
+        (out_tensor,) = session.workload.outputs.values()
+        np.testing.assert_allclose(got, store.read(out_tensor.region()),
+                                   atol=1e-8)
+
+    def test_repeated_calls_independent(self, session, rng):
+        a = rng.normal(size=(2, 8, 8, 2))
+        b = rng.normal(size=(2, 8, 8, 2))
+        out_a1 = list(session(img=a).values())[0]
+        _ = session(img=b)
+        out_a2 = list(session(img=a).values())[0]
+        np.testing.assert_array_equal(out_a1, out_a2)
+
+    def test_input_validation(self, session):
+        with pytest.raises(KeyError):
+            session(bogus=np.zeros((2, 8, 8, 2)))
+        with pytest.raises(ValueError):
+            session(img=np.zeros((1, 8, 8, 2)))
+
+    def test_missing_input_detected(self):
+        g = Graph("two-in")
+        a = g.input("a", (4, 4))
+        b = g.input("b", (4, 4))
+        g.output(g.add(a, b))
+        s = InferenceSession(lower(g), tiny_machine())
+        with pytest.raises(ValueError, match="missing"):
+            s(a=np.zeros((4, 4)))

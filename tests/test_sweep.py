@@ -1,0 +1,81 @@
+"""Sweep utility tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro import Instruction, Opcode, Tensor, custom_machine
+from repro.core.machine import KB, MB
+from repro.sim.sweep import (
+    FEATURE_VARIANTS,
+    SweepRecord,
+    format_table,
+    run_sweep,
+    to_csv,
+)
+
+
+def _machines():
+    return {
+        "small": custom_machine("small", [2], [MB, 64 * KB], [8e9] * 2,
+                                core_peak_ops=50e9),
+        "wide": custom_machine("wide", [8], [4 * MB, 64 * KB], [8e9] * 2,
+                               core_peak_ops=50e9),
+    }
+
+
+def _workloads():
+    def mm(n):
+        a, b = Tensor("a", (n, n)), Tensor("b", (n, n))
+        c = Tensor("c", (n, n))
+        return [Instruction(Opcode.MATMUL, (a.region(), b.region()),
+                            (c.region(),))]
+    return {"mm64": mm(64), "mm128": mm(128)}
+
+
+class TestRunSweep:
+    def test_full_grid(self):
+        records = run_sweep(_machines(), _workloads(),
+                            {"baseline": {}, "no-ttt": {"use_ttt": False}})
+        assert len(records) == 2 * 2 * 2
+        cells = {(r.machine, r.variant, r.workload) for r in records}
+        assert ("wide", "no-ttt", "mm128") in cells
+
+    def test_default_variant(self):
+        records = run_sweep(_machines(), _workloads())
+        assert all(r.variant == "baseline" for r in records)
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep({"small": _machines()["small"]}, _workloads(),
+                  progress=seen.append)
+        assert seen == ["small/baseline/mm64", "small/baseline/mm128"]
+
+    def test_records_physical(self):
+        for r in run_sweep(_machines(), _workloads()):
+            assert r.total_time > 0
+            assert 0 < r.peak_fraction <= 1.0
+            assert r.root_traffic > 0
+
+    def test_feature_variants_registry(self):
+        assert "no-ttt" in FEATURE_VARIANTS
+        assert FEATURE_VARIANTS["no-optimizations"]["use_ttt"] is False
+
+
+class TestExport:
+    def test_csv_round_trip(self):
+        records = run_sweep({"small": _machines()["small"]}, _workloads())
+        text = to_csv(records)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(records)
+        assert parsed[0]["machine"] == "small"
+        assert float(parsed[0]["total_time"]) > 0
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_format_table(self):
+        records = run_sweep({"small": _machines()["small"]}, _workloads())
+        table = format_table(records)
+        assert "mm64" in table and "of peak" in table

@@ -1,0 +1,115 @@
+"""Timeline/trace tests (Fig-13 machinery)."""
+
+import pytest
+
+from repro import Instruction, Opcode, Tensor, custom_machine
+from repro.core.machine import KB, MB
+from repro.sim import FractalSimulator
+from repro.sim.trace import (
+    Segment,
+    flatten_timeline,
+    level_busy_fractions,
+    merge_segments,
+    render_ascii,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    a, b, c = Tensor("a", (256, 256)), Tensor("b", (256, 256)), Tensor("c", (256, 256))
+    inst = Instruction(Opcode.MATMUL, (a.region(), b.region()), (c.region(),))
+    m = custom_machine("trace-test", [2, 2], [8 * MB, MB, 128 * KB],
+                       [32e9, 32e9, 8e9], core_peak_ops=100e9)
+    return FractalSimulator(m, collect_profiles=True).simulate([inst])
+
+
+class TestFlatten:
+    def test_segments_within_total(self, report):
+        for seg in flatten_timeline(report.root):
+            assert 0 <= seg.start <= seg.end <= report.total_time * 1.0001
+
+    def test_all_levels_present(self, report):
+        levels = {seg.level for seg in flatten_timeline(report.root)}
+        assert levels == {0, 1, 2}
+
+    def test_depth_limit(self, report):
+        levels = {s.level for s in flatten_timeline(report.root, max_depth=1)}
+        assert levels <= {0, 1}
+
+    def test_segment_cap(self, report):
+        segs = flatten_timeline(report.root, max_segments=5)
+        assert len(segs) <= 5
+
+    def test_sorted_by_level_then_time(self, report):
+        segs = flatten_timeline(report.root)
+        assert segs == sorted(segs, key=lambda s: (s.level, s.start))
+
+
+class TestMerge:
+    def test_adjacent_same_kind_merged(self):
+        segs = [Segment(0, "dma", 0.0, 1.0), Segment(0, "dma", 1.0, 2.0)]
+        assert len(merge_segments(segs)) == 1
+
+    def test_gap_respected(self):
+        segs = [Segment(0, "dma", 0.0, 1.0), Segment(0, "dma", 1.5, 2.0)]
+        assert len(merge_segments(segs)) == 2
+        assert len(merge_segments(segs, gap=0.6)) == 1
+
+    def test_kinds_not_merged(self):
+        segs = [Segment(0, "dma", 0.0, 1.0), Segment(0, "compute", 1.0, 2.0)]
+        assert len(merge_segments(segs)) == 2
+
+
+class TestBusyFractions:
+    def test_union_never_exceeds_one(self, report):
+        segs = flatten_timeline(report.root)
+        fractions = level_busy_fractions(segs, report.total_time)
+        for level, kinds in fractions.items():
+            for kind, frac in kinds.items():
+                assert 0.0 <= frac <= 1.0001, (level, kind, frac)
+
+    def test_overlapping_segments_unioned(self):
+        segs = [Segment(0, "dma", 0.0, 2.0), Segment(0, "dma", 1.0, 3.0)]
+        fr = level_busy_fractions(segs, 4.0)
+        assert fr[0]["dma"] == pytest.approx(0.75)
+
+    def test_leaf_compute_busy_nonzero(self, report):
+        segs = flatten_timeline(report.root)
+        fr = level_busy_fractions(segs, report.total_time)
+        assert fr[2]["compute"] > 0
+
+
+class TestAsciiWindow:
+    def test_zoom_window(self, report):
+        art = render_ascii(report, width=40,
+                           window=(0.0, report.total_time / 4))
+        assert f"{report.total_time / 4 * 1e3:.3f}" in art
+
+    def test_window_excludes_outside_segments(self, report):
+        """A window at the very start shouldn't render tail-only rows."""
+        early = render_ascii(report, width=40,
+                             window=(0.0, report.total_time * 0.01))
+        full = render_ascii(report, width=40)
+        assert len(early.splitlines()) <= len(full.splitlines())
+
+    def test_bad_window_rejected(self, report):
+        with pytest.raises(ValueError):
+            render_ascii(report, window=(0.5, 0.1))
+
+
+class TestAscii:
+    def test_renders(self, report):
+        art = render_ascii(report, width=60)
+        assert "timeline" in art
+        assert "|" in art
+        assert "#" in art  # compute blocks present
+
+    def test_level_names(self, report):
+        art = render_ascii(report, width=40, level_names=["Chip", "FMP", "Core"])
+        assert "Chip" in art and "Core" in art
+
+    def test_empty(self):
+        from repro.sim.simulator import NodeResult, NodeStats, SimReport
+        empty = SimReport("m", 0.0, 0, 0, 0, {}, NodeStats(),
+                          NodeResult(0, 0.0, 0.0, 0, 0, 0))
+        assert "empty" in render_ascii(empty)

@@ -1,0 +1,159 @@
+"""SVG rendering tests: every figure must be well-formed XML with the
+expected structure."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import Instruction, Opcode, Tensor, custom_machine
+from repro.core.machine import KB, MB
+from repro.sim import FractalSimulator
+from repro.viz import (
+    LineChart,
+    ScatterChart,
+    SVGDocument,
+    render_fig1,
+    render_fig10,
+    render_fig13,
+    render_fig15,
+    render_fig16,
+)
+from repro.viz.svg import Scale, fmt_tick
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def tags(svg: str, tag: str):
+    return parse(svg).iter(SVG_NS + tag)
+
+
+class TestSVGDocument:
+    def test_renders_valid_xml(self):
+        doc = SVGDocument(100, 80)
+        doc.rect(1, 2, 3, 4)
+        doc.line(0, 0, 10, 10)
+        doc.circle(5, 5)
+        doc.text(10, 10, "hi <&> there")
+        root = parse(doc.render())
+        assert root.tag == SVG_NS + "svg"
+
+    def test_escapes_text(self):
+        doc = SVGDocument(50, 50)
+        doc.text(0, 0, "<script>")
+        assert "<script>" not in doc.render()
+        assert "&lt;script&gt;" in doc.render()
+
+    def test_negative_sizes_clamped(self):
+        doc = SVGDocument(50, 50)
+        doc.rect(0, 0, -5, 10)
+        rect = list(tags(doc.render(), "rect"))[-1]
+        assert float(rect.get("width")) == 0.0
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "x.svg"
+        SVGDocument(10, 10).write(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestScale:
+    def test_linear(self):
+        s = Scale(0, 10, 100, 200)
+        assert s(0) == 100 and s(10) == 200 and s(5) == 150
+
+    def test_log(self):
+        s = Scale(1, 100, 0, 100, log=True)
+        assert s(10) == pytest.approx(50)
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            Scale(0, 10, 0, 1, log=True)
+
+    def test_bad_domain(self):
+        with pytest.raises(ValueError):
+            Scale(5, 5, 0, 1)
+
+    def test_log_ticks_are_decades(self):
+        assert Scale(1, 1000, 0, 1, log=True).ticks() == [1, 10, 100, 1000]
+
+    def test_fmt_tick(self):
+        assert fmt_tick(0) == "0"
+        assert fmt_tick(2e12) == "2T"
+        assert fmt_tick(1500) == "1.5k"
+        assert fmt_tick(0.001) == "1.0e-03"
+
+
+class TestCharts:
+    def test_line_chart_structure(self):
+        c = LineChart("t", "x", "y")
+        c.add_series("a", [(0, 1), (1, 2), (2, 4)])
+        svg = c.render()
+        assert len(list(tags(svg, "polyline"))) >= 1
+        assert len(list(tags(svg, "circle"))) == 3
+        assert any(el.text == "a" for el in tags(svg, "text"))
+
+    def test_scatter_chart(self):
+        c = ScatterChart("t", "x", "y")
+        c.add_series("pts", [(1, 1), (2, 3)])
+        assert len(list(tags(c.render(), "circle"))) == 2
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("t", "x", "y").add_series("a", [])
+
+    def test_hline_rendered(self):
+        c = LineChart("t", "x", "y")
+        c.add_series("a", [(0, 1), (1, 2)])
+        c.add_hline(1.5, "roof")
+        assert any(el.text == "roof" for el in tags(c.render(), "text"))
+
+    def test_log_axes(self):
+        c = LineChart("t", "x", "y", x_log=True, y_log=True)
+        c.add_series("a", [(1, 1), (100, 10000)])
+        parse(c.render())  # must not raise
+
+
+class TestFigures:
+    def test_fig1(self):
+        svg = render_fig1()
+        parse(svg)
+        assert "TOPS/W" in svg
+
+    def test_fig10(self):
+        svg = render_fig10(sizes=[256 << 10, 1 << 20, 4 << 20])
+        parse(svg)
+        assert "MatMul measured" in svg
+
+    def test_fig16(self):
+        svg = render_fig16()
+        parse(svg)
+        assert "CUDA cores" in svg
+
+    def test_fig13_from_simulation(self):
+        m = custom_machine("viz", [2, 2], [4 * MB, MB, 128 * KB],
+                           [32e9] * 3, core_peak_ops=100e9)
+        a, b = Tensor("a", (256, 256)), Tensor("b", (256, 256))
+        c = Tensor("c", (256, 256))
+        inst = Instruction(Opcode.MATMUL, (a.region(), b.region()),
+                           (c.region(),))
+        rep = FractalSimulator(m, collect_profiles=True).simulate([inst])
+        svg = render_fig13(rep, m)
+        parse(svg)
+        assert "timeline" in svg
+
+    def test_fig15_from_simulation(self):
+        from repro import cambricon_f1
+        from repro.model.gpu import GTX1080TI
+        from repro.workloads import small_benchmark
+        m = cambricon_f1()
+        points = {}
+        for name in ("K-NN", "SVM"):
+            w = small_benchmark(name)
+            points[name] = FractalSimulator(
+                m, collect_profiles=False).simulate(w.program)
+        svg = render_fig15(points, m, GTX1080TI)
+        parse(svg)
+        assert "roofline" in svg
