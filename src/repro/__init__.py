@@ -15,14 +15,19 @@ package rebuilds the whole system in Python:
   design-space explorer.
 * :mod:`repro.workloads` -- the seven paper benchmarks compiled to FISA.
 * :mod:`repro.frontend` -- a FISA text assembler (Fig-11 style programs).
+* :mod:`repro.analysis` -- the FISA static analyzer: shape/dtype
+  type-checking, def-use/liveness and decomposition-hazard detection with
+  stable ``F0xx`` codes (``python -m repro lint``).
 """
 
+from .analysis import AnalysisError, AnalysisResult, analyze, analyze_workload
 from .core import (
     FractalExecutor,
     Instruction,
     Machine,
     Opcode,
     Region,
+    SourceLoc,
     Tensor,
     TensorStore,
     cambricon_f1,
@@ -34,11 +39,16 @@ from .core.verify import verify_program, verify_suite
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisResult",
+    "analyze",
+    "analyze_workload",
     "FractalExecutor",
     "Instruction",
     "Machine",
     "Opcode",
     "Region",
+    "SourceLoc",
     "Tensor",
     "TensorStore",
     "cambricon_f1",

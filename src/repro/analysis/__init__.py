@@ -1,0 +1,46 @@
+"""``repro.analysis`` -- static analysis of FISA programs.
+
+The paper's guarantee is that fractal decomposition is semantics
+preserving; ``repro.core.verify`` checks that *dynamically*, after an
+execution.  This package is the *static* half of the story: a pre-flight
+gate that rejects malformed programs before any decomposition runs, with
+stable error codes and ``.fisa`` source locations.  Three passes share one
+diagnostics framework:
+
+1. shape/dtype type-checking against the Table-3 operand signatures
+   (:mod:`repro.analysis.signatures`, codes ``F001``-``F009``);
+2. def-use / liveness analysis (:mod:`repro.analysis.defuse`,
+   codes ``F020``-``F022``);
+3. fractal-decomposition hazard detection
+   (:mod:`repro.analysis.hazards`, codes ``F030``-``F033``).
+
+Entry points: :func:`analyze` / :func:`analyze_workload`; gates raise
+:class:`AnalysisError`.  The ``repro lint`` CLI subcommand, the assembler,
+``compiler.lowering`` and the executor/verify pre-flight all build on
+these.  See ``docs/ANALYSIS.md`` for the full code table.
+"""
+
+from .defuse import check_defuse
+from .diagnostics import (
+    CODES,
+    AnalysisError,
+    AnalysisResult,
+    Diagnostic,
+    Severity,
+)
+from .hazards import check_hazards
+from .pipeline import analyze, analyze_workload
+from .signatures import check_types
+
+__all__ = [
+    "CODES",
+    "AnalysisError",
+    "AnalysisResult",
+    "Diagnostic",
+    "Severity",
+    "analyze",
+    "analyze_workload",
+    "check_defuse",
+    "check_hazards",
+    "check_types",
+]

@@ -1,0 +1,104 @@
+"""Pass 2 -- def-use / liveness analysis.
+
+FISA programs have no load/store instructions: every operand is an
+external region, and the only write-before-read discipline is the program
+order itself.  This pass walks that order once and checks three things:
+
+* **use before write** (``F020``, error) -- an instruction reads a region
+  of a tensor that is neither a declared input/parameter nor overlapped by
+  any earlier write.  At run time the store would silently materialize
+  zeros; with declarations in hand that is almost always a program bug.
+  A *partially* covered read is legal: the explicit-padding idiom writes
+  a tensor's interior and reads the whole box, relying on the documented
+  zero-fill of the border (see ``ProgramBuilder.pad2d``).
+* **dead writes** (``F021``, warning) -- a result no later instruction
+  reads and that is not a declared output.
+* **unwritten outputs** (``F022``, warning) -- a declared output tensor
+  no instruction ever writes.
+
+When the program carries no declarations (``inputs``/``outputs`` =
+``None``), the pass falls back to the convention of
+:func:`repro.core.verify.verify_program`: tensors that are read before any
+write are *sources* the runner will bind, and every written tensor is a
+potential output -- so F020/F021/F022 cannot fire on bare instruction
+lists, only on declared Workloads and assembled ``.fisa`` programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.isa import Instruction
+from ..core.tensor import Region, Tensor
+from .diagnostics import Diagnostic, diag
+
+
+def check_defuse(
+    program: Sequence[Instruction],
+    inputs: Optional[Set[int]] = None,
+    outputs: Optional[Set[int]] = None,
+    output_tensors: Optional[Dict[int, Tensor]] = None,
+) -> List[Diagnostic]:
+    """Run the def-use pass.  ``inputs``/``outputs`` are tensor-uid sets
+    (``None`` = undeclared); ``output_tensors`` maps declared output uids
+    to tensors for nicer F022 messages."""
+    diags: List[Diagnostic] = []
+    writes: Dict[int, List[Tuple[int, Region]]] = {}
+    reads: Dict[int, List[Tuple[int, Region]]] = {}
+
+    def record_read(index: int, region: Region) -> None:
+        reads.setdefault(region.tensor.uid, []).append((index, region))
+
+    for index, inst in enumerate(program):
+        accumulate = bool(inst.attrs.get("accumulate", False))
+        for r in inst.inputs:
+            uid = r.tensor.uid
+            record_read(index, r)
+            if inputs is None or uid in inputs:
+                continue
+            if r.tensor.space != "global":
+                continue  # decomposition-internal partials manage their own
+            prior = writes.get(uid, [])
+            if not any(w.overlaps(r) for _, w in prior):
+                where = ("never written" if not prior else
+                         "disjoint from every earlier write")
+                diags.append(diag(
+                    "F020",
+                    f"read of {r!r} which is not a declared input and is "
+                    f"{where} at this point (the store would read zeros)",
+                    index, inst))
+        for r in inst.outputs:
+            if accumulate:
+                # read-modify-write: the prior value is consumed.
+                record_read(index, r)
+            writes.setdefault(r.tensor.uid, []).append((index, r))
+
+    # -- dead writes (needs declared outputs to be meaningful) -------------
+    if outputs is not None:
+        for uid, wlist in writes.items():
+            if uid in outputs:
+                continue
+            rlist = reads.get(uid, [])
+            for index, w in wlist:
+                seen_later = any(
+                    ridx > index and r.overlaps(w) for ridx, r in rlist)
+                if not seen_later and w.tensor.space == "global":
+                    inst = program[index]
+                    diags.append(diag(
+                        "F021",
+                        f"result {w!r} is never read and "
+                        f"{w.tensor.name!r} is not a declared output",
+                        index, inst))
+
+    # -- unwritten declared outputs ----------------------------------------
+    if outputs is not None:
+        for uid in sorted(outputs):
+            if uid not in writes:
+                t = (output_tensors or {}).get(uid)
+                label = t.name if t is not None else f"uid {uid}"
+                diags.append(diag(
+                    "F022",
+                    f"declared output {label!r} is never written by the "
+                    f"program",
+                    index=-1))
+    return diags

@@ -1,0 +1,165 @@
+"""Shared diagnostics framework for the FISA static analyzer.
+
+Every analysis pass reports through the same vocabulary: a
+:class:`Diagnostic` carries a *stable error code* (``F001`` ... ``F033``),
+a :class:`Severity`, a human message, the index of the offending
+instruction in the program, and -- when the program came through the
+assembler -- the source location of that instruction in the ``.fisa``
+file.  :class:`AnalysisResult` aggregates the diagnostics of a whole run
+and provides the exit-code semantics the CLI and the pre-flight hooks
+build on (errors gate, warnings inform).
+
+The code registry below is the single source of truth; ``docs/ANALYSIS.md``
+documents each code with an example, and the negative-path test-suite
+asserts every code can fire.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.isa import Instruction, SourceLoc
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity; only errors affect exit codes / pre-flight."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Stable code registry: code -> (default severity, short title).
+#: F00x  shape/dtype type-checker      (per-opcode operand signatures)
+#: F02x  def-use / liveness            (write-before-read discipline)
+#: F03x  decomposition hazard detector (Region overlap races)
+CODES: Dict[str, Tuple[Severity, str]] = {
+    # -- type checker ------------------------------------------------------
+    "F001": (Severity.ERROR, "wrong operand count for opcode"),
+    "F002": (Severity.ERROR, "operand has wrong rank"),
+    "F003": (Severity.ERROR, "operand dimensions disagree"),
+    "F004": (Severity.ERROR, "output region does not match inferred result"),
+    "F005": (Severity.ERROR, "illegal convolution/pooling window"),
+    "F006": (Severity.ERROR, "element-wise operand shapes differ"),
+    "F007": (Severity.ERROR, "bad attribute value"),
+    "F008": (Severity.WARNING, "mixed operand dtypes"),
+    "F009": (Severity.WARNING, "unknown attribute key"),
+    # -- def-use / liveness ------------------------------------------------
+    "F020": (Severity.ERROR, "use before write of a non-input tensor"),
+    "F021": (Severity.WARNING, "dead write (result never read, not an output)"),
+    "F022": (Severity.WARNING, "declared output never written"),
+    # -- decomposition hazards --------------------------------------------
+    "F030": (Severity.ERROR, "in-place operand (output overlaps input)"),
+    "F031": (Severity.ERROR, "overlapping writes never read in between"),
+    "F032": (Severity.WARNING, "write-after-write with intervening read"),
+    "F033": (Severity.WARNING, "write-after-read of an overlapping region"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    message: str
+    severity: Severity
+    #: index of the offending instruction in the analyzed program
+    #: (``-1`` for program-level findings such as an unwritten output).
+    index: int = -1
+    loc: Optional[SourceLoc] = None
+    opcode: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def format(self) -> str:
+        where = ""
+        if self.loc is not None:
+            where = f"{self.loc}: "
+        elif self.index >= 0:
+            where = f"inst {self.index}: "
+        op = f" [{self.opcode}]" if self.opcode else ""
+        return f"{where}{self.severity} {self.code}: {self.message}{op}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def diag(
+    code: str,
+    message: str,
+    index: int = -1,
+    inst: Optional[Instruction] = None,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a diagnostic, defaulting severity/location from the registry
+    and the instruction's assembler-stamped :class:`SourceLoc`."""
+    if code not in CODES:
+        raise KeyError(f"unregistered diagnostic code {code!r}")
+    sev = severity if severity is not None else CODES[code][0]
+    return Diagnostic(
+        code=code,
+        message=message,
+        severity=sev,
+        index=index,
+        loc=inst.loc if inst is not None else None,
+        opcode=inst.opcode.value if inst is not None else "",
+    )
+
+
+@dataclass
+class AnalysisResult:
+    """All diagnostics of one analyzer run over one program."""
+
+    program_name: str = "program"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: how many instructions were analyzed (bookkeeping for reports).
+    instructions: int = 0
+
+    def extend(self, diags: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if not d.is_error]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings do not gate)."""
+        return not self.errors
+
+    @property
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def format(self) -> str:
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            f"{self.program_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) in {self.instructions} "
+            f"instruction(s)"
+        )
+        return "\n".join(lines)
+
+    def raise_if_errors(self) -> None:
+        if not self.ok:
+            raise AnalysisError(self)
+
+
+class AnalysisError(ValueError):
+    """Raised by pre-flight gates when a program has analyzer errors."""
+
+    def __init__(self, result: AnalysisResult):
+        self.result = result
+        head = f"static analysis found {len(result.errors)} error(s)"
+        body = "\n".join(d.format() for d in result.errors[:20])
+        super().__init__(f"{head}:\n{body}" if body else head)

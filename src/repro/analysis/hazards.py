@@ -1,0 +1,131 @@
+"""Pass 3 -- the fractal-decomposition hazard detector.
+
+The executor runs program-level instructions strictly in order, and the
+parallel decomposer (PD) fans *each one* out across the FFU subtree in an
+arbitrary interleaving.  Overlap between ``Region`` operands therefore
+falls into two classes:
+
+* **Unsafe under fractal decomposition** (errors).  When an instruction's
+  output overlaps one of its own inputs (``F030``), fractal parts write
+  bytes that sibling parts still have to read -- the reference kernel
+  (which reads all operands before writing) and the fractal execution
+  disagree, breaking the paper's semantics-preservation guarantee.  The
+  same applies to two overlapping outputs of one instruction (a WAW race
+  between parallel parts) and to two instructions that write overlapping
+  regions *nobody reads in between* (``F031``): in order the first result
+  is silently clobbered -- dead bytes at best, a race as soon as issue
+  order is relaxed (pipeline write-back, multi-queue front-ends).
+* **Serializes correctly** (warnings).  A write-after-write with an
+  intervening read of the overlap (``F032``) and a write-after-read
+  (``F033``, anti-dependence) are deterministic under in-order issue; they
+  are surfaced because any future instruction-level-parallel scheduler
+  must add a dependence edge there.  Plain read-after-write producer ->
+  consumer pairs are the *point* of a dataflow program and are not
+  reported.
+
+Overlap is computed exactly on the region lattice (byte intervals per
+axis, :meth:`Region.overlaps` / :meth:`Region.intersection`), grouped by
+backing tensor so the pass stays near-linear on the SSA-style programs
+the builders emit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.isa import Instruction
+from ..core.tensor import Region
+from .diagnostics import Diagnostic, diag
+
+
+def check_hazards(program: Sequence[Instruction]) -> List[Diagnostic]:
+    """Run the hazard pass over a program."""
+    diags: List[Diagnostic] = []
+    # per-tensor event logs: (instruction index, region)
+    writes: Dict[int, List[Tuple[int, Region]]] = {}
+    reads: Dict[int, List[Tuple[int, Region]]] = {}
+
+    for index, inst in enumerate(program):
+        accumulate = bool(inst.attrs.get("accumulate", False))
+        # -- intra-instruction hazards ---------------------------------
+        for o in inst.outputs:
+            for i in inst.inputs:
+                if o.overlaps(i):
+                    diags.append(diag(
+                        "F030",
+                        f"output {o!r} overlaps input {i!r}: fractal parts "
+                        f"would read bytes sibling parts already wrote "
+                        f"(in-place operands are unsafe under parallel "
+                        f"decomposition)",
+                        index, inst))
+                    break  # one report per output is enough
+        for a_pos in range(len(inst.outputs)):
+            for b_pos in range(a_pos + 1, len(inst.outputs)):
+                a, b = inst.outputs[a_pos], inst.outputs[b_pos]
+                if a.overlaps(b):
+                    diags.append(diag(
+                        "F031",
+                        f"outputs {a!r} and {b!r} of one instruction "
+                        f"overlap: parallel parts race on the shared bytes",
+                        index, inst))
+
+        # -- record events against earlier instructions -----------------
+        for r in inst.inputs:
+            reads.setdefault(r.tensor.uid, []).append((index, r))
+        for o in inst.outputs:
+            if accumulate:
+                reads.setdefault(o.tensor.uid, []).append((index, o))
+            writes.setdefault(o.tensor.uid, []).append((index, o))
+
+    # -- cross-instruction write/write hazards -----------------------------
+    for uid, wlist in writes.items():
+        rlist = reads.get(uid, [])
+        for a_pos in range(len(wlist)):
+            i, wi = wlist[a_pos]
+            for b_pos in range(a_pos + 1, len(wlist)):
+                j, wj = wlist[b_pos]
+                if j == i or not wi.overlaps(wj):
+                    continue
+                overlap = wi.intersection(wj)
+                consumed = any(
+                    i < ridx <= j and r.overlaps(overlap)
+                    for ridx, r in rlist)
+                if consumed:
+                    diags.append(diag(
+                        "F032",
+                        f"instruction {j} overwrites {overlap!r} written by "
+                        f"instruction {i} (read in between: serializes "
+                        f"correctly in program order, but needs a "
+                        f"dependence edge under parallel issue)",
+                        j, program[j]))
+                else:
+                    diags.append(diag(
+                        "F031",
+                        f"instruction {j} overwrites {overlap!r} written by "
+                        f"instruction {i} before anyone reads it: the "
+                        f"earlier result is lost, and the two writes race "
+                        f"under any relaxed issue order",
+                        j, program[j]))
+                break  # report each write's nearest clobber only
+
+    # -- cross-instruction write-after-read (anti-dependence) --------------
+    reported_war: Set[int] = set()
+    for uid, rlist in reads.items():
+        if uid in reported_war:
+            continue
+        wlist = writes.get(uid, [])
+        for ridx, r in rlist:
+            hit = next(
+                ((j, w) for j, w in wlist if j > ridx and w.overlaps(r)),
+                None)
+            if hit is not None:
+                j, w = hit
+                diags.append(diag(
+                    "F033",
+                    f"instruction {j} overwrites {w.intersection(r)!r} "
+                    f"after instruction {ridx} read it (anti-dependence: "
+                    f"fine in order, a WAR race under parallel issue)",
+                    j, program[j]))
+                reported_war.add(uid)
+                break  # one WAR report per tensor keeps the output bounded
+    return diags

@@ -1,0 +1,74 @@
+"""Analyzer entry points: run the three passes over a program.
+
+:func:`analyze` is the low-level API (instruction sequence + optional
+declarations); :func:`analyze_workload` adapts a
+:class:`~repro.workloads.builder.Workload` (inputs and params are declared
+sources, marked outputs are declared sinks).  Both return an
+:class:`AnalysisResult`; callers that want a hard gate use
+``result.raise_if_errors()`` (the assembler, the graph lowering and the
+executor/verify pre-flight all do).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+from ..core.isa import Instruction
+from ..core.tensor import Tensor
+from .defuse import check_defuse
+from .diagnostics import AnalysisResult
+from .hazards import check_hazards
+from .signatures import check_types
+
+TensorLike = Union[Tensor, int]
+
+
+def _uid_set(tensors: Optional[Iterable[TensorLike]]):
+    if tensors is None:
+        return None
+    return {t.uid if isinstance(t, Tensor) else int(t) for t in tensors}
+
+
+def analyze(
+    program: Sequence[Instruction],
+    inputs: Optional[Iterable[TensorLike]] = None,
+    outputs: Optional[Iterable[TensorLike]] = None,
+    name: str = "program",
+) -> AnalysisResult:
+    """Statically analyze a FISA program.
+
+    ``inputs`` are tensors (or uids) the runner binds before execution --
+    reads from them are always legal; ``outputs`` are tensors the caller
+    will consume -- writes to them are never dead.  Passing ``None`` for
+    either means "undeclared": the def-use pass then adopts the
+    bare-program conventions of ``verify_program`` (see
+    :mod:`repro.analysis.defuse`) and only the type and hazard passes can
+    produce findings.
+    """
+    program = list(program)
+    in_uids = _uid_set(inputs)
+    out_uids = _uid_set(outputs)
+    out_tensors: Optional[Dict[int, Tensor]] = None
+    if outputs is not None:
+        out_tensors = {
+            t.uid: t for t in outputs if isinstance(t, Tensor)}
+
+    result = AnalysisResult(program_name=name, instructions=len(program))
+    result.extend(check_types(program))
+    result.extend(check_defuse(program, in_uids, out_uids, out_tensors))
+    result.extend(check_hazards(program))
+    result.diagnostics.sort(
+        key=lambda d: (d.index if d.index >= 0 else 1 << 30, d.code))
+    return result
+
+
+def analyze_workload(workload) -> AnalysisResult:
+    """Analyze a Workload with its declarations (inputs + params are
+    sources, marked outputs are sinks)."""
+    sources = list(workload.inputs.values()) + list(workload.params.values())
+    return analyze(
+        workload.program,
+        inputs=sources,
+        outputs=list(workload.outputs.values()),
+        name=workload.name,
+    )

@@ -1,0 +1,426 @@
+"""Pass 1 -- the shape/dtype type-checker.
+
+Encodes the per-opcode operand signature of every Table-3 FISA operation
+and checks each instruction of a program against it: operand arity and
+rank, dimension agreement (MatMul inner dims, Euclidian1D feature dims,
+convolution channels), window legality for Cv2D/Cv3D and the pooling
+group, variadic Merge1D sizing, reduction-group arity, attribute domains
+and dtype compatibility.
+
+The checks mirror what the numpy reference kernels (:mod:`repro.ops`)
+would reject at run time -- the point of the pass is to reject the same
+programs *before* execution, with stable codes and source locations
+instead of a traceback from deep inside the executor.
+
+Rank conventions follow ``docs/ISA.md``: the ``*1D`` opcode group is
+rank-agnostic (kernels flatten, and :class:`~repro.core.store.TensorStore`
+re-shapes exact-size results), so those signatures constrain *element
+counts*, not ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.isa import Instruction, Opcode
+from ..ops.eltwise import activation_names
+from .diagnostics import Diagnostic, diag
+
+# -- small helpers ----------------------------------------------------------
+
+
+def _arity(
+    inst: Instruction, index: int, n_in: Optional[int], n_out: int = 1,
+    min_in: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Check operand counts.  ``n_in=None`` with ``min_in`` = variadic."""
+    out: List[Diagnostic] = []
+    if n_in is not None and len(inst.inputs) != n_in:
+        out.append(diag(
+            "F001",
+            f"{inst.opcode.value} takes {n_in} input(s), got {len(inst.inputs)}",
+            index, inst))
+    if min_in is not None and len(inst.inputs) < min_in:
+        out.append(diag(
+            "F001",
+            f"{inst.opcode.value} takes at least {min_in} input(s), "
+            f"got {len(inst.inputs)}",
+            index, inst))
+    if len(inst.outputs) != n_out:
+        out.append(diag(
+            "F001",
+            f"{inst.opcode.value} writes {n_out} output(s), "
+            f"got {len(inst.outputs)}",
+            index, inst))
+    return out
+
+
+def _rank(inst: Instruction, index: int, operand: str, pos: int,
+          want: int) -> List[Diagnostic]:
+    regions = inst.inputs if operand == "input" else inst.outputs
+    r = regions[pos]
+    if r.ndim != want:
+        return [diag(
+            "F002",
+            f"{inst.opcode.value} {operand} {pos} must have rank {want}, "
+            f"got rank {r.ndim} region {r!r}",
+            index, inst)]
+    return []
+
+
+def _out_shape(inst: Instruction, index: int, want, *,
+               exact: bool = False) -> List[Diagnostic]:
+    """Output 0 must have shape ``want`` (or equal element count when the
+    opcode's result may legally be re-shaped into the region)."""
+    got = inst.outputs[0].shape
+    if got == tuple(want):
+        return []
+    if not exact:
+        nwant = 1
+        for d in want:
+            nwant *= d
+        if inst.outputs[0].nelems == nwant:
+            return []
+    return [diag(
+        "F004",
+        f"{inst.opcode.value} result has shape {tuple(want)} "
+        f"({_nelems(want)} elements) but output region is "
+        f"{got} ({inst.outputs[0].nelems} elements)",
+        index, inst)]
+
+
+def _nelems(shape: Sequence[int]) -> int:
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+def _positive_int_attr(inst: Instruction, index: int, key: str,
+                       default: int) -> List[Diagnostic]:
+    val = inst.attrs.get(key, default)
+    if not isinstance(val, int) or isinstance(val, bool) or val < 1:
+        return [diag(
+            "F007",
+            f"attribute {key}={val!r} must be a positive integer",
+            index, inst)]
+    return []
+
+
+def _same_input_dtypes(inst: Instruction, index: int) -> List[Diagnostic]:
+    names = {r.dtype.name for r in inst.inputs}
+    if len(names) > 1:
+        return [diag(
+            "F008",
+            f"{inst.opcode.value} mixes operand dtypes {sorted(names)}; "
+            f"results accumulate in the widest type",
+            index, inst)]
+    return []
+
+
+# -- per-opcode checkers ----------------------------------------------------
+
+
+def _check_matmul(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 2)
+    if out:
+        return out
+    out += _rank(inst, index, "input", 0, 2)
+    out += _rank(inst, index, "input", 1, 2)
+    out += _rank(inst, index, "output", 0, 2)
+    if out:
+        return out
+    (m, k), (k2, n) = inst.inputs[0].shape, inst.inputs[1].shape
+    if k != k2:
+        out.append(diag(
+            "F003",
+            f"MatMul inner dimensions disagree: "
+            f"{inst.inputs[0].shape} @ {inst.inputs[1].shape}",
+            index, inst))
+    else:
+        out += _out_shape(inst, index, (m, n), exact=True)
+    out += _same_input_dtypes(inst, index)
+    return out
+
+
+def _check_euclidian(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 2)
+    if out:
+        return out
+    out += _rank(inst, index, "input", 0, 2)
+    out += _rank(inst, index, "input", 1, 2)
+    out += _rank(inst, index, "output", 0, 2)
+    if out:
+        return out
+    (n, d), (m, d2) = inst.inputs[0].shape, inst.inputs[1].shape
+    if d != d2:
+        out.append(diag(
+            "F003",
+            f"Euclidian1D feature dimensions disagree: "
+            f"{inst.inputs[0].shape} vs {inst.inputs[1].shape}",
+            index, inst))
+    else:
+        out += _out_shape(inst, index, (n, m), exact=True)
+    out += _same_input_dtypes(inst, index)
+    return out
+
+
+def _check_cv2d(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 2)
+    if out:
+        return out
+    out += _rank(inst, index, "input", 0, 4)
+    out += _rank(inst, index, "input", 1, 4)
+    out += _rank(inst, index, "output", 0, 4)
+    out += _positive_int_attr(inst, index, "stride", 1)
+    if out:
+        return out
+    n, h, w, cin = inst.inputs[0].shape
+    kh, kw, cin2, cout = inst.inputs[1].shape
+    stride = int(inst.attrs.get("stride", 1))
+    if cin != cin2:
+        out.append(diag(
+            "F003",
+            f"Cv2D channel mismatch: input Cin={cin}, weight Cin={cin2}",
+            index, inst))
+        return out
+    ho = (h - kh) // stride + 1
+    wo = (w - kw) // stride + 1
+    if ho <= 0 or wo <= 0:
+        out.append(diag(
+            "F005",
+            f"Cv2D window {kh}x{kw} (stride {stride}) does not fit "
+            f"input {h}x{w} (convolutions are valid-only; pad explicitly)",
+            index, inst))
+        return out
+    out += _out_shape(inst, index, (n, ho, wo, cout), exact=True)
+    return out
+
+
+def _check_cv3d(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 2)
+    if out:
+        return out
+    out += _rank(inst, index, "input", 0, 5)
+    out += _rank(inst, index, "input", 1, 5)
+    out += _rank(inst, index, "output", 0, 5)
+    out += _positive_int_attr(inst, index, "stride", 1)
+    if out:
+        return out
+    n, d, h, w, cin = inst.inputs[0].shape
+    kd, kh, kw, cin2, cout = inst.inputs[1].shape
+    stride = int(inst.attrs.get("stride", 1))
+    if cin != cin2:
+        out.append(diag(
+            "F003",
+            f"Cv3D channel mismatch: input Cin={cin}, weight Cin={cin2}",
+            index, inst))
+        return out
+    do = (d - kd) // stride + 1
+    ho = (h - kh) // stride + 1
+    wo = (w - kw) // stride + 1
+    if min(do, ho, wo) <= 0:
+        out.append(diag(
+            "F005",
+            f"Cv3D window {kd}x{kh}x{kw} (stride {stride}) does not fit "
+            f"input {d}x{h}x{w}",
+            index, inst))
+        return out
+    out += _out_shape(inst, index, (n, do, ho, wo, cout), exact=True)
+    return out
+
+
+def _check_pool(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 1)
+    if out:
+        return out
+    out += _rank(inst, index, "input", 0, 4)
+    out += _rank(inst, index, "output", 0, 4)
+    kh_default = 2
+    out += _positive_int_attr(inst, index, "kh", kh_default)
+    out += _positive_int_attr(inst, index, "kw", kh_default)
+    if out:
+        return out
+    kh = int(inst.attrs.get("kh", 2))
+    kw = int(inst.attrs.get("kw", 2))
+    out += _positive_int_attr(inst, index, "sh", kh)
+    out += _positive_int_attr(inst, index, "sw", kw)
+    if out:
+        return out
+    sh = int(inst.attrs.get("sh", kh))
+    sw = int(inst.attrs.get("sw", kw))
+    n, h, w, c = inst.inputs[0].shape
+    ho = (h - kh) // sh + 1
+    wo = (w - kw) // sw + 1
+    if ho <= 0 or wo <= 0:
+        out.append(diag(
+            "F005",
+            f"{inst.opcode.value} window {kh}x{kw} "
+            f"(stride {sh}x{sw}) does not fit input {h}x{w}",
+            index, inst))
+        return out
+    out += _out_shape(inst, index, (n, ho, wo, c), exact=True)
+    return out
+
+
+def _check_lrn(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 1)
+    if out:
+        return out
+    out += _positive_int_attr(inst, index, "size", 5)
+    out += _out_shape(inst, index, inst.inputs[0].shape, exact=True)
+    return out
+
+
+def _check_eltwise_binary(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 2)
+    if out:
+        return out
+    a, b = inst.inputs
+    if a.shape != b.shape:
+        out.append(diag(
+            "F006",
+            f"{inst.opcode.value} operands must have identical shapes, "
+            f"got {a.shape} and {b.shape}",
+            index, inst))
+        return out
+    out += _out_shape(inst, index, a.shape)
+    out += _same_input_dtypes(inst, index)
+    return out
+
+
+def _check_act(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 1)
+    if out:
+        return out
+    func = inst.attrs.get("func", "relu")
+    if func not in activation_names():
+        out.append(diag(
+            "F007",
+            f"unknown activation func={func!r}; one of {activation_names()}",
+            index, inst))
+    out += _out_shape(inst, index, inst.inputs[0].shape)
+    return out
+
+
+def _check_horizontal(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 1)
+    if out:
+        return out
+    if inst.outputs[0].nelems != 1:
+        out.append(diag(
+            "F004",
+            f"{inst.opcode.value} reduces to a single element but the "
+            f"output region holds {inst.outputs[0].nelems}",
+            index, inst))
+    return out
+
+
+def _check_sort(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 1)
+    if out:
+        return out
+    if inst.outputs[0].nelems != inst.inputs[0].nelems:
+        out.append(diag(
+            "F004",
+            f"Sort1D permutes its input: output must hold "
+            f"{inst.inputs[0].nelems} elements, region holds "
+            f"{inst.outputs[0].nelems}",
+            index, inst))
+    return out
+
+
+def _check_count(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, 1)
+    if out:
+        return out
+    if inst.outputs[0].nelems != 1:
+        out.append(diag(
+            "F004",
+            f"Count1D produces one element, output region holds "
+            f"{inst.outputs[0].nelems}",
+            index, inst))
+    value = inst.attrs.get("value")
+    if value is not None and not isinstance(value, (int, float)):
+        out.append(diag(
+            "F007",
+            f"attribute value={value!r} must be numeric",
+            index, inst))
+    return out
+
+
+def _check_merge(inst: Instruction, index: int) -> List[Diagnostic]:
+    out = _arity(inst, index, None, min_in=1)
+    if out:
+        return out
+    total = sum(r.nelems for r in inst.inputs)
+    if inst.outputs[0].nelems != total:
+        out.append(diag(
+            "F004",
+            f"Merge1D of {len(inst.inputs)} sorted inputs produces "
+            f"{total} elements, output region holds "
+            f"{inst.outputs[0].nelems}",
+            index, inst))
+    out += _same_input_dtypes(inst, index)
+    return out
+
+
+_CHECKERS: Dict[Opcode, Callable[[Instruction, int], List[Diagnostic]]] = {
+    Opcode.MATMUL: _check_matmul,
+    Opcode.EUCLIDIAN1D: _check_euclidian,
+    Opcode.CV2D: _check_cv2d,
+    Opcode.CV3D: _check_cv3d,
+    Opcode.MAX2D: _check_pool,
+    Opcode.MIN2D: _check_pool,
+    Opcode.AVG2D: _check_pool,
+    Opcode.LRN: _check_lrn,
+    Opcode.ADD1D: _check_eltwise_binary,
+    Opcode.SUB1D: _check_eltwise_binary,
+    Opcode.MUL1D: _check_eltwise_binary,
+    Opcode.ACT1D: _check_act,
+    Opcode.HSUM1D: _check_horizontal,
+    Opcode.HPROD1D: _check_horizontal,
+    Opcode.SORT1D: _check_sort,
+    Opcode.COUNT1D: _check_count,
+    Opcode.MERGE1D: _check_merge,
+}
+
+#: attribute keys each opcode understands (beyond the decomposition-internal
+#: ``accumulate`` / ``acc_local_out`` / ``acc_chain`` flags, always allowed).
+_KNOWN_ATTRS: Dict[Opcode, frozenset] = {
+    Opcode.CV2D: frozenset({"stride"}),
+    Opcode.CV3D: frozenset({"stride"}),
+    Opcode.MAX2D: frozenset({"kh", "kw", "sh", "sw"}),
+    Opcode.MIN2D: frozenset({"kh", "kw", "sh", "sw"}),
+    Opcode.AVG2D: frozenset({"kh", "kw", "sh", "sw"}),
+    Opcode.LRN: frozenset({"size", "alpha", "beta", "k"}),
+    Opcode.ACT1D: frozenset({"func"}),
+    Opcode.COUNT1D: frozenset({"value"}),
+}
+
+_INTERNAL_ATTRS = frozenset({"accumulate", "acc_local_out", "acc_chain"})
+
+
+def _check_attr_keys(inst: Instruction, index: int) -> List[Diagnostic]:
+    known = _KNOWN_ATTRS.get(inst.opcode, frozenset())
+    out = []
+    for key in inst.attrs:
+        if key in known or key in _INTERNAL_ATTRS:
+            continue
+        out.append(diag(
+            "F009",
+            f"{inst.opcode.value} does not understand attribute {key!r}"
+            + (f" (known: {sorted(known)})" if known else ""),
+            index, inst))
+    return out
+
+
+def check_types(program: Sequence[Instruction]) -> List[Diagnostic]:
+    """Type-check every instruction; returns all diagnostics found."""
+    out: List[Diagnostic] = []
+    for index, inst in enumerate(program):
+        checker = _CHECKERS.get(inst.opcode)
+        if checker is not None:
+            out.extend(checker(inst, index))
+        out.extend(_check_attr_keys(inst, index))
+    return out

@@ -10,6 +10,7 @@ Commands::
     dse                             Table-4 hierarchy sweep (costs only)
     assemble  prog.fisa -o prog.bin assemble FISA text to the binary format
     disasm    prog.bin              disassemble a FISA binary
+    lint      prog.fisa             static analysis (shape/def-use/hazards)
     run       prog.fisa             assemble + execute with random inputs
 """
 
@@ -164,6 +165,40 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Statically analyze FISA programs; CI-friendly exit codes.
+
+    0 = clean (warnings allowed unless --strict), 1 = analyzer errors,
+    2 = parse failure.
+    """
+    from .analysis import analyze_workload
+    from .frontend import AssemblyError, assemble
+
+    worst = 0
+    for source in args.sources:
+        try:
+            with open(source, encoding="utf-8") as f:
+                w = assemble(f.read(), name=source, lint=False)
+        except AssemblyError as err:
+            print(f"{source}: parse error: {err}")
+            worst = max(worst, 2)
+            continue
+        except OSError as err:
+            print(f"{source}: {err}")
+            worst = max(worst, 2)
+            continue
+        result = analyze_workload(w)
+        gating = result.errors if not args.strict else result.diagnostics
+        for d in result.diagnostics:
+            print(d.format())
+        print(f"{source}: {len(result.errors)} error(s), "
+              f"{len(result.warnings)} warning(s), "
+              f"{result.instructions} instruction(s)")
+        if gating:
+            worst = max(worst, 1)
+    return worst
+
+
 def cmd_run(args) -> int:
     from .core.executor import FractalExecutor
     from .core.store import TensorStore
@@ -239,6 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("disasm", help="FISA binary -> text")
     p.add_argument("binary")
     p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("lint", help="statically analyze FISA programs "
+                                    "(shape/dtype, def-use, hazards)")
+    p.add_argument("sources", nargs="+",
+                   help="one or more .fisa source files")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors for the exit code")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("run", help="assemble and execute a FISA program")
     _add_machine_args(p)

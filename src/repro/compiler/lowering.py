@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..analysis import analyze_workload
 from ..core.isa import Opcode
 from ..core.tensor import Region
 from ..workloads.builder import ProgramBuilder, Workload
@@ -72,4 +73,15 @@ def lower(graph: Graph) -> Workload:
 
     for nid in graph.outputs:
         b.mark_output(values[nid].tensor)
-    return b.build(compiled_from=graph.name, nodes=len(graph))
+    workload = b.build(compiled_from=graph.name, nodes=len(graph))
+
+    # The lowering contract: emitted programs are always analyzer-clean.
+    # A failure here is a compiler bug (bad emission), never a user error --
+    # graph.validate() has already rejected malformed graphs above.
+    result = analyze_workload(workload)
+    if not result.ok:
+        details = "; ".join(d.format() for d in result.errors[:10])
+        raise GraphError(
+            f"lowering of {graph.name!r} emitted an analyzer-rejected "
+            f"program (compiler bug): {details}")
+    return workload

@@ -1,7 +1,7 @@
 """Core of the Cambricon-F reproduction: FISA, tensors, decomposition,
 machines, and the functional fractal executor."""
 
-from .isa import DependencyKind, Instruction, Opcode
+from .isa import DependencyKind, Instruction, Opcode, SourceLoc
 from .machine import (
     LevelSpec,
     Machine,
@@ -17,6 +17,7 @@ __all__ = [
     "DependencyKind",
     "Instruction",
     "Opcode",
+    "SourceLoc",
     "LevelSpec",
     "Machine",
     "cambricon_f1",

@@ -47,16 +47,31 @@ class FractalExecutor:
         machine: Machine,
         store: Optional[TensorStore] = None,
         apply_sequential: bool = True,
+        preflight: bool = False,
     ):
         self.machine = machine
         self.store = store if store is not None else TensorStore()
         self.apply_sequential = apply_sequential
+        #: opt-in pre-flight: statically analyze programs before running
+        #: them and refuse on analyzer errors (repro.analysis).
+        self.preflight = preflight
         self.stats = ExecutionStats()
 
     # -- public API ---------------------------------------------------------
 
     def run_program(self, program: Iterable[Instruction]) -> TensorStore:
-        """Execute an instruction sequence top-down; returns the store."""
+        """Execute an instruction sequence top-down; returns the store.
+
+        With ``preflight=True`` the program is first run through the static
+        analyzer and an :class:`repro.analysis.AnalysisError` is raised on
+        any error-severity diagnostic -- a fast reject instead of a numpy
+        failure (or silent divergence) deep inside the recursion.
+        """
+        program = list(program)
+        if self.preflight:
+            from ..analysis import analyze  # deferred: keeps core import-light
+
+            analyze(program, name="preflight").raise_if_errors()
         for inst in program:
             self._run(inst, level=0)
         return self.store

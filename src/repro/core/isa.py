@@ -79,6 +79,30 @@ class DependencyKind(enum.Enum):
 
 
 @dataclass(frozen=True)
+class SourceLoc:
+    """Where an instruction came from in a source artifact.
+
+    The assembler stamps every instruction it parses with the ``.fisa``
+    file, 1-based line and 1-based column of the opcode token; analyzer
+    diagnostics (``repro.analysis``) thread it back to the user.  Locations
+    are *metadata*: they never participate in instruction equality, hashing
+    or structural signatures, so a located instruction is interchangeable
+    with an unlocated one everywhere else in the stack.
+    """
+
+    file: str = "<program>"
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        if self.column:
+            return f"{self.file}:{self.line}:{self.column}"
+        if self.line:
+            return f"{self.file}:{self.line}"
+        return self.file
+
+
+@dataclass(frozen=True)
 class Instruction:
     """A FISA instruction ``I = (O, P, G)``.
 
@@ -93,6 +117,9 @@ class Instruction:
     inputs: Tuple[Region, ...]
     outputs: Tuple[Region, ...]
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: source location metadata (assembler-stamped); excluded from __eq__,
+    #: __hash__ and signature() -- see :class:`SourceLoc`.
+    loc: Optional[SourceLoc] = None
 
     def __post_init__(self):
         object.__setattr__(self, "inputs", tuple(self.inputs))
@@ -180,6 +207,7 @@ class Instruction:
             self.inputs if inputs is None else tuple(inputs),
             self.outputs if outputs is None else tuple(outputs),
             dict(self.attrs),
+            loc=self.loc,
         )
 
     def __repr__(self) -> str:

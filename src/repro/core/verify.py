@@ -77,6 +77,7 @@ def verify_program(
     rtol: float = 1e-6,
     name: str = "program",
     input_scale: float = 0.25,
+    preflight: bool = False,
 ) -> VerificationReport:
     """Run ``program`` fractally and against the reference kernels.
 
@@ -84,10 +85,17 @@ def verify_program(
     seeded random data scaled by ``input_scale`` (kept small so deep
     networks don't blow up numerically and absolute errors stay readable).
     ``outputs`` restricts which tensors are compared (default: every tensor
-    any instruction writes).
+    any instruction writes).  ``preflight=True`` additionally runs the
+    static analyzer first and raises
+    :class:`repro.analysis.AnalysisError` on any error-severity
+    diagnostic, so malformed programs fail fast instead of mid-run.
     """
     machine = machine if machine is not None else cambricon_f1()
     program = list(program)
+    if preflight:
+        from ..analysis import analyze
+
+        analyze(program, name=name).raise_if_errors()
     tensors = _gather_tensors(program)
     written = {r.tensor.uid for inst in program for r in inst.outputs}
     sources = [t for uid, t in tensors.items() if uid not in written]

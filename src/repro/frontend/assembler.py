@@ -22,19 +22,24 @@ case-insensitively (``MatMul``, ``Cv2D``, ``Sort1D``, ...).
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..core.isa import Instruction, Opcode
+from ..core.isa import Instruction, Opcode, SourceLoc
 from ..core.tensor import DType, FP16, FP32, INT32, Region, Tensor
 from ..workloads.builder import Workload
 
 
 class AssemblyError(ValueError):
-    """A parse or semantic error, carrying the offending line number."""
+    """A parse or semantic error, carrying the offending line/column."""
 
-    def __init__(self, lineno: int, message: str):
-        super().__init__(f"line {lineno}: {message}")
+    def __init__(self, lineno: int, message: str,
+                 column: Optional[int] = None):
+        where = f"line {lineno}"
+        if column is not None:
+            where += f", col {column}"
+        super().__init__(f"{where}: {message}")
         self.lineno = lineno
+        self.column = column
 
 
 _DTYPES: Dict[str, DType] = {"fp16": FP16, "fp32": FP32, "int32": INT32}
@@ -76,13 +81,21 @@ def _split_operands(text: str) -> List[str]:
     return parts
 
 
-def _parse_region(lineno: int, text: str, tensors: Dict[str, Tensor]) -> Region:
+def _column_of(raw: str, text: str) -> Optional[int]:
+    """1-based column of ``text`` in the original source line, if present."""
+    pos = raw.find(text)
+    return pos + 1 if pos >= 0 else None
+
+
+def _parse_region(lineno: int, text: str, tensors: Dict[str, Tensor],
+                  raw: str = "") -> Region:
+    column = _column_of(raw, text)
     m = _OPERAND_RE.match(text)
     if not m:
-        raise AssemblyError(lineno, f"bad operand {text!r}")
+        raise AssemblyError(lineno, f"bad operand {text!r}", column)
     name, _, slices = m.groups()
     if name not in tensors:
-        raise AssemblyError(lineno, f"undeclared tensor {name!r}")
+        raise AssemblyError(lineno, f"undeclared tensor {name!r}", column)
     region = tensors[name].region()
     if slices is None or not slices.strip():
         return region
@@ -99,12 +112,20 @@ def _parse_region(lineno: int, text: str, tensors: Dict[str, Tensor]) -> Region:
                 idx = int(spec)
                 region = region.slice_dim(dim, idx, idx + 1)
     except (ValueError, IndexError) as err:
-        raise AssemblyError(lineno, f"bad region {text!r}: {err}")
+        raise AssemblyError(lineno, f"bad region {text!r}: {err}", column)
     return region
 
 
-def assemble(source: str, name: str = "asm") -> Workload:
-    """Assemble FISA text into a Workload."""
+def assemble(source: str, name: str = "asm", lint: bool = True) -> Workload:
+    """Assemble FISA text into a Workload.
+
+    With ``lint=True`` (the default) the parsed program is run through the
+    static analyzer (:mod:`repro.analysis`) and any analyzer *error* --
+    shape mismatch, use-before-write, decomposition hazard -- is raised as
+    an :class:`AssemblyError` pointing at the offending source line.
+    Warnings never block assembly.  ``repro lint`` passes ``lint=False``
+    to collect the diagnostics itself instead of catching exceptions.
+    """
     tensors: Dict[str, Tensor] = {}
     inputs: Dict[str, Tensor] = {}
     outputs: Dict[str, Tensor] = {}
@@ -117,6 +138,7 @@ def assemble(source: str, name: str = "asm") -> Workload:
         head, *rest = line.split(None, 1)
         body = rest[0] if rest else ""
         keyword = head.lower()
+        column = len(raw) - len(raw.lstrip()) + 1
 
         if keyword in ("tensor", "input"):
             tokens = body.split()
@@ -152,7 +174,7 @@ def assemble(source: str, name: str = "asm") -> Workload:
 
         opcode = _OPCODES.get(keyword)
         if opcode is None:
-            raise AssemblyError(lineno, f"unknown opcode {head!r}")
+            raise AssemblyError(lineno, f"unknown opcode {head!r}", column)
 
         # split attrs (key=value tokens at the end) from operands
         attr_text: Dict[str, object] = {}
@@ -167,15 +189,37 @@ def assemble(source: str, name: str = "asm") -> Workload:
             else:
                 break
 
-        operands = [_parse_region(lineno, op, tensors)
+        operands = [_parse_region(lineno, op, tensors, raw)
                     for op in _split_operands(operand_text)]
         n_out = _N_OUTPUTS[opcode]
         if len(operands) < n_out + 1:
             raise AssemblyError(
-                lineno, f"{opcode.value} needs an output and at least one input")
+                lineno, f"{opcode.value} needs an output and at least one input",
+                column)
         outs = tuple(operands[:n_out])
         ins = tuple(operands[n_out:])
-        program.append(Instruction(opcode, ins, outs, attr_text))
+        program.append(Instruction(
+            opcode, ins, outs, attr_text,
+            loc=SourceLoc(file=name, line=lineno, column=column)))
 
-    return Workload(name=name, program=program, inputs=inputs,
-                    outputs=outputs, params={}, meta={"source": "assembly"})
+    workload = Workload(name=name, program=program, inputs=inputs,
+                        outputs=outputs, params={}, meta={"source": "assembly"})
+    if lint:
+        _lint(workload)
+    return workload
+
+
+def _lint(workload: Workload) -> None:
+    """Run the static analyzer over a freshly parsed program; raise an
+    AssemblyError naming the first offending source line on any error."""
+    from ..analysis import analyze_workload  # deferred: avoids import cycles
+
+    result = analyze_workload(workload)
+    if result.ok:
+        return
+    first = result.errors[0]
+    lineno = first.loc.line if first.loc is not None else 0
+    column = first.loc.column if first.loc is not None else None
+    listing = "; ".join(d.format() for d in result.errors[:10])
+    raise AssemblyError(
+        lineno, f"static analysis rejected the program: {listing}", column)

@@ -41,6 +41,7 @@ def knn_workload(
         # distance (a selection, so only a block of rows at a time)
         flat = b.tensor("sorted", (select * categories,))
         b.emit(Opcode.SORT1D, (dist.region()[0:select, :],), (flat.region(),))
+        b.mark_output(flat)  # the host reads the k-th smallest off this block
         cnt = b.tensor("count", (1,))
         b.emit(Opcode.COUNT1D, (dist.region()[0:select, :],), (cnt.region(),))
         b.mark_output(cnt)
@@ -71,12 +72,14 @@ def kmeans_workload(
             mins = b.input(f"mins{it}_{i}", (batch, k))
             shifted = b.tensor("shift", (batch, k))
             b.emit(Opcode.SUB1D, (dist.region(), mins.region()), (shifted.region(),))
+            b.mark_output(shifted)  # the host argmins this for assignments
             # one-hot assignment matrix comes back from the host's argmin
             assign = b.input(f"assign{it}_{i}", (k, batch))
             sums = b.tensor("sums", (k, dims))
             b.emit(Opcode.MATMUL, (assign.region(), x.region()), (sums.region(),))
             counts = b.tensor("cnt", (1,))
             b.emit(Opcode.COUNT1D, (assign.region(),), (counts.region(),))
+            b.mark_output(counts)  # per-cluster membership for the re-scale
             b.mark_output(sums)
             last_sums = sums
         # centroid re-scale: sums * (1 / member count), tiled by the host
@@ -116,6 +119,7 @@ def lvq_workload(
             dist = b.tensor("dist", (batch, prototypes))
             b.emit(Opcode.EUCLIDIAN1D, (x.region(), proto_mat.region()),
                    (dist.region(),))
+            b.mark_output(dist)  # the host picks winner/runner-up from it
             # winner/runner-up tiles and learning rates come from the host
             current = b.input(f"winner{it}_{i}", (batch, dims)).region()
             lr = b.input(f"lr{it}_{i}", (batch, dims)).region()

@@ -1,0 +1,423 @@
+"""FISA static analyzer: diagnostics framework, passes, and wiring.
+
+Negative-path coverage lives here too: one seeded fixture per error code,
+asserting the exact code fires (and nothing unexpected rides along).
+"""
+
+import pathlib
+
+import pytest
+
+from repro import (
+    AnalysisError,
+    FractalExecutor,
+    Instruction,
+    Opcode,
+    SourceLoc,
+    Tensor,
+    analyze,
+    analyze_workload,
+    verify_program,
+)
+from repro.analysis import CODES, Severity
+from repro.analysis.diagnostics import diag
+from repro.core.tensor import FP16, FP32
+from repro.frontend import AssemblyError, assemble
+
+from conftest import tiny_machine
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def codes_of(program, **kw):
+    return analyze(program, **kw).codes
+
+
+def mk(opcode, inputs, outputs, attrs=None):
+    return Instruction(opcode, tuple(inputs), tuple(outputs), dict(attrs or {}))
+
+
+# -- diagnostics framework --------------------------------------------------
+
+
+class TestDiagnostics:
+    def test_registry_is_complete_and_stable(self):
+        # every registered code has severity + title, and codes are F0xx
+        for code, (sev, title) in CODES.items():
+            assert code.startswith("F0") and len(code) == 4
+            assert isinstance(sev, Severity) and title
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(KeyError):
+            diag("F999", "nope")
+
+    def test_format_includes_loc_and_code(self):
+        x, y = Tensor("x", (4,)), Tensor("y", (5,))
+        inst = Instruction(Opcode.ACT1D, (x.region(),), (y.region(),),
+                           loc=SourceLoc("prog.fisa", 12, 3))
+        d = diag("F004", "mismatch", 0, inst)
+        assert "prog.fisa:12:3" in d.format()
+        assert "F004" in d.format()
+
+    def test_result_ok_semantics(self):
+        x, y = Tensor("x", (4,)), Tensor("y", (4,))
+        r = analyze([mk(Opcode.ACT1D, [x.region()], [y.region()])])
+        assert r.ok and not r.errors and r.instructions == 1
+        r.raise_if_errors()  # must not raise
+
+
+# -- type checker: one firing test per code ---------------------------------
+
+
+class TestTypeChecker:
+    def setup_method(self):
+        self.A = Tensor("A", (4, 6))
+        self.B = Tensor("B", (6, 5))
+        self.C = Tensor("C", (4, 5))
+
+    def test_F001_arity(self):
+        assert codes_of([mk(Opcode.MATMUL, [self.A.region()],
+                            [self.C.region()])]) == ["F001"]
+
+    def test_F002_rank(self):
+        v = Tensor("v", (6,))
+        assert codes_of([mk(Opcode.MATMUL, [self.A.region(), v.region()],
+                            [self.C.region()])]) == ["F002"]
+
+    def test_F003_matmul_inner_dim(self):
+        bad = Tensor("bad", (7, 5))
+        assert codes_of([mk(Opcode.MATMUL, [self.A.region(), bad.region()],
+                            [self.C.region()])]) == ["F003"]
+
+    def test_F003_euclidian_feature_dim(self):
+        x, y, o = Tensor("x", (4, 8)), Tensor("y", (3, 7)), Tensor("o", (4, 3))
+        assert codes_of([mk(Opcode.EUCLIDIAN1D, [x.region(), y.region()],
+                            [o.region()])]) == ["F003"]
+
+    def test_F003_conv_channels(self):
+        x = Tensor("x", (1, 8, 8, 3))
+        w = Tensor("w", (3, 3, 4, 2))
+        o = Tensor("o", (1, 6, 6, 2))
+        assert codes_of([mk(Opcode.CV2D, [x.region(), w.region()],
+                            [o.region()], {"stride": 1})]) == ["F003"]
+
+    def test_F004_output_shape(self):
+        bad = Tensor("bad", (4, 4))
+        assert codes_of([mk(Opcode.MATMUL, [self.A.region(), self.B.region()],
+                            [bad.region()])]) == ["F004"]
+
+    def test_F004_sort_size(self):
+        x, o = Tensor("x", (16,)), Tensor("o", (8,))
+        assert codes_of([mk(Opcode.SORT1D, [x.region()],
+                            [o.region()])]) == ["F004"]
+
+    def test_F004_merge_total(self):
+        a, b = Tensor("a", (4,)), Tensor("b", (4,))
+        o = Tensor("o", (7,))
+        assert codes_of([mk(Opcode.MERGE1D, [a.region(), b.region()],
+                            [o.region()])]) == ["F004"]
+
+    def test_F004_horizontal_scalar(self):
+        x, o = Tensor("x", (16,)), Tensor("o", (2,))
+        assert codes_of([mk(Opcode.HSUM1D, [x.region()],
+                            [o.region()])]) == ["F004"]
+
+    def test_F005_conv_window(self):
+        x = Tensor("x", (1, 4, 4, 3))
+        w = Tensor("w", (9, 9, 3, 2))
+        o = Tensor("o", (1, 1, 1, 2))
+        assert codes_of([mk(Opcode.CV2D, [x.region(), w.region()],
+                            [o.region()])]) == ["F005"]
+
+    def test_F005_pool_window(self):
+        x = Tensor("x", (1, 3, 3, 2))
+        o = Tensor("o", (1, 1, 1, 2))
+        assert codes_of([mk(Opcode.MAX2D, [x.region()], [o.region()],
+                            {"kh": 5, "kw": 5})]) == ["F005"]
+
+    def test_F005_cv3d_window(self):
+        x = Tensor("x", (1, 2, 4, 4, 3))
+        w = Tensor("w", (3, 3, 3, 3, 2))
+        o = Tensor("o", (1, 1, 2, 2, 2))
+        assert codes_of([mk(Opcode.CV3D, [x.region(), w.region()],
+                            [o.region()])]) == ["F005"]
+
+    def test_F006_eltwise_shapes(self):
+        a, b, o = Tensor("a", (4,)), Tensor("b", (5,)), Tensor("o", (4,))
+        assert codes_of([mk(Opcode.ADD1D, [a.region(), b.region()],
+                            [o.region()])]) == ["F006"]
+
+    def test_F007_bad_activation(self):
+        x, y = Tensor("x", (8,)), Tensor("y", (8,))
+        assert codes_of([mk(Opcode.ACT1D, [x.region()], [y.region()],
+                            {"func": "frobnicate"})]) == ["F007"]
+
+    def test_F007_bad_stride(self):
+        x = Tensor("x", (1, 8, 8, 3))
+        w = Tensor("w", (3, 3, 3, 2))
+        o = Tensor("o", (1, 6, 6, 2))
+        assert codes_of([mk(Opcode.CV2D, [x.region(), w.region()],
+                            [o.region()], {"stride": 0})]) == ["F007"]
+
+    def test_F008_mixed_dtypes_warns(self):
+        a32 = Tensor("a32", (4, 6), FP32)
+        r = analyze([mk(Opcode.MATMUL, [a32.region(), self.B.region()],
+                        [self.C.region()])])
+        assert r.codes == ["F008"]
+        assert r.ok  # warning only
+
+    def test_F009_unknown_attr_warns(self):
+        x = Tensor("x", (1, 8, 8, 3))
+        w = Tensor("w", (3, 3, 3, 2))
+        o = Tensor("o", (1, 6, 6, 2))
+        r = analyze([mk(Opcode.CV2D, [x.region(), w.region()],
+                        [o.region()], {"strid": 2})])
+        assert r.codes == ["F009"] and r.ok
+
+    def test_internal_attrs_always_allowed(self):
+        a, b, o = (Tensor(s, (8,)) for s in "abo")
+        r = analyze([mk(Opcode.ADD1D, [a.region(), b.region()], [o.region()],
+                        {"accumulate": True, "acc_chain": 3})])
+        assert "F009" not in r.codes
+
+    def test_clean_instruction_is_clean(self):
+        assert codes_of([mk(Opcode.MATMUL,
+                            [self.A.region(), self.B.region()],
+                            [self.C.region()])]) == []
+
+
+# -- def-use ----------------------------------------------------------------
+
+
+class TestDefUse:
+    def setup_method(self):
+        self.x = Tensor("x", (8,))
+        self.y = Tensor("y", (8,))
+        self.t = Tensor("t", (8,))
+
+    def test_F020_use_before_write(self):
+        p = [mk(Opcode.ACT1D, [self.t.region()], [self.y.region()])]
+        r = analyze(p, inputs=[self.x], outputs=[self.y])
+        assert "F020" in r.codes and not r.ok
+
+    def test_F020_disjoint_partial_write(self):
+        # writes rows 0:4 then reads rows 4:8 -- never written
+        p = [mk(Opcode.ACT1D, [self.x.region()[0:4]], [self.t.region()[0:4]]),
+             mk(Opcode.ACT1D, [self.t.region()[4:8]], [self.y.region()[4:8]])]
+        r = analyze(p, inputs=[self.x], outputs=[self.y])
+        assert "F020" in r.codes
+
+    def test_padding_idiom_is_legal(self):
+        # write the interior, read the whole box (zero border): no F020
+        pad = Tensor("pad", (1, 6, 6, 1))
+        img = Tensor("img", (1, 4, 4, 1))
+        w = Tensor("w", (3, 3, 1, 1))
+        o = Tensor("o", (1, 4, 4, 1))
+        interior = pad.region()[:, 1:5, 1:5, :]
+        p = [mk(Opcode.ACT1D, [img.region()], [interior], {"func": "identity"}),
+             mk(Opcode.CV2D, [pad.region(), w.region()], [o.region()])]
+        r = analyze(p, inputs=[img, w], outputs=[o])
+        assert r.ok and "F020" not in r.codes
+
+    def test_F021_dead_write(self):
+        p = [mk(Opcode.ACT1D, [self.x.region()], [self.t.region()]),
+             mk(Opcode.ACT1D, [self.x.region()], [self.y.region()])]
+        r = analyze(p, inputs=[self.x], outputs=[self.y])
+        assert "F021" in r.codes and r.ok  # warning
+
+    def test_F022_unwritten_output(self):
+        p = [mk(Opcode.ACT1D, [self.x.region()], [self.y.region()])]
+        r = analyze(p, inputs=[self.x], outputs=[self.y, self.t])
+        assert "F022" in r.codes and r.ok  # warning
+
+    def test_bare_program_conventions(self):
+        # without declarations, read-before-write tensors are sources
+        p = [mk(Opcode.ACT1D, [self.t.region()], [self.y.region()])]
+        assert analyze(p).ok
+
+
+# -- hazards ----------------------------------------------------------------
+
+
+class TestHazards:
+    def setup_method(self):
+        self.x = Tensor("x", (8,))
+        self.y = Tensor("y", (8,))
+        self.z = Tensor("z", (8,))
+
+    def test_F030_in_place(self):
+        p = [mk(Opcode.ADD1D, [self.x.region(), self.y.region()],
+                [self.x.region()])]
+        r = analyze(p)
+        assert "F030" in r.codes and not r.ok
+
+    def test_F031_clobbered_write(self):
+        p = [mk(Opcode.ACT1D, [self.x.region()[0:6]], [self.z.region()[0:6]]),
+             mk(Opcode.ACT1D, [self.x.region()[0:4]], [self.z.region()[2:6]])]
+        r = analyze(p)
+        assert "F031" in r.codes and not r.ok
+
+    def test_F031_intra_instruction_output_overlap(self):
+        inst = Instruction(
+            Opcode.ACT1D, (self.x.region(),),
+            (self.z.region()[0:6], self.z.region()[4:8]))
+        r = analyze([inst])
+        assert "F031" in r.codes
+
+    def test_F032_waw_with_intervening_read(self):
+        p = [mk(Opcode.ACT1D, [self.x.region()], [self.z.region()]),
+             mk(Opcode.ACT1D, [self.z.region()], [self.y.region()]),
+             mk(Opcode.ACT1D, [self.x.region()], [self.z.region()])]
+        r = analyze(p)
+        assert "F032" in r.codes
+        assert "F031" not in r.codes  # consumed: serializes correctly
+        assert r.ok  # warnings only
+
+    def test_F033_war(self):
+        p = [mk(Opcode.ACT1D, [self.x.region()], [self.y.region()]),
+             mk(Opcode.ACT1D, [self.z.region()], [self.x.region()])]
+        r = analyze(p, inputs=[self.x, self.z], outputs=[self.y, self.x])
+        assert "F033" in r.codes and r.ok
+
+    def test_disjoint_writes_are_clean(self):
+        p = [mk(Opcode.ACT1D, [self.x.region()[0:4]], [self.z.region()[0:4]]),
+             mk(Opcode.ACT1D, [self.x.region()[4:8]], [self.z.region()[4:8]])]
+        assert analyze(p).codes == []
+
+    def test_producer_consumer_not_reported(self):
+        p = [mk(Opcode.ACT1D, [self.x.region()], [self.z.region()]),
+             mk(Opcode.ACT1D, [self.z.region()], [self.y.region()])]
+        assert analyze(p).codes == []
+
+
+# -- wiring: assembler, lowering, executor, verify ---------------------------
+
+
+class TestWiring:
+    def test_assembler_stamps_source_locations(self):
+        w = assemble("input x 4\ntensor y 4\nAct1D y, x\n", name="p.fisa")
+        loc = w.program[0].loc
+        assert loc is not None
+        assert (loc.file, loc.line, loc.column) == ("p.fisa", 3, 1)
+
+    def test_assembler_lints_by_default(self):
+        bad = "input a 4 6\ninput b 7 5\ntensor c 4 5\nMatMul c, a, b\n"
+        with pytest.raises(AssemblyError) as err:
+            assemble(bad)
+        assert "F003" in str(err.value)
+        assert err.value.lineno == 4
+
+    def test_assembler_lint_opt_out(self):
+        bad = "input a 4 6\ninput b 7 5\ntensor c 4 5\nMatMul c, a, b\n"
+        w = assemble(bad, lint=False)
+        assert len(w.program) == 1
+
+    def test_loc_survives_with_operands(self):
+        w = assemble("input x 4\ntensor y 4\nAct1D y, x\n", name="p.fisa")
+        inst = w.program[0]
+        assert inst.with_operands().loc == inst.loc
+
+    def test_loc_excluded_from_identity(self):
+        w = assemble("input x 4\ntensor y 4\nAct1D y, x\n", name="p.fisa")
+        inst = w.program[0]
+        bare = Instruction(inst.opcode, inst.inputs, inst.outputs, inst.attrs)
+        assert bare == inst
+        assert hash(bare) == hash(inst)
+        assert bare.signature() == inst.signature()
+
+    def test_executor_preflight_rejects(self):
+        x, y = Tensor("x", (8,)), Tensor("y", (8,))
+        bad = mk(Opcode.ADD1D, [x.region(), y.region()], [x.region()])
+        ex = FractalExecutor(tiny_machine(), preflight=True)
+        with pytest.raises(AnalysisError) as err:
+            ex.run_program([bad])
+        assert "F030" in str(err.value)
+
+    def test_executor_preflight_accepts_clean(self, rng):
+        from repro import TensorStore
+        x, y, o = (Tensor(s, (8,)) for s in "xyo")
+        store = TensorStore()
+        store.bind(x, rng.normal(size=(8,)))
+        store.bind(y, rng.normal(size=(8,)))
+        ex = FractalExecutor(tiny_machine(), store, preflight=True)
+        ex.run_program([mk(Opcode.ADD1D, [x.region(), y.region()],
+                           [o.region()])])
+
+    def test_verify_preflight_rejects(self):
+        A, C = Tensor("A", (4, 6)), Tensor("C", (4, 4))
+        B = Tensor("B", (7, 4))
+        bad = mk(Opcode.MATMUL, [A.region(), B.region()], [C.region()])
+        with pytest.raises(AnalysisError):
+            verify_program([bad], machine=tiny_machine(), preflight=True)
+
+    def test_lowering_emits_clean_programs(self):
+        from repro.compiler import Graph, lower
+        g = Graph("net")
+        x = g.input("img", (1, 8, 8, 3))
+        h = g.conv2d(x, 4, 3, padding=1)
+        g.output(g.dense(g.flatten(g.maxpool(h, 2)), 10))
+        w = lower(g)
+        assert analyze_workload(w).ok
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+class TestLintCLI:
+    def run(self, capsys, *argv):
+        from repro.cli import main
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_clean_program_exits_zero(self, capsys):
+        code, out = self.run(capsys, "lint", "examples/programs/knn.fisa")
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_overlap_fixture_exits_nonzero_with_code_and_line(self, capsys):
+        path = str(FIXTURES / "overlap_hazard.fisa")
+        code, out = self.run(capsys, "lint", path)
+        assert code == 1
+        assert "F031" in out
+        assert f"{path}:7" in out  # source line of the clobbering write
+
+    def test_parse_failure_exits_two(self, capsys, tmp_path):
+        src = tmp_path / "broken.fisa"
+        src.write_text("Frobnicate y, x\n")
+        code, out = self.run(capsys, "lint", str(src))
+        assert code == 2
+        assert "parse error" in out
+
+    def test_multiple_files_worst_exit(self, capsys):
+        code, out = self.run(
+            capsys, "lint", "examples/programs/knn.fisa",
+            str(FIXTURES / "bad_matmul.fisa"))
+        assert code == 1
+        assert "F003" in out
+
+    def test_strict_gates_warnings(self, capsys):
+        path = str(FIXTURES / "dtype_mismatch.fisa")
+        code, out = self.run(capsys, "lint", path)
+        assert code == 0 and "F008" in out
+        code, _ = self.run(capsys, "lint", "--strict", path)
+        assert code == 1
+
+    def test_use_before_write_fixture(self, capsys):
+        path = str(FIXTURES / "use_before_write.fisa")
+        code, out = self.run(capsys, "lint", path)
+        assert code == 1
+        assert "F020" in out and "F030" in out
+
+
+# -- dtype fixture sanity ----------------------------------------------------
+
+
+def test_fixture_dtypes_parse():
+    src = (FIXTURES / "dtype_mismatch.fisa").read_text()
+    w = assemble(src, lint=False)
+    dts = {t.dtype.name for t in w.inputs.values()}
+    assert dts == {"fp16", "fp32"}
+    assert FP16.name == "fp16"

@@ -1,0 +1,100 @@
+"""Self-clean invariant: every program the repo ships must be analyzer-clean.
+
+The static analyzer (``repro.analysis``) is only trustworthy if the
+programs we hold up as exemplars pass it with zero errors.  This module
+pins that invariant for the three places programs come from:
+
+* assembly sources under ``examples/programs/``,
+* the seven Table-5 benchmark builders in ``workloads/suite.py``
+  (both small/test scale and paper scale), and
+* compiler-lowered networks (``compiler.lowering.lower``).
+
+The benchmark builders are additionally held to *zero warnings* -- a dead
+write or dtype mix in our own suite would be a bug, not a style issue.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze, analyze_workload
+from repro.compiler import Graph, lower, optimize
+from repro.frontend import assemble
+from repro.workloads.suite import PAPER_BENCHMARKS, paper_benchmark, small_benchmark
+
+PROGRAMS = Path(__file__).resolve().parent.parent / "examples" / "programs"
+BENCHMARKS = sorted(PAPER_BENCHMARKS)
+
+
+# -- assembly sources -----------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "source", sorted(PROGRAMS.glob("*.fisa")), ids=lambda p: p.name
+)
+def test_shipped_assembly_programs_clean(source):
+    # assemble() lints by default, so merely assembling asserts zero
+    # errors; we re-run the analyzer to assert zero *warnings* too.
+    workload = assemble(source.read_text(), name=source.name)
+    result = analyze_workload(workload)
+    assert result.ok, result.format()
+    assert not result.warnings, result.format()
+
+
+def test_examples_directory_not_empty():
+    """Guard against the glob silently matching nothing."""
+    assert list(PROGRAMS.glob("*.fisa"))
+
+
+# -- benchmark suite builders ---------------------------------------------------
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_small_benchmarks_clean(name):
+    result = analyze_workload(small_benchmark(name))
+    assert result.ok, result.format()
+    assert not result.warnings, result.format()
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_paper_benchmarks_clean(name):
+    result = analyze_workload(paper_benchmark(name))
+    assert result.ok, result.format()
+    assert not result.warnings, result.format()
+
+
+# -- compiler-lowered programs --------------------------------------------------
+
+def _cnn_graph():
+    g = Graph("cnn")
+    x = g.input("img", (1, 12, 12, 3))
+    h = g.conv2d(x, 8, 3, padding=1, activation="relu")
+    h = g.maxpool(h, 2)
+    h = g.flatten(h)
+    g.output(g.dense(h, 10))
+    return g
+
+
+def _residual_graph():
+    g = Graph("res")
+    x = g.input("x", (1, 8, 8, 4))
+    h = g.conv2d(x, 4, 3, padding=1, activation="relu")
+    h = g.add(h, x)
+    g.output(g.activation(h, "relu"))
+    return g
+
+
+@pytest.mark.parametrize("build", [_cnn_graph, _residual_graph],
+                         ids=["cnn", "residual"])
+def test_lowered_graphs_clean(build):
+    for graph in (build(), optimize(build())[0]):
+        workload = lower(graph)  # lowering itself asserts zero errors
+        result = analyze_workload(workload)
+        assert result.ok, result.format()
+
+
+def test_lowered_bare_program_clean_without_declarations():
+    """The lowered instruction stream must also pass under bare-program
+    conventions (no declared inputs/outputs), the mode the executor's
+    pre-flight uses."""
+    workload = lower(_cnn_graph())
+    result = analyze(workload.program, name=workload.name)
+    assert result.ok, result.format()

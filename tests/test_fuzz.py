@@ -153,3 +153,36 @@ def test_fuzz_truncated_binaries_rejected_cleanly(insts, cut):
         return
     with pytest.raises(EncodingError):
         decode_program(truncated)
+
+
+# -- fuzz: static analyzer ------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(insts=st.lists(random_instruction(), min_size=1, max_size=6))
+def test_fuzz_analyzer_no_false_positives(insts):
+    """Executor-accepted programs are never flagged as errors.
+
+    Every program ``random_instruction`` generates is well-formed (the
+    functional fuzz above executes them), so under bare-program
+    conventions the analyzer must report zero *errors* on any
+    concatenation of them.  Warnings (dead writes between unrelated
+    instructions) are fine.
+    """
+    from repro.analysis import analyze
+    result = analyze(insts, name="fuzz")
+    assert result.ok, result.format()
+
+
+@settings(deadline=None, max_examples=25)
+@given(machine=machines, inst=random_instruction(), seed=st.integers(0, 9999))
+def test_fuzz_analyzer_clean_implies_executable(machine, inst, seed):
+    """Differential agreement: analyzer-clean => executes without raising."""
+    from repro.analysis import analyze
+    assert analyze([inst], name="fuzz").ok
+    rng = np.random.default_rng(seed)
+    store = TensorStore()
+    for r in inst.inputs:
+        store.bind(r.tensor, rng.normal(size=r.tensor.shape))
+    FractalExecutor(machine, store).run(inst)  # must not raise
+    out = store.read(inst.outputs[0])
+    assert np.all(np.isfinite(out))
