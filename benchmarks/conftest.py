@@ -4,19 +4,26 @@ Each ``bench_*`` module regenerates one table or figure of the paper and
 prints it (run ``pytest benchmarks/ --benchmark-only -s`` to see the
 output).  Expensive simulations are shared through session-scoped fixtures
 so the whole harness stays in the minutes range.
+
+Every suite simulation also writes a machine-readable RunReport
+(``BENCH_<machine>.json``, schema in docs/TELEMETRY.md) into
+``$REPRO_BENCH_REPORT_DIR`` (default ``benchmarks/reports/``) -- the
+artifact perf PRs diff against.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict
 
 import pytest
 
 sys.stdout.reconfigure(line_buffering=True)
 
-from repro import cambricon_f1, cambricon_f100
+from repro import cambricon_f1, cambricon_f100, telemetry
 from repro.sim import FractalSimulator
 from repro.workloads import PAPER_BENCHMARKS, paper_benchmark
 
@@ -34,21 +41,61 @@ class BenchResult:
     peak_fraction: float
 
 
+def _report_dir() -> Path:
+    return Path(os.environ.get(
+        "REPRO_BENCH_REPORT_DIR",
+        str(Path(__file__).resolve().parent / "reports")))
+
+
+def _write_suite_report(machine, results: Dict[str, BenchResult],
+                        registry, tracer) -> None:
+    """One ``BENCH_<machine>.json`` RunReport for the whole suite."""
+    report = telemetry.build_run_report(
+        benchmark="paper-suite",
+        machine=machine.name,
+        registry=registry,
+        tracer=tracer,
+        notes={
+            "command": "benchmarks/conftest",
+            "benchmarks": {
+                name: {
+                    "total_time_s": r.total_time,
+                    "attained_ops": r.attained_ops,
+                    "operational_intensity": r.operational_intensity,
+                    "root_traffic_bytes": r.root_traffic,
+                    "peak_fraction": r.peak_fraction,
+                }
+                for name, r in sorted(results.items())
+            },
+        },
+    )
+    out_dir = _report_dir()
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        slug = machine.name.lower().replace(" ", "_").replace("-", "_")
+        report.write(str(out_dir / f"BENCH_{slug}.json"))
+    except OSError as err:  # report writing must never fail the harness
+        print(f"[bench] could not write suite RunReport: {err}")
+
+
 def _simulate_suite(machine) -> Dict[str, BenchResult]:
     out: Dict[str, BenchResult] = {}
-    for name in PAPER_BENCHMARKS:
-        w = paper_benchmark(name)
-        sim = FractalSimulator(machine, collect_profiles=False)
-        rep = sim.simulate(w.program)
-        out[name] = BenchResult(
-            name=name,
-            machine=machine.name,
-            total_time=rep.total_time,
-            attained_ops=rep.attained_ops,
-            operational_intensity=rep.operational_intensity,
-            root_traffic=rep.root_traffic,
-            peak_fraction=rep.peak_fraction(machine.peak_ops),
-        )
+    with telemetry.enabled_scope() as (registry, tracer):
+        telemetry.reset()
+        for name in PAPER_BENCHMARKS:
+            w = paper_benchmark(name)
+            sim = FractalSimulator(machine, collect_profiles=False)
+            rep = sim.simulate(w.program)
+            out[name] = BenchResult(
+                name=name,
+                machine=machine.name,
+                total_time=rep.total_time,
+                attained_ops=rep.attained_ops,
+                operational_intensity=rep.operational_intensity,
+                root_traffic=rep.root_traffic,
+                peak_fraction=rep.peak_fraction(machine.peak_ops),
+            )
+        _write_suite_report(machine, out, registry, tracer)
     return out
 
 

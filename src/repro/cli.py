@@ -6,12 +6,17 @@ Commands::
     simulate  -m f1 -b VGG-16       simulate a benchmark, print the report
     timeline  -m f100 -b K-NN       ASCII execution timeline (Fig 13)
     trace     -b K-NN -o t.json     Chrome/Perfetto trace of a simulation
+    profile   mm_fc                 run + simulate with telemetry; RunReport
     figures   -o figures/           render every paper figure as SVG
     dse                             Table-4 hierarchy sweep (costs only)
     assemble  prog.fisa -o prog.bin assemble FISA text to the binary format
     disasm    prog.bin              disassemble a FISA binary
     lint      prog.fisa             static analysis (shape/def-use/hazards)
     run       prog.fisa             assemble + execute with random inputs
+
+``simulate`` and ``timeline`` accept ``--json`` to emit the
+schema-versioned RunReport document instead of human text (see
+docs/TELEMETRY.md).
 """
 
 from __future__ import annotations
@@ -56,6 +61,20 @@ def cmd_specs(args) -> int:
     return 0
 
 
+def _sim_run_report(args, machine, rep):
+    """RunReport for one simulator-only CLI invocation (``--json``)."""
+    from . import telemetry
+
+    return telemetry.build_run_report(
+        benchmark=args.benchmark,
+        machine=machine.name,
+        registry=telemetry.get_registry() if telemetry.get_registry().enabled
+        else None,
+        sim_report=rep,
+        notes={"command": args.command},
+    )
+
+
 def cmd_simulate(args) -> int:
     from .sim import FractalSimulator
     from .workloads import paper_benchmark
@@ -63,6 +82,9 @@ def cmd_simulate(args) -> int:
     machine = _machine(args)
     w = paper_benchmark(args.benchmark)
     rep = FractalSimulator(machine, collect_profiles=False).simulate(w.program)
+    if getattr(args, "json", False):
+        print(_sim_run_report(args, machine, rep).to_json())
+        return 0
     print(f"{args.benchmark} on {machine.name}:")
     print(f"  time                {rep.total_time * 1e3:12.3f} ms")
     print(f"  attained            {rep.attained_ops / 1e12:12.2f} Tops "
@@ -82,6 +104,9 @@ def cmd_timeline(args) -> int:
     machine = _machine(args)
     w = paper_benchmark(args.benchmark)
     rep = FractalSimulator(machine, collect_profiles=True).simulate(w.program)
+    if getattr(args, "json", False):
+        print(_sim_run_report(args, machine, rep).to_json())
+        return 0
     names = [lv.name for lv in machine.levels]
     print(render_ascii(rep, width=args.width, max_depth=args.depth,
                        level_names=names))
@@ -199,6 +224,94 @@ def cmd_lint(args) -> int:
     return worst
 
 
+def cmd_profile(args) -> int:
+    """Run a benchmark functionally AND through the timing simulator with
+    telemetry enabled; write the merged, schema-versioned RunReport.
+
+    Exit codes: **0** -- report written, **2** -- unknown benchmark or the
+    report/trace could not be written.
+    """
+    from . import telemetry
+    from .core.executor import FractalExecutor
+    from .core.store import TensorStore
+    from .sim import FractalSimulator, write_chrome_trace
+    from .workloads import profile_benchmark
+
+    machine = _machine(args)
+    try:
+        w = profile_benchmark(args.benchmark)
+    except KeyError as err:
+        print(f"profile: {err.args[0]}")
+        return 2
+
+    with telemetry.enabled_scope() as (registry, tracer):
+        telemetry.reset()
+        with tracer.span("host.profile", cat="host",
+                         benchmark=args.benchmark, machine=machine.name):
+            # Functional pass: real execution through the fractal recursion.
+            rng = np.random.default_rng(args.seed)
+            store = TensorStore()
+            for t in list(w.inputs.values()) + list(w.params.values()):
+                store.bind(t, rng.normal(size=t.shape))
+            executor = FractalExecutor(machine, store)
+            executor.run_program(w.program)
+
+            # Timing pass: the simulator's view of the same program.
+            simulator = FractalSimulator(machine,
+                                         collect_profiles=bool(args.trace))
+            sim_report = simulator.simulate(w.program)
+
+        report = telemetry.build_run_report(
+            benchmark=args.benchmark,
+            machine=machine.name,
+            registry=registry,
+            tracer=tracer,
+            exec_stats=executor.stats,
+            sim_report=sim_report,
+            notes={"command": "profile", "seed": args.seed,
+                   "program_instructions": len(w.program)},
+        )
+        out = args.out or f"runreport_{args.benchmark}.json"
+        try:
+            report.write(out)
+        except OSError as err:
+            print(f"profile: cannot write {out}: {err}")
+            return 2
+
+        if args.trace:
+            names = [lv.name for lv in machine.levels]
+            try:
+                write_chrome_trace(sim_report, args.trace, level_names=names,
+                                   spans=tracer.spans())
+            except OSError as err:
+                print(f"profile: cannot write {args.trace}: {err}")
+                return 2
+        if args.spans:
+            try:
+                n = tracer.export_jsonl(args.spans)
+            except OSError as err:
+                print(f"profile: cannot write {args.spans}: {err}")
+                return 2
+            print(f"wrote {n} spans -> {args.spans}")
+
+    stats = executor.stats
+    cache = sim_report.cache
+    print(f"profiled {args.benchmark} on {machine.name}:")
+    print(f"  instructions        {sum(stats.instructions_per_level.values()):12d} "
+          f"(depth {stats.max_depth_reached})")
+    print(f"  fan-outs            {stats.fanouts:12d} -> {stats.fanout_parts} parts")
+    print(f"  leaf kernels        {stats.kernel_calls:12d} "
+          f"({', '.join(f'{k}:{v}' for k, v in sorted(stats.leaf_ops.items()))})")
+    print(f"  bytes moved         {stats.bytes_read + stats.bytes_written:12d}")
+    print(f"  sim sig-cache       {cache.sig_hits:6d} hits / "
+          f"{cache.sig_misses} misses ({cache.sig_hit_rate:.0%})")
+    print(f"  sim time            {sim_report.total_time * 1e3:12.3f} ms")
+    print(f"wrote {out}")
+    if args.trace:
+        print(f"wrote {args.trace} (open in Perfetto)")
+    return 0
+
+
 def cmd_run(args) -> int:
     from .core.executor import FractalExecutor
     from .core.store import TensorStore
@@ -233,6 +346,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="simulate a paper benchmark")
     _add_machine_args(p)
     p.add_argument("-b", "--benchmark", required=True)
+    p.add_argument("--json", action="store_true",
+                   help="emit the RunReport JSON instead of human text")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("timeline", help="ASCII execution timeline (Fig 13)")
@@ -240,6 +355,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-b", "--benchmark", required=True)
     p.add_argument("--width", type=int, default=100)
     p.add_argument("--depth", type=int, default=2)
+    p.add_argument("--json", action="store_true",
+                   help="emit the RunReport JSON instead of human text")
     p.set_defaults(fn=cmd_timeline)
 
     p = sub.add_parser("verify", help="differentially verify the benchmark "
@@ -282,6 +399,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as errors for the exit code")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("profile", help="run + simulate a benchmark with "
+                                       "telemetry; write a RunReport JSON")
+    _add_machine_args(p)
+    p.add_argument("benchmark",
+                   help="profiling subject (e.g. mm_fc, matmul, VGG-16 "
+                        "miniature) -- see docs/TELEMETRY.md")
+    p.add_argument("-o", "--out",
+                   help="RunReport path (default runreport_<benchmark>.json)")
+    p.add_argument("--trace",
+                   help="also write a merged Perfetto trace (functional "
+                        "spans + simulator timeline)")
+    p.add_argument("--spans", help="also export the raw span stream as JSONL")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("run", help="assemble and execute a FISA program")
     _add_machine_args(p)

@@ -25,6 +25,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ... import telemetry
 from ..isa import DependencyKind, Instruction, Opcode
 from ..tensor import Region, Tensor
 
@@ -145,9 +146,22 @@ def decompose_parallel(inst: Instruction, n: int) -> Optional[Split]:
         return None
     rule = _pick_rule(inst, n)
     if rule is None:
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.count("decompose.degenerate",
+                           labels={"opcode": inst.opcode.value})
         return None
     degree = min(n, rule.extent(inst))
     split = rule.apply(inst, degree)
+    registry = telemetry.get_registry()
+    if registry.enabled:
+        registry.count("decompose.parallel_splits",
+                       labels={"opcode": inst.opcode.value, "rule": rule.name})
+        registry.count("decompose.parallel_parts", len(split.parts))
+        if split.reduction:
+            registry.count("decompose.reductions", len(split.reduction))
+        if split.redundant_bytes:
+            registry.count("decompose.redundant_bytes", split.redundant_bytes)
     if "acc_chain" in inst.attrs:
         split.parts[:] = [_strip_chain_attrs(p) for p in split.parts]
 
@@ -291,6 +305,10 @@ def shrink_sequential(
             stack.append(r)
         for p in reversed(split.parts):
             stack.append(p)
+    registry = telemetry.get_registry()
+    if registry.enabled and len(out) > 1:
+        registry.count("decompose.sequential_steps", len(out),
+                       labels={"opcode": inst.opcode.value})
     return out
 
 

@@ -16,9 +16,9 @@ validates every decomposition rule end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from .. import ops
+from .. import ops, telemetry
 from .decomposition import decompose_parallel, shrink_sequential
 from .isa import Instruction, Opcode
 from .machine import Machine
@@ -27,16 +27,50 @@ from .store import TensorStore
 
 @dataclass
 class ExecutionStats:
-    """Counters collected during a functional run."""
+    """Counters collected during a functional run.
+
+    Always-on (the updates are a handful of dict/int operations per fractal
+    node, dwarfed by the numpy kernels); mirrored into the global
+    :mod:`repro.telemetry` registry after each ``run_program`` when
+    telemetry is enabled.
+    """
 
     kernel_calls: int = 0
     lfu_calls: int = 0
     instructions_per_level: Dict[int, int] = field(default_factory=dict)
     max_depth_reached: int = 0
+    #: parallel fan-outs taken (one per successful PD split) and the total
+    #: child instructions they produced.
+    fanouts: int = 0
+    fanout_parts: int = 0
+    #: sequential-decomposition steps emitted by SD at non-leaf nodes.
+    seq_steps: int = 0
+    #: leaf kernel invocations by opcode mnemonic.
+    leaf_ops: Dict[str, int] = field(default_factory=dict)
+    #: tensor bytes read from / written to the store by kernels and LFUs.
+    bytes_read: int = 0
+    bytes_written: int = 0
 
     def count(self, level: int) -> None:
         self.instructions_per_level[level] = self.instructions_per_level.get(level, 0) + 1
         self.max_depth_reached = max(self.max_depth_reached, level)
+
+    def counter_series(self) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int]:
+        """Flatten into ``{(name, labels): value}`` for registry mirroring."""
+        out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {
+            ("executor.kernel_calls", ()): self.kernel_calls,
+            ("executor.lfu_calls", ()): self.lfu_calls,
+            ("executor.fanouts", ()): self.fanouts,
+            ("executor.fanout_parts", ()): self.fanout_parts,
+            ("executor.seq_steps", ()): self.seq_steps,
+            ("executor.bytes_read", ()): self.bytes_read,
+            ("executor.bytes_written", ()): self.bytes_written,
+        }
+        for level, n in self.instructions_per_level.items():
+            out[("executor.instructions", (("level", str(level)),))] = n
+        for opcode, n in self.leaf_ops.items():
+            out[("executor.leaf_ops", (("opcode", opcode),))] = n
+        return out
 
 
 class FractalExecutor:
@@ -56,6 +90,9 @@ class FractalExecutor:
         #: them and refuse on analyzer errors (repro.analysis).
         self.preflight = preflight
         self.stats = ExecutionStats()
+        #: counter values already mirrored into the telemetry registry, so
+        #: repeated ``run_program`` calls publish deltas, never double-count.
+        self._published: Dict = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -72,13 +109,36 @@ class FractalExecutor:
             from ..analysis import analyze  # deferred: keeps core import-light
 
             analyze(program, name="preflight").raise_if_errors()
-        for inst in program:
-            self._run(inst, level=0)
+        tracer = telemetry.get_tracer()
+        with tracer.span("executor.program", cat="program",
+                         machine=self.machine.name,
+                         instructions=len(program)):
+            for inst in program:
+                with tracer.span(f"inst:{inst.opcode.value}", cat="instruction"):
+                    self._run(inst, level=0)
+        self._publish_counters()
         return self.store
 
     def run(self, inst: Instruction) -> TensorStore:
-        self._run(inst, level=0)
+        with telemetry.get_tracer().span(f"inst:{inst.opcode.value}",
+                                         cat="instruction"):
+            self._run(inst, level=0)
+        self._publish_counters()
         return self.store
+
+    def _publish_counters(self) -> None:
+        """Mirror stats deltas into the telemetry registry (if enabled)."""
+        registry = telemetry.get_registry()
+        if not registry.enabled:
+            return
+        current = self.stats.counter_series()
+        for (name, labels), value in current.items():
+            delta = value - self._published.get((name, labels), 0)
+            if delta:
+                registry.count(name, delta, dict(labels))
+        registry.gauge("executor.max_depth").set_max(
+            self.stats.max_depth_reached)
+        self._published = current
 
     # -- fractal recursion ----------------------------------------------------
 
@@ -92,6 +152,8 @@ class FractalExecutor:
         steps: List[Instruction]
         if self.apply_sequential:
             steps = shrink_sequential(inst, spec.mem_bytes)
+            if len(steps) > 1:
+                self.stats.seq_steps += len(steps)
         else:
             steps = [inst]
 
@@ -101,6 +163,8 @@ class FractalExecutor:
                 # Degenerate granularity: a single FFU inherits the whole step.
                 self._run(step, level + 1)
                 continue
+            self.stats.fanouts += 1
+            self.stats.fanout_parts += len(split.parts)
             for part in split.parts:
                 self._run(part, level + 1)
             for red in split.reduction:
@@ -110,6 +174,8 @@ class FractalExecutor:
 
     def _execute_kernel(self, inst: Instruction) -> None:
         self.stats.kernel_calls += 1
+        mnemonic = inst.opcode.value
+        self.stats.leaf_ops[mnemonic] = self.stats.leaf_ops.get(mnemonic, 0) + 1
         self._apply(inst)
 
     def _execute_lfu(self, inst: Instruction) -> None:
@@ -118,6 +184,8 @@ class FractalExecutor:
 
     def _apply(self, inst: Instruction) -> None:
         inputs = [self.store.read(r) for r in inst.inputs]
+        self.stats.bytes_read += sum(r.nbytes for r in inst.inputs)
+        self.stats.bytes_written += sum(r.nbytes for r in inst.outputs)
         attrs = {k: v for k, v in inst.attrs.items()
                  if k not in ("accumulate", "acc_local_out", "acc_chain")}
         outputs = ops.execute(inst.opcode, inputs, attrs)

@@ -11,6 +11,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..core.isa import Opcode
 from . import conv, eltwise, linalg, pool, sortcount
 
@@ -110,8 +111,19 @@ def kernel_for(opcode: Opcode):
 def execute(
     opcode: Opcode, inputs: Sequence[np.ndarray], attrs: Dict[str, object]
 ) -> Tuple[np.ndarray, ...]:
-    """Run ``opcode`` on numpy operands; returns a tuple of outputs."""
-    result = kernel_for(opcode)(list(inputs), attrs or {})
-    if isinstance(result, tuple):
-        return result
-    return (result,)
+    """Run ``opcode`` on numpy operands; returns a tuple of outputs.
+
+    When telemetry is enabled each dispatch is traced as an ``op:`` span
+    (the innermost level of the host -> session -> program -> instruction
+    -> op nesting) and counted per opcode; when disabled the overhead is a
+    single flag check.
+    """
+    tracer = telemetry.get_tracer()
+    if not tracer.enabled and not telemetry.get_registry().enabled:
+        result = kernel_for(opcode)(list(inputs), attrs or {})
+        return result if isinstance(result, tuple) else (result,)
+    telemetry.get_registry().count("ops.dispatch",
+                                   labels={"opcode": opcode.value})
+    with tracer.span(f"op:{opcode.value}", cat="op"):
+        result = kernel_for(opcode)(list(inputs), attrs or {})
+    return result if isinstance(result, tuple) else (result,)

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..core.executor import FractalExecutor
 from ..core.isa import Instruction, Opcode
 from ..core.machine import Machine, cambricon_f1
@@ -45,7 +46,9 @@ class HostRuntime:
                         for arr in inputs)
         out = Tensor(f"host.out{next(self._ids)}", tuple(out_shape))
         inst = Instruction(opcode, regions, (out.region(),), attrs or {})
-        self.executor.run(inst)
+        with telemetry.span(f"host:{opcode.value}", cat="host",
+                            machine=self.machine.name):
+            self.executor.run(inst)
         self.instructions_issued += 1
         return self.store.read(out.region())
 

@@ -15,6 +15,7 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..core.executor import FractalExecutor
 from ..core.machine import Machine, cambricon_f1
 from ..core.store import TensorStore
@@ -92,7 +93,10 @@ class InferenceSession:
             raise ValueError(f"missing inputs: {sorted(missing)}")
         for name, t in self.workload.params.items():
             store.bind(t, self._params[name])
-        FractalExecutor(self.machine, store).run_program(self.workload.program)
+        with telemetry.span("session.call", cat="session",
+                            workload=self.workload.name,
+                            machine=self.machine.name):
+            FractalExecutor(self.machine, store).run_program(self.workload.program)
         return {
             full.split(".")[-1]: store.read(t.region())
             for full, t in self.workload.outputs.items()

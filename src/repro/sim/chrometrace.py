@@ -4,18 +4,57 @@ Converts a simulation's timeline into the Chrome/Perfetto trace-event JSON
 format (``chrome://tracing``), with one process per hierarchy level and
 one track per activity kind -- an interactive version of the paper's
 Fig 13.
+
+Functional-execution spans (from :mod:`repro.telemetry`) can be merged
+into the same trace: pass ``spans=tracer.spans()`` and the host ->
+session -> program -> instruction -> op nesting appears as an extra
+process alongside the timing-simulator tracks, so one Perfetto view holds
+both what the machine *did* and how long the model says it *took*.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from .simulator import SimReport
-from .trace import Segment, flatten_timeline, merge_segments
+from .trace import flatten_timeline, merge_segments
 
 #: activity kind -> trace-event category (drives Perfetto's coloring)
 _CATEGORY = {"dma": "memory", "compute": "compute", "lfu": "reduction"}
+
+#: pid reserved for the functional-execution span process (simulator
+#: levels use their level index as pid, which stays far below this).
+FUNCTIONAL_PID = 900
+
+
+def _span_events(spans: Iterable, pid: int = FUNCTIONAL_PID) -> List[Dict]:
+    """Trace events for telemetry spans (nested by interval containment)."""
+    spans = list(spans)
+    events: List[Dict] = []
+    if not spans:
+        return events
+    events.append({
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "functional execution (spans)"},
+    })
+    events.append({
+        "name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "host/session/program/instruction/op"},
+    })
+    base = min(s.start for s in spans)
+    for s in spans:
+        events.append({
+            "name": s.name,
+            "cat": s.cat or "span",
+            "ph": "X",
+            "pid": pid,
+            "tid": 0,
+            "ts": (s.start - base) * 1e6,
+            "dur": max(s.duration * 1e6, 1e-3),
+            "args": dict(s.args, depth=s.depth),
+        })
+    return events
 
 
 def to_chrome_trace(
@@ -23,22 +62,28 @@ def to_chrome_trace(
     level_names: Optional[List[str]] = None,
     max_depth: Optional[int] = None,
     merge_gap_fraction: float = 1e-4,
+    spans: Optional[Iterable] = None,
 ) -> Dict:
     """Build the trace-event dict for one simulation report.
 
     Durations are exported in microseconds (the format's native unit).
     Adjacent same-kind segments closer than ``merge_gap_fraction`` of the
-    total time are merged to keep traces compact.
+    total time are merged to keep traces compact.  ``spans`` (an iterable
+    of :class:`repro.telemetry.SpanRecord`) adds a functional-execution
+    process to the same trace.
+
+    Zero-segment reports (an empty program, or one whose profile was not
+    collected) are legal and produce a valid trace with metadata only.
     """
+    gap = report.total_time * merge_gap_fraction if report.total_time > 0 else 0.0
     segments = merge_segments(
-        flatten_timeline(report.root, max_depth=max_depth),
-        gap=report.total_time * merge_gap_fraction,
+        flatten_timeline(report.root, max_depth=max_depth), gap=gap,
     )
     events: List[Dict] = []
     seen_levels = sorted({seg.level for seg in segments})
     for level in seen_levels:
         name = (level_names[level]
-                if level_names and level < len(level_names) else f"L{level}")
+                if level_names and 0 <= level < len(level_names) else f"L{level}")
         events.append({
             "name": "process_name", "ph": "M", "pid": level, "tid": 0,
             "args": {"name": f"{name} (level {level})"},
@@ -59,6 +104,8 @@ def to_chrome_trace(
             "ts": seg.start * 1e6,
             "dur": max(seg.duration * 1e6, 1e-3),
         })
+    if spans is not None:
+        events.extend(_span_events(spans))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -72,8 +119,9 @@ def to_chrome_trace(
 
 def write_chrome_trace(report: SimReport, path: str,
                        level_names: Optional[List[str]] = None,
-                       max_depth: Optional[int] = None) -> None:
+                       max_depth: Optional[int] = None,
+                       spans: Optional[Iterable] = None) -> None:
     """Write the trace JSON to ``path`` (open it in chrome://tracing)."""
-    trace = to_chrome_trace(report, level_names, max_depth)
+    trace = to_chrome_trace(report, level_names, max_depth, spans=spans)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(trace, f)

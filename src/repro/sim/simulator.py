@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import telemetry
 from ..core.controller.demotion import DemotionDecoder
 from ..core.controller.parallel import ParallelDecomposer
 from ..core.controller.reduction import ReductionController, ReductionTarget
@@ -102,6 +103,61 @@ class NodeResult:
 
 
 @dataclass
+class CacheStats:
+    """Hit/miss accounting for the simulator's two memoization layers.
+
+    The *signature cache* memoizes whole child-node simulations keyed on
+    structural instruction signatures (all FFUs run in lockstep, so one
+    representative child stands for a whole level).  The *plan-summary
+    cache* memoizes steady-state PD outcomes per step signature within one
+    node.  These accumulate over the simulator's lifetime -- one simulator,
+    one workload is the diffable configuration.
+    """
+
+    sig_hits: int = 0
+    sig_misses: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    #: node simulations actually performed (leaf subset broken out).
+    nodes_simulated: int = 0
+    leaf_nodes: int = 0
+
+    @property
+    def sig_lookups(self) -> int:
+        return self.sig_hits + self.sig_misses
+
+    @property
+    def sig_hit_rate(self) -> float:
+        return self.sig_hits / self.sig_lookups if self.sig_lookups else 0.0
+
+    @property
+    def plan_lookups(self) -> int:
+        return self.plan_hits + self.plan_misses
+
+    @property
+    def plan_hit_rate(self) -> float:
+        return self.plan_hits / self.plan_lookups if self.plan_lookups else 0.0
+
+    @property
+    def nodes_memoized(self) -> int:
+        """Child simulations answered from the signature cache."""
+        return self.sig_hits
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sig_hits": self.sig_hits,
+            "sig_misses": self.sig_misses,
+            "sig_hit_rate": self.sig_hit_rate,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_hit_rate": self.plan_hit_rate,
+            "nodes_simulated": self.nodes_simulated,
+            "nodes_memoized": self.nodes_memoized,
+            "leaf_nodes": self.leaf_nodes,
+        }
+
+
+@dataclass
 class SimReport:
     """Top-level simulation result for one FISA program on one machine."""
 
@@ -113,6 +169,8 @@ class SimReport:
     per_level_busy: Dict[int, Dict[str, float]]
     stats: NodeStats
     root: NodeResult
+    #: memoization hit/miss statistics (cumulative over the simulator).
+    cache: Optional[CacheStats] = None
 
     @property
     def attained_ops(self) -> float:
@@ -194,13 +252,20 @@ class FractalSimulator:
         self.collect_profiles = collect_profiles
         self._cache: Dict[Tuple, NodeResult] = {}
         self._plan_cache: Dict[Tuple, _PlanSummary] = {}
+        #: memoization accounting, exposed on every SimReport and mirrored
+        #: into the telemetry registry after each simulate().
+        self.cache_stats = CacheStats()
 
     # -- public API -----------------------------------------------------------
 
     def simulate(self, program: Sequence[Instruction]) -> SimReport:
         """Simulate the whole machine executing ``program`` from the root."""
-        root = self._simulate_node(0, list(program), broadcast_regions=(), is_root=True)
-        return SimReport(
+        with telemetry.get_tracer().span("sim.simulate", cat="simulator",
+                                         machine=self.machine.name,
+                                         instructions=len(program)):
+            root = self._simulate_node(0, list(program),
+                                       broadcast_regions=(), is_root=True)
+        report = SimReport(
             machine_name=self.machine.name,
             total_time=root.total_time,
             work=root.work,
@@ -209,7 +274,47 @@ class FractalSimulator:
             per_level_busy=root.per_level_busy,
             stats=root.stats,
             root=root,
+            cache=self.cache_stats,
         )
+        self._publish_counters(report)
+        return report
+
+    def _publish_counters(self, report: SimReport) -> None:
+        """Mirror this simulation's stats into the telemetry registry.
+
+        Cache counters are cumulative on the simulator, so the registry is
+        *set* (gauge semantics) rather than incremented for them; per-run
+        quantities (busy time, traffic, work) are added as counters.
+        """
+        registry = telemetry.get_registry()
+        if not registry.enabled:
+            return
+        cs = self.cache_stats
+        for name, value in (
+            ("sim.sig_cache.hits", cs.sig_hits),
+            ("sim.sig_cache.misses", cs.sig_misses),
+            ("sim.plan_cache.hits", cs.plan_hits),
+            ("sim.plan_cache.misses", cs.plan_misses),
+            ("sim.nodes_simulated", cs.nodes_simulated),
+            ("sim.nodes_memoized", cs.nodes_memoized),
+            ("sim.leaf_nodes", cs.leaf_nodes),
+        ):
+            registry.set_gauge(name, value, labels={"machine": self.machine.name})
+        registry.count("sim.runs", labels={"machine": self.machine.name})
+        registry.count("sim.work_ops", report.work,
+                       labels={"machine": self.machine.name})
+        registry.count("sim.root_traffic_bytes", report.root_traffic,
+                       labels={"machine": self.machine.name})
+        registry.observe("sim.total_time_s", report.total_time,
+                         labels={"machine": self.machine.name})
+        for level, busy in sorted(report.per_level_busy.items()):
+            for stage, seconds in sorted(busy.items()):
+                # float-valued counter: accumulated busy seconds per
+                # (level, stage) across every simulate() call.
+                registry.counter(
+                    "sim.busy_seconds",
+                    labels={"level": level, "stage": stage},
+                ).inc(seconds)
 
     # -- bandwidth model -------------------------------------------------------
 
@@ -265,7 +370,9 @@ class FractalSimulator:
                sib_flags, self.collect_profiles)
         hit = self._cache.get(key)
         if hit is not None:
+            self.cache_stats.sig_hits += 1
             return hit
+        self.cache_stats.sig_misses += 1
         result = self._simulate_node(level, [inst], broadcast_regions,
                                      resident_regions=resident_regions,
                                      deferred_stores=deferred_stores,
@@ -288,6 +395,7 @@ class FractalSimulator:
             return self._simulate_leaf(level, program, broadcast_regions,
                                        resident_regions, deferred_stores,
                                        sibling_regions)
+        self.cache_stats.nodes_simulated += 1
 
         private_rate, broadcast_rate = self._rates(level)
         memory = NodeMemoryManager(spec.mem_bytes)
@@ -461,9 +569,12 @@ class FractalSimulator:
             if i >= _PLAN_WARMUP:
                 summary = node_plan_cache.get(sig)
             if summary is None:
+                self.cache_stats.plan_misses += 1
                 summary = self._plan_step(level, plan_at(i), defer_at(i), seq_ctx)
                 if i >= _PLAN_WARMUP // 2:
                     node_plan_cache[sig] = summary
+            else:
+                self.cache_stats.plan_hits += 1
             result.served_bytes += summary.served_bytes
             ex_time = summary.ex_time
             ex_fill = summary.ex_fill
@@ -703,6 +814,8 @@ class FractalSimulator:
         sibling_regions: Tuple[Region, ...] = (),
     ) -> NodeResult:
         spec = self.machine.level(level)
+        self.cache_stats.nodes_simulated += 1
+        self.cache_stats.leaf_nodes += 1
         private_rate, broadcast_rate = self._rates(level)
         result = NodeResult(level=level, total_time=0.0, startup_time=0.0,
                             load_bytes=0, store_bytes=0, work=0)

@@ -1,0 +1,133 @@
+"""``repro.telemetry`` -- unified instrumentation for the whole stack.
+
+Zero-dependency perf counters, nested span tracing, and machine-readable
+run reports, threaded through the functional executor, the decomposition
+engine, the timing simulator and the host runtime.  See docs/TELEMETRY.md
+for the counter catalog, the span schema, and the RunReport schema policy.
+
+Global state
+------------
+
+One process-wide :class:`CounterRegistry` and one :class:`Tracer`, both
+**disabled by default** so the instrumented hot paths cost a single flag
+check.  Turn them on around a region of interest::
+
+    from repro import telemetry
+
+    telemetry.enable()            # or: with telemetry.enabled_scope(): ...
+    ...run workloads...
+    report = telemetry.build_run_report("mm_fc", "Cambricon-F1",
+                                        registry=telemetry.get_registry(),
+                                        tracer=telemetry.get_tracer())
+    report.write("runreport.json")
+    telemetry.disable()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .counters import (
+    Counter,
+    CounterRegistry,
+    Gauge,
+    Histogram,
+    NULL_INSTRUMENT,
+    format_series,
+)
+from .report import (
+    RunReport,
+    SCHEMA,
+    SCHEMA_VERSION,
+    build_run_report,
+    executor_section,
+    simulator_section,
+    validate_document,
+)
+from .tracer import SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "CounterRegistry",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "format_series",
+    "RunReport",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "build_run_report",
+    "executor_section",
+    "simulator_section",
+    "validate_document",
+    "SpanRecord",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "enable",
+    "disable",
+    "reset",
+    "enabled",
+    "enabled_scope",
+    "span",
+    "counter",
+]
+
+_REGISTRY = CounterRegistry(enabled=False)
+_TRACER = Tracer(enabled=False)
+
+
+def get_registry() -> CounterRegistry:
+    """The process-wide counter registry."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-wide span tracer."""
+    return _TRACER
+
+
+def enabled() -> bool:
+    """True when either counters or tracing are live."""
+    return _REGISTRY.enabled or _TRACER.enabled
+
+
+def enable(counters: bool = True, tracing: bool = True) -> None:
+    """Turn telemetry on (both subsystems by default)."""
+    if counters:
+        _REGISTRY.enable()
+    if tracing:
+        _TRACER.enable()
+
+
+def disable() -> None:
+    """Turn both subsystems off (recorded data is kept until :func:`reset`)."""
+    _REGISTRY.disable()
+    _TRACER.disable()
+
+
+def reset() -> None:
+    """Drop all recorded counters and spans (enabled flags are untouched)."""
+    _REGISTRY.reset()
+    _TRACER.reset()
+
+
+@contextmanager
+def enabled_scope(counters: bool = True, tracing: bool = True):
+    """Enable telemetry inside a ``with`` block, restoring the prior state."""
+    prev = (_REGISTRY.enabled, _TRACER.enabled)
+    enable(counters=counters, tracing=tracing)
+    try:
+        yield _REGISTRY, _TRACER
+    finally:
+        _REGISTRY.enabled, _TRACER.enabled = prev
+
+
+def span(name: str, cat: str = "", **args):
+    """Convenience: a span on the global tracer (no-op when disabled)."""
+    return _TRACER.span(name, cat=cat, **args)
+
+
+def counter(name: str, labels=None):
+    """Convenience: a counter on the global registry (no-op when disabled)."""
+    return _REGISTRY.counter(name, labels)

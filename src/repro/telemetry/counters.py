@@ -1,0 +1,239 @@
+"""Hierarchical perf counters (zero-dependency).
+
+A :class:`CounterRegistry` names instruments with dotted, hierarchical
+strings (``executor.instructions``, ``sim.sig_cache.hits``) plus optional
+label tags (``level=2``, ``opcode=MatMul``), Prometheus-style.  Three
+instrument kinds:
+
+* :class:`Counter` -- monotonically increasing event/byte counts;
+* :class:`Gauge`   -- last-write-wins values (depths, sizes);
+* :class:`Histogram` -- value distributions with power-of-two buckets.
+
+The registry is *cheap when disabled*: every factory returns a shared
+no-op instrument whose mutators do nothing, so instrumented hot paths pay
+one attribute check (``registry.enabled``) and nothing else.  Call sites
+should fetch instruments at event time (or re-fetch after
+:func:`repro.telemetry.enable`), never cache them across an enable/disable
+transition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+#: canonical (sorted) label tuple type: (("level", "2"), ("stage", "dma"))
+LabelTuple = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Optional[Dict[str, object]]) -> LabelTuple:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labels: LabelTuple) -> str:
+    """Render ``name{k=v,...}`` -- the flat key used in snapshots/reports."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelTuple = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins value (also supports ``high-water`` tracking)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelTuple = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def set_max(self, v: float) -> None:
+        if v > self.value:
+            self.value = v
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """A distribution with power-of-two buckets (plus count/sum/min/max)."""
+
+    __slots__ = ("name", "labels", "count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self, name: str, labels: LabelTuple = ()):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+        self.buckets: Dict[int, int] = {}  # exponent e -> values <= 2**e
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if self.vmin is None or v < self.vmin:
+            self.vmin = v
+        if self.vmax is None or v > self.vmax:
+            self.vmax = v
+        e = 0
+        x = abs(v)
+        while (1 << e) < x and e < 63:
+            e += 1
+        self.buckets[e] = self.buckets.get(e, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.mean,
+            "buckets": {f"le_2^{e}": n for e, n in sorted(self.buckets.items())},
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out while the registry is disabled."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def set_max(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class CounterRegistry:
+    """Owns every instrument; hands out no-ops while disabled."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._counters: Dict[Tuple[str, LabelTuple], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelTuple], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelTuple], Histogram] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every recorded series (the enabled flag is untouched)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- instrument factories -------------------------------------------------
+
+    def counter(self, name: str, labels: Optional[Dict[str, object]] = None):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = (name, _labels_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(*key)
+        return inst
+
+    def gauge(self, name: str, labels: Optional[Dict[str, object]] = None):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = (name, _labels_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(*key)
+        return inst
+
+    def histogram(self, name: str, labels: Optional[Dict[str, object]] = None):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = (name, _labels_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(*key)
+        return inst
+
+    # -- convenience writers ---------------------------------------------------
+
+    def count(self, name: str, n: int = 1,
+              labels: Optional[Dict[str, object]] = None) -> None:
+        """``counter(name, labels).inc(n)`` in one call."""
+        self.counter(name, labels).inc(n)
+
+    def set_gauge(self, name: str, v: float,
+                  labels: Optional[Dict[str, object]] = None) -> None:
+        self.gauge(name, labels).set(v)
+
+    def observe(self, name: str, v: float,
+                labels: Optional[Dict[str, object]] = None) -> None:
+        self.histogram(name, labels).observe(v)
+
+    # -- reading ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator:
+        yield from self._counters.values()
+        yield from self._gauges.values()
+        yield from self._histograms.values()
+
+    def series(self, prefix: str = ""):
+        """Every instrument whose dotted name starts with ``prefix``."""
+        return [i for i in self if i.name.startswith(prefix)]
+
+    def value(self, name: str, labels: Optional[Dict[str, object]] = None):
+        """Read one counter's value (0 when never written)."""
+        key = (name, _labels_key(labels))
+        for table in (self._counters, self._gauges):
+            inst = table.get(key)
+            if inst is not None:
+                return inst.value
+        hist = self._histograms.get(key)
+        return hist.snapshot() if hist is not None else 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat ``{"name{labels}": value}`` dict -- the RunReport payload.
+
+        Keys are sorted so snapshots diff cleanly between runs.
+        """
+        out: Dict[str, object] = {}
+        for inst in self:
+            out[format_series(inst.name, inst.labels)] = inst.snapshot()
+        return dict(sorted(out.items()))

@@ -1,0 +1,174 @@
+"""Machine-readable run reports.
+
+A :class:`RunReport` is one schema-versioned JSON document merging
+
+* the counter registry snapshot (``counters``),
+* span rollups from the tracer (``spans``),
+* functional-executor statistics (``executor``), and
+* timing-simulator statistics incl. cache hit rates (``simulator``)
+
+for one (benchmark, machine) run.  It is the artifact perf work diffs
+against: ``repro profile`` writes one per invocation and the benchmark
+harness writes one per machine (the ``BENCH_*.json`` trajectory).
+
+Schema policy (documented in docs/TELEMETRY.md): ``schema`` names the
+document type and never changes; ``schema_version`` is a monotonically
+increasing integer bumped whenever a field is removed or its meaning
+changes.  *Adding* fields does not bump the version -- consumers must
+ignore unknown keys.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field, is_dataclass
+from typing import Dict, List, Optional
+
+SCHEMA = "repro.telemetry.run_report"
+SCHEMA_VERSION = 1
+
+#: top-level keys every RunReport document carries.
+REQUIRED_KEYS = ("schema", "schema_version", "created", "benchmark",
+                 "machine", "counters", "spans")
+
+
+@dataclass
+class RunReport:
+    """One run's merged telemetry (see module docstring for schema policy)."""
+
+    benchmark: str
+    machine: str
+    counters: Dict[str, object] = field(default_factory=dict)
+    spans: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    executor: Optional[Dict[str, object]] = None
+    simulator: Optional[Dict[str, object]] = None
+    notes: Dict[str, object] = field(default_factory=dict)
+    created: str = ""
+
+    def __post_init__(self):
+        if not self.created:
+            self.created = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "created": self.created,
+            "benchmark": self.benchmark,
+            "machine": self.machine,
+            "counters": self.counters,
+            "spans": self.spans,
+        }
+        if self.executor is not None:
+            doc["executor"] = self.executor
+        if self.simulator is not None:
+            doc["simulator"] = self.simulator
+        if self.notes:
+            doc["notes"] = self.notes
+        return doc
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_json())
+            f.write("\n")
+
+
+def validate_document(doc: Dict[str, object]) -> List[str]:
+    """Light structural validation; returns a list of problems (empty = ok).
+
+    Meant for tests and for consumers deciding whether a ``BENCH_*.json``
+    they picked up is diffable against what they produce.
+    """
+    problems: List[str] = []
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    if doc.get("schema") not in (None, SCHEMA):
+        problems.append(f"unknown schema {doc.get('schema')!r}")
+    version = doc.get("schema_version")
+    if version is not None and (not isinstance(version, int) or version < 1):
+        problems.append(f"bad schema_version {version!r}")
+    if version is not None and isinstance(version, int) and version > SCHEMA_VERSION:
+        problems.append(f"document is from the future (v{version} > v{SCHEMA_VERSION})")
+    for key in ("counters", "spans"):
+        if key in doc and not isinstance(doc[key], dict):
+            problems.append(f"{key!r} must be an object")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Section builders (duck-typed: no imports from repro.core / repro.sim here,
+# keeping the telemetry package dependency-free and import-light).
+# ---------------------------------------------------------------------------
+
+
+def executor_section(stats) -> Dict[str, object]:
+    """Serialize a :class:`repro.core.executor.ExecutionStats`."""
+    per_level = {str(k): v for k, v in
+                 sorted(stats.instructions_per_level.items())}
+    return {
+        "instructions": sum(stats.instructions_per_level.values()),
+        "instructions_per_level": per_level,
+        "kernel_calls": stats.kernel_calls,
+        "lfu_calls": stats.lfu_calls,
+        "max_depth_reached": stats.max_depth_reached,
+        "fanouts": stats.fanouts,
+        "fanout_parts": stats.fanout_parts,
+        "seq_steps": stats.seq_steps,
+        "leaf_ops": dict(sorted(stats.leaf_ops.items())),
+        "bytes_read": stats.bytes_read,
+        "bytes_written": stats.bytes_written,
+        "bytes_moved": stats.bytes_read + stats.bytes_written,
+    }
+
+
+def simulator_section(report) -> Dict[str, object]:
+    """Serialize a :class:`repro.sim.simulator.SimReport`."""
+    stats = asdict(report.stats) if is_dataclass(report.stats) else dict(report.stats)
+    section: Dict[str, object] = {
+        "machine": report.machine_name,
+        "total_time_s": report.total_time,
+        "work_ops": report.work,
+        "attained_ops": report.attained_ops,
+        "root_traffic_bytes": report.root_traffic,
+        "operational_intensity": (
+            report.operational_intensity
+            if report.root_traffic else None),
+        "per_level_busy_s": {
+            str(level): dict(busy)
+            for level, busy in sorted(report.per_level_busy.items())
+        },
+        "stats": stats,
+    }
+    cache = getattr(report, "cache", None)
+    if cache is not None:
+        section["cache"] = cache.as_dict() if hasattr(cache, "as_dict") \
+            else dict(cache)
+    return section
+
+
+def build_run_report(
+    benchmark: str,
+    machine: str,
+    registry=None,
+    tracer=None,
+    exec_stats=None,
+    sim_report=None,
+    notes: Optional[Dict[str, object]] = None,
+) -> RunReport:
+    """Assemble a RunReport from whichever telemetry sources exist."""
+    return RunReport(
+        benchmark=benchmark,
+        machine=machine,
+        counters=registry.snapshot() if registry is not None else {},
+        spans=tracer.rollups() if tracer is not None else {},
+        executor=executor_section(exec_stats) if exec_stats is not None else None,
+        simulator=simulator_section(sim_report) if sim_report is not None else None,
+        notes=dict(notes or {}),
+    )

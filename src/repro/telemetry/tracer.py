@@ -1,0 +1,217 @@
+"""Nested span tracing with a ring-buffered JSONL exporter.
+
+A :class:`Tracer` records *spans*: named, wall-clock-timed intervals that
+nest (host -> session -> program -> instruction -> op).  Completed spans
+land in a bounded ring buffer -- long runs keep the most recent ``capacity``
+spans and drop the oldest, so tracing never grows without bound.
+
+Like the counter registry, the tracer is a cheap no-op while disabled: the
+``span`` factory returns a shared reusable null context manager, so an
+instrumented call site pays one flag check.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (times in seconds relative to the tracer epoch)."""
+
+    id: int
+    name: str
+    cat: str
+    start: float
+    duration: float
+    depth: int
+    parent: Optional[int]
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_json_obj(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "cat": self.cat,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "args": self.args,
+        }
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live (open) span; records itself into the tracer on exit."""
+
+    __slots__ = ("_tracer", "id", "name", "cat", "args", "depth", "parent", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self):
+        tr = self._tracer
+        self.id = tr._next_id
+        tr._next_id += 1
+        self.parent = tr._stack[-1] if tr._stack else None
+        self.depth = len(tr._stack)
+        tr._stack.append(self.id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        t1 = time.perf_counter()
+        tr = self._tracer
+        if tr._stack and tr._stack[-1] == self.id:
+            tr._stack.pop()
+        tr._record(SpanRecord(
+            id=self.id,
+            name=self.name,
+            cat=self.cat,
+            start=self._t0 - tr._epoch,
+            duration=t1 - self._t0,
+            depth=self.depth,
+            parent=self.parent,
+            args=self.args,
+        ))
+        return False
+
+
+class Tracer:
+    """Produces nested spans; keeps the newest ``capacity`` in a ring."""
+
+    def __init__(self, enabled: bool = False, capacity: int = 65536):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._epoch = time.perf_counter()
+        self._ring: List[SpanRecord] = []
+        self._head = 0  # next overwrite position once the ring is full
+        self._stack: List[int] = []
+        self._next_id = 1
+        self.dropped = 0  # spans evicted by the ring
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._epoch = time.perf_counter()
+        self._ring = []
+        self._head = 0
+        self._stack = []
+        self._next_id = 1
+        self.dropped = 0
+
+    # -- recording --------------------------------------------------------------
+
+    def span(self, name: str, cat: str = "", **args):
+        """Context manager timing one nested span (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    def _record(self, rec: SpanRecord) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(rec)
+        else:
+            self._ring[self._head] = rec
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    # -- reading ---------------------------------------------------------------
+
+    def spans(self) -> List[SpanRecord]:
+        """Completed spans, oldest first (ring order restored)."""
+        if len(self._ring) < self.capacity:
+            return sorted(self._ring, key=lambda s: s.start)
+        return sorted(self._ring[self._head:] + self._ring[:self._head],
+                      key=lambda s: s.start)
+
+    def rollups(self) -> Dict[str, Dict[str, object]]:
+        """Aggregate spans by name: count, total/max/mean duration.
+
+        This is the RunReport's ``spans`` section -- small and diffable even
+        when the raw span stream is huge.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for s in self.spans():
+            agg = out.get(s.name)
+            if agg is None:
+                agg = out[s.name] = {
+                    "cat": s.cat, "count": 0, "total_s": 0.0, "max_s": 0.0,
+                }
+            agg["count"] += 1
+            agg["total_s"] += s.duration
+            if s.duration > agg["max_s"]:
+                agg["max_s"] = s.duration
+        for agg in out.values():
+            agg["mean_s"] = agg["total_s"] / agg["count"]
+        return dict(sorted(out.items()))
+
+    # -- export ------------------------------------------------------------------
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per completed span; returns the span count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as f:
+            for s in spans:
+                f.write(json.dumps(s.to_json_obj()))
+                f.write("\n")
+        return len(spans)
+
+    def to_chrome_events(self, pid: int = 900, tid: int = 0) -> List[Dict]:
+        """Trace-event (Perfetto) ``X`` events for every completed span.
+
+        Spans share one thread track; Perfetto nests them by interval
+        containment, which holds by construction for single-threaded runs.
+        """
+        events: List[Dict] = [
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": "functional execution (spans)"}},
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": "host/session/program/instruction"}},
+        ]
+        spans = self.spans()
+        base = min((s.start for s in spans), default=0.0)
+        for s in spans:
+            events.append({
+                "name": s.name,
+                "cat": s.cat or "span",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": (s.start - base) * 1e6,
+                "dur": max(s.duration * 1e6, 1e-3),
+                "args": dict(s.args, depth=s.depth),
+            })
+        return events

@@ -9,16 +9,23 @@ and the timing simulator (paper scales).
 """
 
 from .builder import ProgramBuilder, Workload
-from .matmul import matmul_workload
+from .matmul import matmul_workload, mm_fc_workload
 from .profile import cpu_time_shares, op_shares, program_stats
 from .mlalgos import kmeans_workload, knn_workload, lvq_workload, svm_workload
 from .networks import alexnet, mlp, resnet152, vgg16
-from .suite import PAPER_BENCHMARKS, paper_benchmark, small_benchmark
+from .suite import (
+    PAPER_BENCHMARKS,
+    PROFILE_BENCHMARKS,
+    paper_benchmark,
+    profile_benchmark,
+    small_benchmark,
+)
 
 __all__ = [
     "ProgramBuilder",
     "Workload",
     "matmul_workload",
+    "mm_fc_workload",
     "knn_workload",
     "kmeans_workload",
     "lvq_workload",
@@ -28,7 +35,9 @@ __all__ = [
     "resnet152",
     "vgg16",
     "PAPER_BENCHMARKS",
+    "PROFILE_BENCHMARKS",
     "paper_benchmark",
+    "profile_benchmark",
     "small_benchmark",
     "cpu_time_shares",
     "op_shares",

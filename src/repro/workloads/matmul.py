@@ -19,3 +19,28 @@ def matmul_workload(m: int = 32_768, k: int = None, n: int = None) -> Workload:
     b.emit(Opcode.MATMUL, (a.region(), bm.region()), (c.region(),))
     b.mark_output(c)
     return b.build(m=m, k=k, n=n)
+
+
+def mm_fc_workload(m: int = 48, k: int = 48, n: int = 48,
+                   classes: int = 10) -> Workload:
+    """MatMul feeding a small fully-connected head (the profiling workload).
+
+    ``logits = relu(A @ W1) @ W2`` -- two GEMMs with an element-wise
+    activation between them.  Small enough to execute functionally in
+    milliseconds, yet structurally rich: SD/PD decomposition fires on the
+    GEMMs, the activation exercises the element-wise path, and the repeated
+    MatMul shapes give the timing simulator's signature cache something to
+    hit.  ``repro profile mm_fc`` uses this as its default subject.
+    """
+    b = ProgramBuilder("mm_fc")
+    a = b.input("A", (m, k))
+    w1 = b.param("W1", (k, n))
+    w2 = b.param("W2", (n, classes))
+    h = b.tensor("H", (m, n))
+    b.emit(Opcode.MATMUL, (a.region(), w1.region()), (h.region(),))
+    hr = b.tensor("Hr", (m, n))
+    b.emit(Opcode.ACT1D, (h.region(),), (hr.region(),), {"func": "relu"})
+    logits = b.tensor("logits", (m, classes))
+    b.emit(Opcode.MATMUL, (hr.region(), w2.region()), (logits.region(),))
+    b.mark_output(logits)
+    return b.build(m=m, k=k, n=n, classes=classes)

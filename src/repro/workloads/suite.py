@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from .builder import Workload
-from .matmul import matmul_workload
+from .matmul import matmul_workload, mm_fc_workload
 from .mlalgos import kmeans_workload, knn_workload, lvq_workload, svm_workload
 from .networks import resnet152, vgg16
 
@@ -36,6 +36,25 @@ _SMALL: Dict[str, Callable[[], Workload]] = {
     "SVM": lambda: svm_workload(n_sv=8, n_samples=32, dims=8, batch=16),
     "MATMUL": lambda: matmul_workload(24),
 }
+
+
+#: profiling subjects for ``repro profile``: every functional-scale
+#: miniature plus dedicated instrumentation workloads.  These must execute
+#: functionally in milliseconds -- the profiler runs them for real.
+PROFILE_BENCHMARKS: Dict[str, Callable[[], Workload]] = {
+    "mm_fc": lambda: mm_fc_workload(),
+    "matmul": lambda: matmul_workload(24),
+    **{name: (lambda n=name: small_benchmark(n)) for name in _SMALL},
+}
+
+
+def profile_benchmark(name: str) -> Workload:
+    """Build one profiling subject (functional scale)."""
+    try:
+        return PROFILE_BENCHMARKS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; one of {sorted(PROFILE_BENCHMARKS)}")
 
 
 def paper_benchmark(name: str) -> Workload:

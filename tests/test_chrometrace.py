@@ -7,7 +7,8 @@ import pytest
 from repro import Instruction, Opcode, Tensor, custom_machine
 from repro.core.machine import KB, MB
 from repro.sim import FractalSimulator
-from repro.sim.chrometrace import to_chrome_trace, write_chrome_trace
+from repro.sim.chrometrace import FUNCTIONAL_PID, to_chrome_trace, write_chrome_trace
+from repro.telemetry import Tracer
 
 
 @pytest.fixture(scope="module")
@@ -52,3 +53,79 @@ class TestTraceStructure:
         write_chrome_trace(report, str(path))
         loaded = json.loads(path.read_text())
         assert loaded["traceEvents"]
+
+
+class TestEmptyTimeline:
+    """Regression: zero-instruction programs must export a valid trace."""
+
+    @pytest.fixture(scope="class")
+    def empty_report(self):
+        m = custom_machine("empty", [2], [MB, 128 * KB], [32e9] * 2,
+                           core_peak_ops=100e9)
+        return FractalSimulator(m, collect_profiles=True).simulate([])
+
+    def test_to_chrome_trace_no_events(self, empty_report):
+        trace = to_chrome_trace(empty_report)
+        assert trace["otherData"]["machine"] == "empty"
+        assert trace["otherData"]["total_time_ms"] == 0.0
+        assert [e for e in trace["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_level_names_do_not_index_error(self, empty_report):
+        # level_names shorter than the hierarchy must not raise
+        trace = to_chrome_trace(empty_report, level_names=[])
+        assert isinstance(trace["traceEvents"], list)
+
+    def test_write_round_trip(self, empty_report, tmp_path):
+        path = tmp_path / "empty.json"
+        write_chrome_trace(empty_report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["traceEvents"] == []
+
+    def test_render_ascii_empty(self, empty_report):
+        from repro.sim.trace import render_ascii
+        # must not raise on a report with no segments
+        render_ascii(empty_report)
+
+
+class TestMergedSpans:
+    """Functional telemetry spans merge into the same Perfetto trace."""
+
+    @pytest.fixture(scope="class")
+    def spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("host:run", cat="host"):
+            with tracer.span("executor.program", cat="program"):
+                with tracer.span("inst:matmul", cat="instruction"):
+                    pass
+        return tracer.spans()
+
+    def test_span_process_added(self, report, spans):
+        trace = to_chrome_trace(report, spans=spans)
+        span_events = [e for e in trace["traceEvents"]
+                       if e["pid"] == FUNCTIONAL_PID]
+        names = {e["args"]["name"] for e in span_events if e["ph"] == "M"}
+        assert any("functional" in n for n in names)
+        xs = [e for e in span_events if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {
+            "host:run", "executor.program", "inst:matmul"}
+
+    def test_two_nested_track_levels(self, report, spans):
+        """Acceptance: span process shows >= 2 levels of nesting."""
+        trace = to_chrome_trace(report, spans=spans)
+        depths = {e["args"]["depth"] for e in trace["traceEvents"]
+                  if e["pid"] == FUNCTIONAL_PID and e["ph"] == "X"}
+        assert {0, 1, 2} <= depths
+
+    def test_simulator_tracks_unaffected(self, report, spans):
+        plain = to_chrome_trace(report)
+        merged = to_chrome_trace(report, spans=spans)
+        plain_x = [e for e in plain["traceEvents"] if e["ph"] == "X"]
+        merged_sim_x = [e for e in merged["traceEvents"]
+                        if e["ph"] == "X" and e["pid"] != FUNCTIONAL_PID]
+        assert len(plain_x) == len(merged_sim_x)
+
+    def test_empty_span_list_adds_nothing(self, report):
+        plain = to_chrome_trace(report)
+        merged = to_chrome_trace(report, spans=[])
+        assert len(plain["traceEvents"]) == len(merged["traceEvents"])

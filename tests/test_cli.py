@@ -47,6 +47,93 @@ class TestTimeline:
         assert "timeline" in out and "|" in out
 
 
+class TestJsonOutput:
+    """--json on simulate/timeline emits a machine-readable RunReport."""
+
+    def _load(self, out):
+        import json
+
+        from repro.telemetry import SCHEMA, SCHEMA_VERSION, validate_document
+        doc = json.loads(out)
+        assert doc["schema"] == SCHEMA
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert validate_document(doc) == []
+        return doc
+
+    def test_simulate_json(self, capsys):
+        code, out = run_cli(capsys, "simulate", "-m", "f1", "-b", "K-NN",
+                            "--json")
+        assert code == 0
+        doc = self._load(out)
+        assert doc["benchmark"] == "K-NN"
+        assert doc["machine"] == "Cambricon-F1"
+        sim = doc["simulator"]
+        assert sim["total_time_s"] > 0
+        assert sim["work_ops"] > 0
+        assert "cache" in sim and sim["cache"]["nodes_simulated"] > 0
+        assert doc["notes"]["command"] == "simulate"
+
+    def test_timeline_json(self, capsys):
+        code, out = run_cli(capsys, "timeline", "-m", "f1", "-b", "K-NN",
+                            "--json")
+        assert code == 0
+        doc = self._load(out)
+        assert doc["notes"]["command"] == "timeline"
+        assert doc["simulator"]["total_time_s"] > 0
+
+    def test_json_is_pure(self, capsys):
+        """The --json output must be parseable as-is (no banner lines)."""
+        import json
+        code, out = run_cli(capsys, "simulate", "-m", "f1", "-b", "K-NN",
+                            "--json")
+        assert code == 0
+        json.loads(out)  # would raise on stray human-readable text
+
+
+class TestProfile:
+    def test_profile_writes_run_report(self, capsys, tmp_path):
+        import json
+        rr = tmp_path / "rr.json"
+        code, out = run_cli(capsys, "profile", "mm_fc", "-o", str(rr))
+        assert code == 0 and rr.exists()
+        doc = json.loads(rr.read_text())
+
+        from repro.telemetry import validate_document
+        assert validate_document(doc) == []
+        # executor counters, sim cache stats and span rollups all present
+        counters = doc["counters"]
+        assert any(k.startswith("executor.instructions") for k in counters)
+        assert any(k.startswith("sim.sig_cache.") for k in counters)
+        assert doc["spans"]  # rollups non-empty
+        assert any(n.startswith("inst:") for n in doc["spans"])
+        assert doc["notes"]["program_instructions"] >= 3
+
+    def test_profile_trace_and_spans(self, capsys, tmp_path):
+        import json
+        rr = tmp_path / "rr.json"
+        tr = tmp_path / "trace.json"
+        sp = tmp_path / "spans.jsonl"
+        code, out = run_cli(capsys, "profile", "mm_fc", "-o", str(rr),
+                            "--trace", str(tr), "--spans", str(sp))
+        assert code == 0
+        trace = json.loads(tr.read_text())
+
+        from repro.sim.chrometrace import FUNCTIONAL_PID
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert FUNCTIONAL_PID in pids          # merged functional spans
+        assert pids - {FUNCTIONAL_PID}         # plus simulator tracks
+        depths = {e["args"]["depth"] for e in trace["traceEvents"]
+                  if e["pid"] == FUNCTIONAL_PID and e["ph"] == "X"}
+        assert len(depths) >= 2                # >= 2 nested track levels
+        lines = sp.read_text().strip().splitlines()
+        assert lines and all(json.loads(ln) for ln in lines)
+
+    def test_unknown_benchmark_exit_2(self, capsys):
+        code, out = run_cli(capsys, "profile", "nope")
+        assert code == 2
+        assert "unknown" in out.lower() or "choices" in out.lower()
+
+
 class TestDSE:
     def test_prints_all_hierarchies(self, capsys):
         code, out = run_cli(capsys, "dse")

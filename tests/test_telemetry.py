@@ -1,0 +1,413 @@
+"""Telemetry subsystem tests: counters, spans, RunReports, instrumentation.
+
+Everything here carries the ``telemetry`` marker (registered in
+pyproject.toml) so the counter tests are selectable as a group; the whole
+module runs in tier-1.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import Instruction, Opcode, Tensor, custom_machine, telemetry
+from repro.core.executor import FractalExecutor
+from repro.core.machine import KB
+from repro.core.store import TensorStore
+from repro.sim import FractalSimulator
+from repro.telemetry import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    CounterRegistry,
+    Tracer,
+    build_run_report,
+    validate_document,
+)
+from repro.workloads import matmul_workload, mm_fc_workload, profile_benchmark
+
+from conftest import tiny_machine
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_global_telemetry():
+    """Every test starts and ends with disabled, empty global telemetry."""
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def run_functional(workload, machine=None, seed=0):
+    machine = machine or tiny_machine()
+    rng = np.random.default_rng(seed)
+    store = TensorStore()
+    for t in list(workload.inputs.values()) + list(workload.params.values()):
+        store.bind(t, rng.normal(size=t.shape))
+    executor = FractalExecutor(machine, store)
+    executor.run_program(workload.program)
+    return executor
+
+
+# ---------------------------------------------------------------------------
+# CounterRegistry
+# ---------------------------------------------------------------------------
+
+
+class TestCounterRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = CounterRegistry(enabled=True)
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(4)
+        reg.gauge("depth").set(3)
+        reg.gauge("depth").set_max(2)  # lower: ignored
+        for v in (1.0, 3.0, 200.0):
+            reg.histogram("lat").observe(v)
+        snap = reg.snapshot()
+        assert snap["a.b"] == 5
+        assert snap["depth"] == 3
+        assert snap["lat"]["count"] == 3
+        assert snap["lat"]["max"] == 200.0
+        assert snap["lat"]["min"] == 1.0
+
+    def test_labels_create_distinct_series(self):
+        reg = CounterRegistry(enabled=True)
+        reg.count("x", 1, labels={"level": 0})
+        reg.count("x", 2, labels={"level": 1})
+        reg.count("x", 3, labels={"level": 0})
+        assert reg.value("x", {"level": 0}) == 4
+        assert reg.value("x", {"level": 1}) == 2
+        assert "x{level=0}" in reg.snapshot()
+
+    def test_label_order_is_canonical(self):
+        reg = CounterRegistry(enabled=True)
+        reg.count("y", 1, labels={"a": 1, "b": 2})
+        reg.count("y", 1, labels={"b": 2, "a": 1})
+        assert reg.value("y", {"a": 1, "b": 2}) == 2
+
+    def test_disabled_registry_is_noop(self):
+        reg = CounterRegistry(enabled=False)
+        c = reg.counter("never")
+        c.inc(100)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1.0)
+        assert reg.snapshot() == {}
+        assert reg.value("never") == 0
+
+    def test_reset_clears_series_not_flag(self):
+        reg = CounterRegistry(enabled=True)
+        reg.count("z")
+        reg.reset()
+        assert reg.snapshot() == {}
+        assert reg.enabled
+
+    def test_series_prefix_filter(self):
+        reg = CounterRegistry(enabled=True)
+        reg.count("executor.instructions")
+        reg.count("sim.runs")
+        assert [i.name for i in reg.series("executor.")] == ["executor.instructions"]
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_depth_and_parent(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer"):
+            with tr.span("mid"):
+                with tr.span("inner"):
+                    pass
+        spans = {s.name: s for s in tr.spans()}
+        assert spans["outer"].depth == 0 and spans["outer"].parent is None
+        assert spans["mid"].depth == 1 and spans["mid"].parent == spans["outer"].id
+        assert spans["inner"].depth == 2
+
+    def test_wall_clock_duration(self):
+        tr = Tracer(enabled=True)
+        with tr.span("sleep"):
+            time.sleep(0.01)
+        (s,) = tr.spans()
+        assert s.duration >= 0.009
+
+    def test_containment(self):
+        tr = Tracer(enabled=True)
+        with tr.span("parent"):
+            with tr.span("child"):
+                pass
+        spans = {s.name: s for s in tr.spans()}
+        assert spans["parent"].start <= spans["child"].start
+        assert spans["child"].end <= spans["parent"].end + 1e-9
+
+    def test_disabled_records_nothing(self):
+        tr = Tracer(enabled=False)
+        with tr.span("ghost"):
+            pass
+        assert tr.spans() == []
+
+    def test_ring_buffer_caps_and_counts_drops(self):
+        tr = Tracer(enabled=True, capacity=4)
+        for i in range(10):
+            with tr.span(f"s{i}"):
+                pass
+        spans = tr.spans()
+        assert len(spans) == 4
+        assert tr.dropped == 6
+        assert [s.name for s in spans] == ["s6", "s7", "s8", "s9"]
+
+    def test_rollups(self):
+        tr = Tracer(enabled=True)
+        for _ in range(3):
+            with tr.span("op:MatMul", cat="op"):
+                pass
+        roll = tr.rollups()
+        assert roll["op:MatMul"]["count"] == 3
+        assert roll["op:MatMul"]["cat"] == "op"
+        assert roll["op:MatMul"]["total_s"] >= roll["op:MatMul"]["max_s"]
+
+    def test_export_jsonl(self, tmp_path):
+        tr = Tracer(enabled=True)
+        with tr.span("a", cat="x", foo=1):
+            pass
+        path = tmp_path / "spans.jsonl"
+        assert tr.export_jsonl(str(path)) == 1
+        (line,) = path.read_text().strip().splitlines()
+        obj = json.loads(line)
+        assert obj["name"] == "a" and obj["args"] == {"foo": 1}
+
+    def test_chrome_events_nest(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        events = [e for e in tr.to_chrome_events() if e["ph"] == "X"]
+        assert {e["args"]["depth"] for e in events} == {0, 1}
+
+
+# ---------------------------------------------------------------------------
+# Executor + decomposition instrumentation
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorCounters:
+    def test_stats_cover_fanouts_leafops_bytes(self):
+        executor = run_functional(mm_fc_workload())
+        stats = executor.stats
+        assert stats.kernel_calls > 0
+        assert stats.fanouts > 0
+        assert stats.fanout_parts >= 2 * stats.fanouts
+        assert stats.leaf_ops.get("MatMul", 0) > 0
+        assert stats.bytes_read > 0 and stats.bytes_written > 0
+        assert sum(stats.leaf_ops.values()) == stats.kernel_calls
+
+    def test_registry_mirrors_executor_counters(self):
+        with telemetry.enabled_scope() as (reg, _tr):
+            executor = run_functional(mm_fc_workload())
+        assert reg.value("executor.kernel_calls") == executor.stats.kernel_calls
+        assert reg.value("executor.leaf_ops", {"opcode": "MatMul"}) == \
+            executor.stats.leaf_ops["MatMul"]
+        assert reg.value("executor.bytes_read") == executor.stats.bytes_read
+        # level-0 instruction counter must match the top-level program.
+        assert reg.value("executor.instructions", {"level": 0}) == \
+            executor.stats.instructions_per_level[0]
+
+    def test_repeated_runs_publish_deltas_not_totals(self):
+        w = matmul_workload(12)
+        machine = tiny_machine()
+        rng = np.random.default_rng(0)
+        store = TensorStore()
+        for t in w.inputs.values():
+            store.bind(t, rng.normal(size=t.shape))
+        with telemetry.enabled_scope() as (reg, _tr):
+            executor = FractalExecutor(machine, store)
+            executor.run_program(w.program)
+            executor.run_program(w.program)
+        # Registry total equals the stats total (not stats + first-run again).
+        assert reg.value("executor.kernel_calls") == executor.stats.kernel_calls
+
+    def test_decomposition_counters(self):
+        with telemetry.enabled_scope() as (reg, _tr):
+            run_functional(mm_fc_workload())
+        splits = [i for i in reg.series("decompose.parallel_splits")]
+        assert splits and sum(i.value for i in splits) > 0
+        assert reg.value("decompose.parallel_parts") > 0
+
+    def test_span_nesting_program_instruction_op(self):
+        with telemetry.enabled_scope() as (_reg, tracer):
+            run_functional(mm_fc_workload())
+        spans = tracer.spans()
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s.name.split(":")[0], []).append(s)
+        assert "executor.program" in by_name
+        assert "inst" in by_name and "op" in by_name
+        # >= 2 nested levels below the program span.
+        assert max(s.depth for s in spans) >= 2
+        inst = by_name["inst"][0]
+        prog = by_name["executor.program"][0]
+        assert inst.parent == prog.id
+
+
+# ---------------------------------------------------------------------------
+# Simulator cache counters (satellite: repeated-layer >0 hits, single 0)
+# ---------------------------------------------------------------------------
+
+
+def one_level_machine():
+    return custom_machine("one", [2], [64 * KB, 8 * KB], [1e9] * 2)
+
+
+class TestSimulatorCacheCounters:
+    def test_single_instruction_program_has_zero_sig_hits(self):
+        a, b, c = Tensor("a", (8, 8)), Tensor("b", (8, 8)), Tensor("c", (8, 8))
+        inst = Instruction(Opcode.MATMUL, (a.region(), b.region()), (c.region(),))
+        sim = FractalSimulator(one_level_machine(), collect_profiles=False)
+        rep = sim.simulate([inst])
+        assert rep.cache is not None
+        assert rep.cache.sig_hits == 0
+        assert rep.cache.sig_misses >= 1
+        assert rep.cache.nodes_memoized == 0
+
+    def test_repeated_layer_network_hits_sig_cache(self):
+        # mm_fc repeats structurally identical MatMul steps -> the
+        # representative-child memoization must fire.
+        w = mm_fc_workload()
+        sim = FractalSimulator(tiny_machine(), collect_profiles=False)
+        rep = sim.simulate(w.program)
+        assert rep.cache.sig_hits > 0
+        assert 0.0 < rep.cache.sig_hit_rate < 1.0
+        assert rep.cache.nodes_simulated > 0
+
+    def test_cache_registry_mirroring_and_busy_counters(self):
+        with telemetry.enabled_scope() as (reg, _tr):
+            w = mm_fc_workload()
+            machine = tiny_machine()
+            sim = FractalSimulator(machine, collect_profiles=False)
+            rep = sim.simulate(w.program)
+        label = {"machine": machine.name}
+        assert reg.value("sim.sig_cache.hits", label) == rep.cache.sig_hits
+        assert reg.value("sim.sig_cache.misses", label) == rep.cache.sig_misses
+        assert reg.value("sim.runs", label) == 1
+        busy = reg.series("sim.busy_seconds")
+        assert busy and sum(i.value for i in busy) > 0
+
+    def test_plan_cache_engages_on_long_uniform_streams(self):
+        # A large single matmul at root decomposes into many identical
+        # steps; past warm-up the plan summary must be reused.
+        w = matmul_workload(512)
+        sim = FractalSimulator(one_level_machine(), collect_profiles=False)
+        rep = sim.simulate(w.program)
+        assert rep.cache.plan_hits > 0
+
+
+# ---------------------------------------------------------------------------
+# RunReport
+# ---------------------------------------------------------------------------
+
+
+class TestRunReport:
+    def build(self):
+        with telemetry.enabled_scope() as (reg, tracer):
+            executor = run_functional(profile_benchmark("mm_fc"))
+            sim = FractalSimulator(tiny_machine(), collect_profiles=False)
+            rep = sim.simulate(profile_benchmark("mm_fc").program)
+            return build_run_report(
+                "mm_fc", "tiny", registry=reg, tracer=tracer,
+                exec_stats=executor.stats, sim_report=rep)
+
+    def test_document_schema(self):
+        doc = self.build().to_dict()
+        assert doc["schema"] == SCHEMA
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert validate_document(doc) == []
+        assert doc["executor"]["instructions"] > 0
+        assert doc["executor"]["leaf_ops"]
+        assert doc["executor"]["bytes_moved"] > 0
+        assert "sig_hits" in doc["simulator"]["cache"]
+        assert doc["spans"]  # rollups present
+        assert doc["counters"]
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "rr.json"
+        self.build().write(str(path))
+        doc = json.loads(path.read_text())
+        assert validate_document(doc) == []
+
+    def test_validate_flags_problems(self):
+        assert validate_document({}) != []
+        assert any("schema_version" in p for p in
+                   validate_document({"schema": SCHEMA, "schema_version": 0}))
+        assert any("future" in p for p in
+                   validate_document({"schema": SCHEMA,
+                                      "schema_version": SCHEMA_VERSION + 1}))
+
+
+# ---------------------------------------------------------------------------
+# Overhead smoke test (satellite: disabled-telemetry slowdown <5%)
+# ---------------------------------------------------------------------------
+
+
+class TestDisabledOverhead:
+    def test_disabled_guard_cost_under_5_percent_of_matmul_run(self):
+        """The disabled fast path is a flag check per instrumentation site.
+
+        Measure the matmul suite's functional runtime, count the
+        instrumentation events it triggered, then time that many guard
+        evaluations: the guard budget must stay under 5% of the run.
+        (A direct A/B against un-instrumented code is impossible at
+        runtime; the guard cost *is* the disabled-telemetry slowdown.)
+        """
+        assert not telemetry.enabled()
+        w = matmul_workload(24)
+        machine = tiny_machine()
+        rng = np.random.default_rng(0)
+        store = TensorStore()
+        for t in w.inputs.values():
+            store.bind(t, rng.normal(size=t.shape))
+
+        best = float("inf")
+        for _ in range(3):
+            s = TensorStore()
+            for t in w.inputs.values():
+                s.bind(t, store.read(t.region()))
+            executor = FractalExecutor(machine, s)
+            t0 = time.perf_counter()
+            executor.run_program(w.program)
+            best = min(best, time.perf_counter() - t0)
+
+        stats = executor.stats
+        # one guard per fractal node, kernel dispatch, fan-out and publish.
+        events = (sum(stats.instructions_per_level.values())
+                  + 2 * stats.kernel_calls + stats.fanouts + 8)
+        registry, tracer = telemetry.get_registry(), telemetry.get_tracer()
+        t0 = time.perf_counter()
+        for _ in range(events):
+            if registry.enabled or tracer.enabled:  # pragma: no cover
+                raise AssertionError("telemetry unexpectedly enabled")
+        guard_cost = time.perf_counter() - t0
+        assert guard_cost < 0.05 * best, (
+            f"disabled-telemetry guards cost {guard_cost * 1e3:.3f} ms vs "
+            f"{best * 1e3:.3f} ms run ({guard_cost / best:.1%})")
+
+
+# ---------------------------------------------------------------------------
+# enabled_scope semantics
+# ---------------------------------------------------------------------------
+
+
+class TestGlobalState:
+    def test_enabled_scope_restores_prior_state(self):
+        assert not telemetry.enabled()
+        with telemetry.enabled_scope():
+            assert telemetry.enabled()
+        assert not telemetry.enabled()
+
+    def test_span_helper_noop_when_disabled(self):
+        with telemetry.span("nothing"):
+            pass
+        assert telemetry.get_tracer().spans() == []

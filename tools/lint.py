@@ -6,7 +6,10 @@ Run as ``python tools/lint.py`` from the repository root.  Two stages:
 1. **ruff** (config in ``pyproject.toml``) over ``src/`` and ``tests/``.
    ruff is optional tooling -- offline environments may not have it, so
    its absence is reported as a skip, not a failure.
-2. **FISA static analysis smoke**: ``python -m repro lint`` over every
+2. **ruff, strict profile** over the telemetry package (select set in
+   ``[tool.repro.lint]`` of pyproject.toml): new instrumentation code is
+   held to a tighter bar than the legacy tree.
+3. **FISA static analysis smoke**: ``python -m repro lint`` over every
    ``examples/programs/*.fisa`` (must exit 0) and over the negative
    fixtures in ``tests/fixtures/`` (must exit non-zero -- they exist to
    prove the analyzer fires).
@@ -41,6 +44,40 @@ def stage_ruff() -> bool:
     return _run([sys.executable, "-m", "ruff", "check", "src", "tests", "tools"]) == 0
 
 
+def _telemetry_lint_config() -> tuple:
+    """(paths, select) for the strict telemetry stage from pyproject.toml."""
+    paths = ["src/repro/telemetry"]
+    select = "E,W,F,I,B,C4,SIM,RET"
+    try:  # tomllib is py311+; fall back to the defaults above without it
+        import tomllib
+    except ImportError:
+        return paths, select
+    try:
+        with open(ROOT / "pyproject.toml", "rb") as f:
+            cfg = tomllib.load(f)
+        section = cfg.get("tool", {}).get("repro", {}).get("lint", {})
+        paths = section.get("telemetry-paths", paths)
+        select = section.get("telemetry-select", select)
+    except OSError:
+        pass
+    return paths, select
+
+
+def stage_ruff_telemetry() -> bool:
+    """Strict ruff profile over repro.telemetry (skip if ruff is absent)."""
+    if importlib.util.find_spec("ruff") is None:
+        print("[lint] ruff not installed -- skipping strict telemetry stage")
+        return True
+    paths, select = _telemetry_lint_config()
+    existing = [p for p in paths if (ROOT / p).exists()]
+    if not existing:
+        print("[lint] FAIL: telemetry package paths missing: " + ", ".join(paths))
+        return False
+    print(f"[lint] ruff check --select {select} {' '.join(existing)}")
+    return _run([sys.executable, "-m", "ruff", "check",
+                 "--select", select, *existing]) == 0
+
+
 def stage_fisa() -> bool:
     ok = True
 
@@ -70,6 +107,8 @@ def main() -> int:
     failed = []
     if not stage_ruff():
         failed.append("ruff")
+    if not stage_ruff_telemetry():
+        failed.append("ruff-telemetry")
     if not stage_fisa():
         failed.append("fisa")
     if failed:
