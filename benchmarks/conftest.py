@@ -17,13 +17,14 @@ import os
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Optional
 
 import pytest
 
 sys.stdout.reconfigure(line_buffering=True)
 
 from repro import cambricon_f1, cambricon_f100, telemetry
+from repro.perf import attribute_report
 from repro.sim import FractalSimulator
 from repro.workloads import PAPER_BENCHMARKS, paper_benchmark
 
@@ -39,6 +40,9 @@ class BenchResult:
     operational_intensity: float
     root_traffic: int
     peak_fraction: float
+    #: critical-path summary: {makespan_s, dominant, totals_s} (or None
+    #: for reports predating attribution).
+    attribution: Optional[Dict] = None
 
 
 def _report_dir() -> Path:
@@ -64,6 +68,8 @@ def _write_suite_report(machine, results: Dict[str, BenchResult],
                     "operational_intensity": r.operational_intensity,
                     "root_traffic_bytes": r.root_traffic,
                     "peak_fraction": r.peak_fraction,
+                    **({"attribution": r.attribution}
+                       if r.attribution else {}),
                 }
                 for name, r in sorted(results.items())
             },
@@ -86,6 +92,7 @@ def _simulate_suite(machine) -> Dict[str, BenchResult]:
             w = paper_benchmark(name)
             sim = FractalSimulator(machine, collect_profiles=False)
             rep = sim.simulate(w.program)
+            attr = attribute_report(rep) if rep.attribution else None
             out[name] = BenchResult(
                 name=name,
                 machine=machine.name,
@@ -94,6 +101,12 @@ def _simulate_suite(machine) -> Dict[str, BenchResult]:
                 operational_intensity=rep.operational_intensity,
                 root_traffic=rep.root_traffic,
                 peak_fraction=rep.peak_fraction(machine.peak_ops),
+                attribution=({
+                    "makespan_s": attr.makespan,
+                    "dominant": attr.dominant(),
+                    "classification": attr.classify(),
+                    "totals_s": attr.totals(),
+                } if attr is not None else None),
             )
         _write_suite_report(machine, out, registry, tracer)
     return out

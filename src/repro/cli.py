@@ -7,6 +7,7 @@ Commands::
     timeline  -m f100 -b K-NN       ASCII execution timeline (Fig 13)
     trace     -b K-NN -o t.json     Chrome/Perfetto trace of a simulation
     profile   mm_fc                 run + simulate with telemetry; RunReport
+    diff      base.json cand.json   compare two RunReports; exit 3 on regression
     figures   -o figures/           render every paper figure as SVG
     dse                             Table-4 hierarchy sweep (costs only)
     assemble  prog.fisa -o prog.bin assemble FISA text to the binary format
@@ -14,9 +15,10 @@ Commands::
     lint      prog.fisa             static analysis (shape/def-use/hazards)
     run       prog.fisa             assemble + execute with random inputs
 
-``simulate`` and ``timeline`` accept ``--json`` to emit the
+``simulate``, ``timeline`` and ``profile`` accept ``--json`` to emit the
 schema-versioned RunReport document instead of human text (see
-docs/TELEMETRY.md).
+docs/TELEMETRY.md).  ``diff`` implements the perf-gate exit-code
+contract: 0 = pass, 2 = usage/IO error, 3 = gated regression.
 """
 
 from __future__ import annotations
@@ -235,14 +237,15 @@ def cmd_profile(args) -> int:
     from .core.executor import FractalExecutor
     from .core.store import TensorStore
     from .sim import FractalSimulator, write_chrome_trace
-    from .workloads import profile_benchmark
+    from .workloads import profile_benchmark, resolve_profile_benchmark
 
     machine = _machine(args)
     try:
-        w = profile_benchmark(args.benchmark)
+        args.benchmark = resolve_profile_benchmark(args.benchmark)
     except KeyError as err:
         print(f"profile: {err.args[0]}")
         return 2
+    w = profile_benchmark(args.benchmark)
 
     with telemetry.enabled_scope() as (registry, tracer):
         telemetry.reset()
@@ -294,6 +297,16 @@ def cmd_profile(args) -> int:
                 return 2
             print(f"wrote {n} spans -> {args.spans}")
 
+    if report.spans_dropped:
+        print(f"profile: warning: {report.spans_dropped} span(s) dropped from "
+              f"the tracer ring buffer; rollups are incomplete "
+              f"(raise Tracer max_spans or narrow the traced region)",
+              file=sys.stderr)
+
+    if getattr(args, "json", False):
+        print(report.to_json())
+        return 0
+
     stats = executor.stats
     cache = sim_report.cache
     print(f"profiled {args.benchmark} on {machine.name}:")
@@ -306,10 +319,57 @@ def cmd_profile(args) -> int:
     print(f"  sim sig-cache       {cache.sig_hits:6d} hits / "
           f"{cache.sig_misses} misses ({cache.sig_hit_rate:.0%})")
     print(f"  sim time            {sim_report.total_time * 1e3:12.3f} ms")
+    if report.attribution:
+        fracs = report.attribution.get("fractions", {})
+        shares = " / ".join(f"{cat} {fracs.get(cat, 0.0):.0%}"
+                            for cat in ("compute", "dma", "control", "reduction")
+                            if fracs.get(cat, 0.0) > 0.005)
+        print(f"  bottleneck          {report.attribution.get('classification', '?'):>12s} "
+              f"({shares})")
     print(f"wrote {out}")
     if args.trace:
         print(f"wrote {args.trace} (open in Perfetto)")
     return 0
+
+
+def cmd_diff(args) -> int:
+    """Differentially profile two RunReport JSON documents.
+
+    Exit codes: **0** -- no gated regression, **2** -- a document could not
+    be read or fails :func:`repro.telemetry.validate_document`, **3** -- at
+    least one gated metric regressed past the threshold.
+    """
+    import json
+
+    from . import telemetry
+    from .perf import DiffConfig, diff_documents
+
+    docs = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"diff: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+        problems = telemetry.validate_document(doc)
+        if problems:
+            print(f"diff: {path} is not a valid RunReport:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 2
+        docs.append(doc)
+
+    config = DiffConfig(rel_threshold=args.threshold,
+                        gate_spans=args.gate_spans)
+    result = diff_documents(docs[0], docs[1], config=config,
+                            baseline_name=args.baseline,
+                            candidate_name=args.candidate)
+    if args.json:
+        print(json.dumps(result.to_json_obj(), indent=2))
+    else:
+        print(result.format_table(limit=args.limit))
+    return result.exit_code
 
 
 def cmd_run(args) -> int:
@@ -413,7 +473,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "spans + simulator timeline)")
     p.add_argument("--spans", help="also export the raw span stream as JSONL")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="print the RunReport JSON instead of the summary")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("diff", help="compare two RunReport JSON documents; "
+                                    "exit 3 on gated regression")
+    p.add_argument("baseline", help="baseline RunReport JSON")
+    p.add_argument("candidate", help="candidate RunReport JSON")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="relative change gated metrics may slip "
+                        "(default 0.05 = 5%%)")
+    p.add_argument("--gate-spans", action="store_true",
+                   help="also gate wall-clock span rollups (nondeterministic; "
+                        "off by default)")
+    p.add_argument("--limit", type=int, default=20,
+                   help="rows per table section (default 20)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable diff instead of the table")
+    p.set_defaults(fn=cmd_diff)
 
     p = sub.add_parser("run", help="assemble and execute a FISA program")
     _add_machine_args(p)

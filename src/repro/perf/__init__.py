@@ -1,0 +1,42 @@
+"""``repro.perf`` -- performance explainability on top of repro.telemetry.
+
+Two halves:
+
+* :mod:`repro.perf.attribution` -- the bottleneck attribution engine:
+  exact critical-path walks over the timing simulator's stage placements,
+  folded into the paper's stall taxonomy (control / DMA / compute /
+  reduction) per fractal level, with DMA bandwidth accounting.
+* :mod:`repro.perf.diff` -- the differential profiler: compares two
+  RunReport documents (counters, span rollups, attribution) against
+  relative thresholds and drives the ``repro diff`` CLI and
+  ``tools/perf_gate.py`` regression gate.
+
+Like :mod:`repro.telemetry`, this package is zero-dependency and
+duck-typed against the simulator's dataclasses; it never imports
+``repro.sim`` or numpy.
+"""
+
+from .attribution import (
+    CATEGORIES,
+    Attribution,
+    CriticalSegment,
+    attribute_report,
+    attribute_schedule,
+    attribution_section,
+    critical_path,
+)
+from .diff import DiffConfig, DiffEntry, DiffResult, diff_documents
+
+__all__ = [
+    "CATEGORIES",
+    "Attribution",
+    "CriticalSegment",
+    "attribute_report",
+    "attribute_schedule",
+    "attribution_section",
+    "critical_path",
+    "DiffConfig",
+    "DiffEntry",
+    "DiffResult",
+    "diff_documents",
+]

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional
 
+from ..telemetry.tracer import SliverPlacer
 from .simulator import SimReport
 from .trace import flatten_timeline, merge_segments
 
@@ -43,15 +44,18 @@ def _span_events(spans: Iterable, pid: int = FUNCTIONAL_PID) -> List[Dict]:
         "args": {"name": "host/session/program/instruction/op"},
     })
     base = min(s.start for s in spans)
+    placer = SliverPlacer()
     for s in spans:
+        ts, dur = placer.place(pid, 0, (s.start - base) * 1e6,
+                               s.duration * 1e6)
         events.append({
             "name": s.name,
             "cat": s.cat or "span",
             "ph": "X",
             "pid": pid,
             "tid": 0,
-            "ts": (s.start - base) * 1e6,
-            "dur": max(s.duration * 1e6, 1e-3),
+            "ts": ts,
+            "dur": dur,
             "args": dict(s.args, depth=s.depth),
         })
     return events
@@ -74,6 +78,10 @@ def to_chrome_trace(
 
     Zero-segment reports (an empty program, or one whose profile was not
     collected) are legal and produce a valid trace with metadata only.
+    Zero-width stages are clamped to a one-tick minimum duration and
+    de-overlapped per track (see
+    :class:`repro.telemetry.tracer.SliverPlacer`) so co-timestamped
+    slivers stay individually visible in Perfetto.
     """
     gap = report.total_time * merge_gap_fraction if report.total_time > 0 else 0.0
     segments = merge_segments(
@@ -94,15 +102,19 @@ def to_chrome_trace(
                 "args": {"name": kind},
             })
     tid_of = {"compute": 0, "dma": 1, "lfu": 2}
+    placer = SliverPlacer()
     for seg in segments:
+        tid = tid_of.get(seg.kind, 3)
+        ts, dur = placer.place(seg.level, tid, seg.start * 1e6,
+                               seg.duration * 1e6)
         events.append({
             "name": seg.kind,
             "cat": _CATEGORY.get(seg.kind, "other"),
             "ph": "X",
             "pid": seg.level,
-            "tid": tid_of.get(seg.kind, 3),
-            "ts": seg.start * 1e6,
-            "dur": max(seg.duration * 1e6, 1e-3),
+            "tid": tid,
+            "ts": ts,
+            "dur": dur,
         })
     if spans is not None:
         events.extend(_span_events(spans))

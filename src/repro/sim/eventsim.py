@@ -95,6 +95,41 @@ class EventDrivenPipeline:
         return max((end for (_, stage), (_, end) in placements.items()
                     if stage == "wb"), default=0.0)
 
+    def idle_causes(self) -> Dict[str, float]:
+        """Per-resource idle seconds in front of real work, re-derived from
+        the DES placements (same ``resource.cause`` keys as
+        :attr:`repro.sim.pipeline.PipelineSchedule.idle_causes`)."""
+        placements = self.run()
+        out: Dict[str, float] = {}
+
+        def charge(key: str, seconds: float) -> None:
+            if seconds > 0.0:
+                out[key] = out.get(key, 0.0) + seconds
+
+        free: Dict[str, float] = {r: 0.0 for r in _RESOURCE_OF.values()}
+        for i, st in enumerate(self.stages):
+            id_end = placements[(i, "id")][1]
+            ld_start = placements[(i, "ld")][0]
+            if st.load > 0.0:
+                stall_end = None
+                if st.stall_on is not None and (st.stall_on, "wb") in placements:
+                    stall_end = placements[(st.stall_on, "wb")][1]
+                cause = ("dma_ld.raw_stall"
+                         if stall_end is not None and stall_end >= id_end
+                         else "dma_ld.decode_wait")
+                charge(cause, ld_start - free["ld_channel"])
+            if self._ex_duration(i, st) > 0.0:
+                charge("ffu.operand_wait",
+                       placements[(i, "ex")][0] - free["ffu"])
+            if st.reduce > 0.0:
+                charge("lfu.exec_wait", placements[(i, "rd")][0] - free["lfu"])
+            if st.writeback > 0.0:
+                charge("dma_wb.upstream_wait",
+                       placements[(i, "wb")][0] - free["wb_channel"])
+            for stage in _STAGES:
+                free[_RESOURCE_OF[stage]] = placements[(i, stage)][1]
+        return out
+
 
 def cross_validate(stages: List[StageTimes],
                    use_concatenation: bool = True,

@@ -61,6 +61,18 @@ class InstructionSchedule:
     wb_iv: Interval
 
 
+#: idle-cause keys recorded by :func:`schedule_pipeline`: ``resource.cause``
+#: where the cause names what the resource was *waiting on* before a stage
+#: with actual work could begin.
+IDLE_CAUSES = (
+    "dma_ld.raw_stall",      # LD held back by an unforwarded RAW hazard (WB)
+    "dma_ld.decode_wait",    # LD channel starved behind the decoder
+    "ffu.operand_wait",      # FFUs starved waiting for operands (LD)
+    "lfu.exec_wait",         # LFUs starved waiting for EX results
+    "dma_wb.upstream_wait",  # WB channel starved behind EX/RD completion
+)
+
+
 @dataclass
 class PipelineSchedule:
     """Result of scheduling a node's instruction stream."""
@@ -74,6 +86,11 @@ class PipelineSchedule:
     #: time until the first EX begins -- the node's own fill latency, which a
     #: *parent* applying concatenation can overlap away.
     startup_time: float = 0.0
+    #: seconds each resource sat idle *in front of real work*, keyed by
+    #: ``resource.cause`` (see :data:`IDLE_CAUSES`).  Gaps before zero-width
+    #: stages are not charged -- an idle DMA channel with nothing queued is
+    #: not a stall.
+    idle_causes: Dict[str, float] = field(default_factory=dict)
 
     def utilization(self, resource: str = "ffu") -> float:
         busy = {"ffu": self.ffu_busy, "dma": self.dma_busy,
@@ -99,15 +116,26 @@ def schedule_pipeline(
     dec_free = ld_free = wb_free = ffu_free = lfu_free = 0.0
     wb_end: Dict[int, float] = {}
 
+    def charge_idle(key: str, seconds: float) -> None:
+        if seconds > 0.0:
+            out.idle_causes[key] = out.idle_causes.get(key, 0.0) + seconds
+
     for i, st in enumerate(stages):
         id_start = dec_free
         id_end = id_start + st.decode
         dec_free = id_end
 
         ld_ready = id_end
+        stall_end: Optional[float] = None
         if st.stall_on is not None and st.stall_on in wb_end:
-            ld_ready = max(ld_ready, wb_end[st.stall_on])
+            stall_end = wb_end[st.stall_on]
+            ld_ready = max(ld_ready, stall_end)
         ld_start = max(ld_ready, ld_free)
+        if st.load > 0.0:
+            cause = ("dma_ld.raw_stall"
+                     if stall_end is not None and stall_end >= id_end
+                     else "dma_ld.decode_wait")
+            charge_idle(cause, ld_start - ld_free)
         ld_end = ld_start + st.load
         ld_free = ld_end
 
@@ -115,14 +143,20 @@ def schedule_pipeline(
         if use_concatenation and i > 0 and st.pre_assignable:
             ex_dur = max(0.0, st.exec - st.exec_fill)
         ex_start = max(ld_end, ffu_free)
+        if ex_dur > 0.0:
+            charge_idle("ffu.operand_wait", ex_start - ffu_free)
         ex_end = ex_start + ex_dur
         ffu_free = ex_end
 
         rd_start = max(ex_end, lfu_free)
+        if st.reduce > 0.0:
+            charge_idle("lfu.exec_wait", rd_start - lfu_free)
         rd_end = rd_start + st.reduce
         lfu_free = rd_end
 
         wb_start = max(rd_end, wb_free)
+        if st.writeback > 0.0:
+            charge_idle("dma_wb.upstream_wait", wb_start - wb_free)
         wb_finish = wb_start + st.writeback
         wb_free = wb_finish
         wb_end[i] = wb_finish

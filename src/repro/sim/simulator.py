@@ -31,7 +31,8 @@ from ..core.machine import Machine
 from ..core.memory.allocator import NodeMemoryManager
 from ..core.memory.ttt import TensorTranspositionTable
 from ..core.tensor import Region
-from .pipeline import StageTimes, schedule_pipeline
+from ..perf.attribution import CATEGORIES, attribute_schedule, merge_scaled
+from .pipeline import PipelineSchedule, StageTimes, schedule_pipeline
 
 #: bytes moved through local memory per reduction op (two reads + one write
 #: of 2-byte elements) -- caps effective reduction throughput by bandwidth.
@@ -100,6 +101,15 @@ class NodeResult:
     own_segments: List[Tuple[str, float, float]] = field(default_factory=list)
     child_embeds: List[Tuple[float, "NodeResult"]] = field(default_factory=list)
     stats: NodeStats = field(default_factory=NodeStats)
+    #: critical-path stall taxonomy: {level: {category: seconds}} summing to
+    #: ``total_time`` over all levels/categories (see repro.perf.attribution).
+    attribution: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: DMA engine accounting per level: load/store bytes over the parent
+    #: link and busy seconds (representative-child semantics, like
+    #: ``per_level_busy``).
+    per_level_dma: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: idle-cause seconds per level (keys from repro.sim.pipeline.IDLE_CAUSES).
+    per_level_idle: Dict[int, Dict[str, float]] = field(default_factory=dict)
 
 
 @dataclass
@@ -175,6 +185,21 @@ class SimReport:
     @property
     def attained_ops(self) -> float:
         return self.work / self.total_time if self.total_time > 0 else 0.0
+
+    @property
+    def attribution(self) -> Dict[int, Dict[str, float]]:
+        """Critical-path stall taxonomy per level (sums to the makespan)."""
+        return self.root.attribution
+
+    @property
+    def per_level_dma(self) -> Dict[int, Dict[str, float]]:
+        """DMA bytes/busy per memory level (representative-child totals)."""
+        return self.root.per_level_dma
+
+    @property
+    def per_level_idle(self) -> Dict[int, Dict[str, float]]:
+        """Idle-cause seconds per level (keys from pipeline.IDLE_CAUSES)."""
+        return self.root.per_level_idle
 
     @property
     def root_traffic(self) -> int:
@@ -315,6 +340,34 @@ class FractalSimulator:
                     "sim.busy_seconds",
                     labels={"level": level, "stage": stage},
                 ).inc(seconds)
+        for level, causes in sorted(report.per_level_idle.items()):
+            for cause, seconds in sorted(causes.items()):
+                registry.counter(
+                    "sim.idle_seconds",
+                    labels={"level": level, "cause": cause},
+                ).inc(seconds)
+        attributed: Dict[str, float] = {}
+        for cats in report.root.attribution.values():
+            for cat, seconds in cats.items():
+                attributed[cat] = attributed.get(cat, 0.0) + seconds
+        for cat, seconds in sorted(attributed.items()):
+            registry.counter(
+                "sim.attributed_seconds",
+                labels={"machine": self.machine.name, "category": cat},
+            ).inc(seconds)
+
+    def _record_node_accounting(self, result: NodeResult, level: int,
+                                sched: PipelineSchedule) -> None:
+        """Own-level DMA byte/busy accounting and idle-cause rollup."""
+        dma = result.per_level_dma.setdefault(
+            level, {"load_bytes": 0.0, "store_bytes": 0.0, "busy_s": 0.0})
+        dma["load_bytes"] += float(result.load_bytes)
+        dma["store_bytes"] += float(result.store_bytes)
+        dma["busy_s"] += sched.dma_busy
+        if sched.idle_causes:
+            idle = result.per_level_idle.setdefault(level, {})
+            for cause, seconds in sched.idle_causes.items():
+                idle[cause] = idle.get(cause, 0.0) + seconds
 
     # -- bandwidth model -------------------------------------------------------
 
@@ -647,13 +700,46 @@ class FractalSimulator:
         busy["dma"] += sched.dma_busy
         busy["compute"] += sched.ffu_busy
         busy["lfu"] += sched.lfu_busy
+        self._record_node_accounting(result, level, sched)
         for stage_idx, child in embeds:
             for lv, b in child.per_level_busy.items():
                 acc = result.per_level_busy.setdefault(
                     lv, {"dma": 0.0, "compute": 0.0, "lfu": 0.0})
                 for k, v in b.items():
                     acc[k] += v
+            for lv, d in child.per_level_dma.items():
+                acc = result.per_level_dma.setdefault(
+                    lv, {"load_bytes": 0.0, "store_bytes": 0.0, "busy_s": 0.0})
+                for k, v in d.items():
+                    acc[k] = acc.get(k, 0.0) + v
+            for lv, causes in child.per_level_idle.items():
+                acc = result.per_level_idle.setdefault(lv, {})
+                for k, v in causes.items():
+                    acc[k] = acc.get(k, 0.0) + v
             result.stats.merge(child.stats)
+
+        # Critical-path stall taxonomy: this node's control/DMA/reduction
+        # time is its own; EX time on the critical path is delegated to the
+        # child that produced it (scaled into the child's own taxonomy),
+        # bottoming out as FFU compute at the leaves.
+        totals, exec_path = attribute_schedule(sched.instructions, stage_list)
+        attr: Dict[int, Dict[str, float]] = {
+            level: dict.fromkeys(CATEGORIES, 0.0)}
+        own_attr = attr[level]
+        for cat in ("control", "dma", "reduction", "idle"):
+            own_attr[cat] += totals[cat]
+        child_of_stage = dict(embeds)
+        for inst_idx, seconds in exec_path:
+            child = child_of_stage.get(inst_idx)
+            if (child is not None and child.attribution
+                    and child.total_time > 0.0):
+                merge_scaled(attr, child.attribution,
+                             seconds / child.total_time)
+            else:
+                # Commission flushes and degenerate children count as this
+                # level's compute.
+                own_attr["compute"] += seconds
+        result.attribution = attr
 
         if self.collect_profiles:
             for isched in sched.instructions:
@@ -890,6 +976,14 @@ class FractalSimulator:
         result.per_level_busy[level] = {
             "dma": sched.dma_busy, "compute": sched.ffu_busy, "lfu": 0.0,
         }
+        self._record_node_accounting(result, level, sched)
+        # Leaves terminate the attribution recursion: EX here is real FFU
+        # compute, so the whole taxonomy lands at this level.
+        leaf_totals, _ = attribute_schedule(sched.instructions, stage_list)
+        leaf_attr = dict.fromkeys(CATEGORIES, 0.0)
+        for cat, seconds in leaf_totals.items():
+            leaf_attr[cat] = leaf_attr.get(cat, 0.0) + seconds
+        result.attribution = {level: leaf_attr}
         if self.collect_profiles:
             for isched in sched.instructions:
                 if isched.ld_iv.duration > 0:

@@ -39,6 +39,7 @@ from .report import (
     RunReport,
     SCHEMA,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     build_run_report,
     executor_section,
     simulator_section,
@@ -56,6 +57,7 @@ __all__ = [
     "RunReport",
     "SCHEMA",
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
     "build_run_report",
     "executor_section",
     "simulator_section",

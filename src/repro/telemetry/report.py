@@ -4,18 +4,22 @@ A :class:`RunReport` is one schema-versioned JSON document merging
 
 * the counter registry snapshot (``counters``),
 * span rollups from the tracer (``spans``),
-* functional-executor statistics (``executor``), and
-* timing-simulator statistics incl. cache hit rates (``simulator``)
+* functional-executor statistics (``executor``),
+* timing-simulator statistics incl. cache hit rates (``simulator``), and
+* (v2) the bottleneck ``attribution`` section plus ``spans_dropped``
 
 for one (benchmark, machine) run.  It is the artifact perf work diffs
-against: ``repro profile`` writes one per invocation and the benchmark
-harness writes one per machine (the ``BENCH_*.json`` trajectory).
+against: ``repro profile`` writes one per invocation, the benchmark
+harness writes one per machine (the ``BENCH_*.json`` trajectory), and
+``repro diff`` / ``tools/perf_gate.py`` compare two of them.
 
 Schema policy (documented in docs/TELEMETRY.md): ``schema`` names the
 document type and never changes; ``schema_version`` is a monotonically
 increasing integer bumped whenever a field is removed or its meaning
 changes.  *Adding* fields does not bump the version -- consumers must
-ignore unknown keys.
+ignore unknown keys.  **v2** formalizes the ``attribution`` section
+(critical-path stall taxonomy, see docs/TELEMETRY.md) as a recognized,
+validated section; :func:`validate_document` accepts both v1 and v2.
 """
 
 from __future__ import annotations
@@ -26,7 +30,10 @@ from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Dict, List, Optional
 
 SCHEMA = "repro.telemetry.run_report"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: schema versions validate_document accepts (v1 documents remain diffable).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: top-level keys every RunReport document carries.
 REQUIRED_KEYS = ("schema", "schema_version", "created", "benchmark",
@@ -43,6 +50,10 @@ class RunReport:
     spans: Dict[str, Dict[str, object]] = field(default_factory=dict)
     executor: Optional[Dict[str, object]] = None
     simulator: Optional[Dict[str, object]] = None
+    #: v2: bottleneck attribution (repro.perf.attribution section).
+    attribution: Optional[Dict[str, object]] = None
+    #: v2: spans evicted from the tracer ring buffer (0 = rollups complete).
+    spans_dropped: int = 0
     notes: Dict[str, object] = field(default_factory=dict)
     created: str = ""
 
@@ -61,11 +72,14 @@ class RunReport:
             "machine": self.machine,
             "counters": self.counters,
             "spans": self.spans,
+            "spans_dropped": self.spans_dropped,
         }
         if self.executor is not None:
             doc["executor"] = self.executor
         if self.simulator is not None:
             doc["simulator"] = self.simulator
+        if self.attribution is not None:
+            doc["attribution"] = self.attribution
         if self.notes:
             doc["notes"] = self.notes
         return doc
@@ -82,8 +96,10 @@ class RunReport:
 def validate_document(doc: Dict[str, object]) -> List[str]:
     """Light structural validation; returns a list of problems (empty = ok).
 
-    Meant for tests and for consumers deciding whether a ``BENCH_*.json``
-    they picked up is diffable against what they produce.
+    Meant for tests and for consumers (``repro diff``, the perf gate)
+    deciding whether a ``BENCH_*.json`` they picked up is diffable against
+    what they produce.  Accepts every version in
+    :data:`SUPPORTED_VERSIONS`; v1 documents simply lack the v2 sections.
     """
     problems: List[str] = []
     for key in REQUIRED_KEYS:
@@ -99,6 +115,40 @@ def validate_document(doc: Dict[str, object]) -> List[str]:
     for key in ("counters", "spans"):
         if key in doc and not isinstance(doc[key], dict):
             problems.append(f"{key!r} must be an object")
+    if "spans_dropped" in doc and (
+            not isinstance(doc["spans_dropped"], int)
+            or isinstance(doc["spans_dropped"], bool)
+            or doc["spans_dropped"] < 0):
+        problems.append(f"bad spans_dropped {doc['spans_dropped']!r}")
+    problems.extend(_validate_attribution(doc.get("attribution")))
+    return problems
+
+
+def _validate_attribution(section) -> List[str]:
+    """Structural checks for the v2 ``attribution`` section (if present)."""
+    if section is None:
+        return []
+    if not isinstance(section, dict):
+        return ["'attribution' must be an object"]
+    problems: List[str] = []
+    per_level = section.get("per_level_s")
+    if per_level is not None and not isinstance(per_level, dict):
+        problems.append("'attribution.per_level_s' must be an object")
+        per_level = None
+    makespan = section.get("makespan_s")
+    if makespan is not None and not isinstance(makespan, (int, float)):
+        problems.append(f"bad attribution.makespan_s {makespan!r}")
+        makespan = None
+    if per_level and isinstance(makespan, (int, float)) and makespan > 0:
+        total = 0.0
+        for cats in per_level.values():
+            if isinstance(cats, dict):
+                total += sum(v for v in cats.values()
+                             if isinstance(v, (int, float)))
+        if abs(total - makespan) > 1e-6 * makespan:
+            problems.append(
+                f"attribution fractions do not sum to the makespan "
+                f"({total!r} != {makespan!r})")
     return problems
 
 
@@ -146,6 +196,12 @@ def simulator_section(report) -> Dict[str, object]:
         },
         "stats": stats,
     }
+    per_level_idle = getattr(report, "per_level_idle", None)
+    if per_level_idle:
+        section["per_level_idle_s"] = {
+            str(level): dict(causes)
+            for level, causes in sorted(per_level_idle.items())
+        }
     cache = getattr(report, "cache", None)
     if cache is not None:
         section["cache"] = cache.as_dict() if hasattr(cache, "as_dict") \
@@ -160,9 +216,25 @@ def build_run_report(
     tracer=None,
     exec_stats=None,
     sim_report=None,
+    attribution: Optional[Dict[str, object]] = None,
     notes: Optional[Dict[str, object]] = None,
 ) -> RunReport:
-    """Assemble a RunReport from whichever telemetry sources exist."""
+    """Assemble a RunReport from whichever telemetry sources exist.
+
+    When ``sim_report`` carries per-node attribution (every simulation
+    since RunReport v2 does) and no explicit ``attribution`` section is
+    given, the section is built automatically via
+    :func:`repro.perf.attribution.attribution_section`.
+    """
+    if attribution is None and sim_report is not None:
+        # Lazy import: repro.perf is import-light but the telemetry package
+        # must stay loadable on its own (and free of import cycles).
+        try:
+            from ..perf.attribution import attribution_section
+        except ImportError:  # pragma: no cover - perf always ships with repro
+            attribution_section = None
+        if attribution_section is not None:
+            attribution = attribution_section(sim_report)
     return RunReport(
         benchmark=benchmark,
         machine=machine,
@@ -170,5 +242,7 @@ def build_run_report(
         spans=tracer.rollups() if tracer is not None else {},
         executor=executor_section(exec_stats) if exec_stats is not None else None,
         simulator=simulator_section(sim_report) if sim_report is not None else None,
+        attribution=attribution,
+        spans_dropped=int(getattr(tracer, "dropped", 0)) if tracer is not None else 0,
         notes=dict(notes or {}),
     )

@@ -48,6 +48,39 @@ class SpanRecord:
         }
 
 
+#: minimum exported Chrome-trace slice width, in microseconds (one "tick").
+CHROME_TICK_US = 1e-3
+
+
+class SliverPlacer:
+    """(ts, dur) assignment that keeps zero-width trace slices selectable.
+
+    The trace-event format draws ``ph: "X"`` slices with a minimum visual
+    width; two zero-duration events at the same timestamp used to export
+    with *identical* ``ts``/``dur`` and render as overlapping slivers --
+    Perfetto picks one and hides the rest.  Every sub-tick duration is
+    clamped to one tick (:data:`CHROME_TICK_US`), and the *n*-th sub-tick
+    event landing on the same ``(pid, tid, tick)`` cell is shifted right
+    by ``n`` ticks so each slice occupies its own pixel-width slot.
+    Full-width events pass through untouched.
+    """
+
+    __slots__ = ("_crowd",)
+
+    def __init__(self) -> None:
+        self._crowd: Dict[tuple, int] = {}
+
+    def place(self, pid: int, tid: int, ts_us: float,
+              dur_us: float) -> tuple:
+        """Return the ``(ts, dur)`` to export for one slice."""
+        if dur_us >= CHROME_TICK_US:
+            return ts_us, dur_us
+        key = (pid, tid, round(ts_us / CHROME_TICK_US))
+        n = self._crowd.get(key, 0)
+        self._crowd[key] = n + 1
+        return ts_us + n * CHROME_TICK_US, CHROME_TICK_US
+
+
 class _NullSpan:
     """Reusable no-op context manager for the disabled fast path."""
 
@@ -203,15 +236,18 @@ class Tracer:
         ]
         spans = self.spans()
         base = min((s.start for s in spans), default=0.0)
+        placer = SliverPlacer()
         for s in spans:
+            ts, dur = placer.place(pid, tid, (s.start - base) * 1e6,
+                                   s.duration * 1e6)
             events.append({
                 "name": s.name,
                 "cat": s.cat or "span",
                 "ph": "X",
                 "pid": pid,
                 "tid": tid,
-                "ts": (s.start - base) * 1e6,
-                "dur": max(s.duration * 1e6, 1e-3),
+                "ts": ts,
+                "dur": dur,
                 "args": dict(s.args, depth=s.depth),
             })
         return events

@@ -18,6 +18,8 @@ from .suite import (
     PROFILE_BENCHMARKS,
     paper_benchmark,
     profile_benchmark,
+    profile_benchmark_names,
+    resolve_profile_benchmark,
     small_benchmark,
 )
 
@@ -38,6 +40,8 @@ __all__ = [
     "PROFILE_BENCHMARKS",
     "paper_benchmark",
     "profile_benchmark",
+    "profile_benchmark_names",
+    "resolve_profile_benchmark",
     "small_benchmark",
     "cpu_time_shares",
     "op_shares",

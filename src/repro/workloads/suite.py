@@ -48,13 +48,32 @@ PROFILE_BENCHMARKS: Dict[str, Callable[[], Workload]] = {
 }
 
 
+def profile_benchmark_names() -> list:
+    """Every name ``repro profile`` accepts (stable, sorted)."""
+    return sorted(PROFILE_BENCHMARKS)
+
+
+def resolve_profile_benchmark(name: str) -> str:
+    """Map a user-supplied benchmark name to its canonical suite key.
+
+    Exact matches win; otherwise the match is case-insensitive (the suite
+    mixes styles: ``mm_fc`` vs ``VGG-16``).  Raises :class:`KeyError`
+    whose message lists every valid name -- the CLI surfaces it verbatim
+    with exit code 2 instead of a traceback.
+    """
+    if name in PROFILE_BENCHMARKS:
+        return name
+    folded = {key.lower(): key for key in PROFILE_BENCHMARKS}
+    if name.lower() in folded:
+        return folded[name.lower()]
+    raise KeyError(
+        f"unknown benchmark {name!r}; valid names: "
+        f"{', '.join(profile_benchmark_names())}")
+
+
 def profile_benchmark(name: str) -> Workload:
     """Build one profiling subject (functional scale)."""
-    try:
-        return PROFILE_BENCHMARKS[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; one of {sorted(PROFILE_BENCHMARKS)}")
+    return PROFILE_BENCHMARKS[resolve_profile_benchmark(name)]()
 
 
 def paper_benchmark(name: str) -> Workload:

@@ -133,6 +133,43 @@ class TestProfile:
         assert code == 2
         assert "unknown" in out.lower() or "choices" in out.lower()
 
+    def test_unknown_benchmark_lists_valid_names(self, capsys):
+        from repro.workloads import profile_benchmark_names
+        code, out = run_cli(capsys, "profile", "nope")
+        assert code == 2
+        for name in profile_benchmark_names():
+            assert name in out  # the message names every valid subject
+
+    def test_benchmark_name_case_insensitive(self, capsys, tmp_path):
+        rr = tmp_path / "rr.json"
+        code, out = run_cli(capsys, "profile", "MM_FC", "-o", str(rr))
+        assert code == 0 and rr.exists()
+        assert "mm_fc" in out  # resolved to the canonical suite key
+
+    def test_profile_json_emits_v2_report(self, capsys, tmp_path):
+        """Acceptance: repro profile mm_fc --json is a RunReport v2 whose
+        attribution fractions sum to the makespan."""
+        import json
+        rr = tmp_path / "rr.json"
+        code, out = run_cli(capsys, "profile", "mm_fc", "-o", str(rr),
+                            "--json")
+        assert code == 0
+        doc = json.loads(out)  # stdout is the document, nothing else
+        from repro.telemetry import validate_document
+        assert doc["schema_version"] == 2
+        assert validate_document(doc) == []
+        attr = doc["attribution"]
+        total = sum(sum(cats.values())
+                    for cats in attr["per_level_s"].values())
+        assert total == pytest.approx(attr["makespan_s"], rel=1e-9)
+        assert abs(sum(attr["fractions"].values()) - 1.0) < 1e-9
+
+    def test_profile_summary_names_bottleneck(self, capsys, tmp_path):
+        rr = tmp_path / "rr.json"
+        code, out = run_cli(capsys, "profile", "mm_fc", "-o", str(rr))
+        assert code == 0
+        assert "bottleneck" in out and "-bound" in out
+
 
 class TestDSE:
     def test_prints_all_hierarchies(self, capsys):

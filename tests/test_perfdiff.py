@@ -1,0 +1,230 @@
+"""Differential RunReport profiling (repro.perf.diff + the repro diff CLI).
+
+Gating contract under test: time-like metrics regress upward,
+throughput-like metrics regress downward, spans are informational unless
+explicitly gated, and the exit codes follow the 0/2/3 convention shared
+with tools/perf_gate.py.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import DiffConfig, diff_documents
+from repro.perf.diff import flatten_numeric
+
+pytestmark = pytest.mark.perf
+
+
+def base_doc():
+    """A miniature but structurally complete RunReport v2."""
+    return {
+        "schema": "repro.telemetry.run_report",
+        "schema_version": 2,
+        "created": "2026-08-06T00:00:00",
+        "benchmark": "mini",
+        "machine": "Cambricon-F1",
+        "counters": {
+            "sim.busy_seconds{level=1,kind=dma}": 0.4,
+            "sim.attributed_seconds{machine=Cambricon-F1,category=dma}": 0.5,
+            "executor.instructions{level=0}": 12,
+        },
+        "spans": {
+            "host.profile": {"count": 1, "total_s": 2.0, "max_s": 2.0},
+        },
+        "spans_dropped": 0,
+        "simulator": {
+            "total_time_s": 1.0,
+            "attained_ops": 4.0e12,
+            "per_level_busy_s": {"0": {"compute": 0.6, "dma": 0.3}},
+        },
+        "attribution": {
+            "makespan_s": 1.0,
+            "totals_s": {"control": 0.1, "dma": 0.5, "compute": 0.4,
+                         "reduction": 0.0, "idle": 0.0},
+            "per_level_s": {"0": {"control": 0.1, "dma": 0.5,
+                                  "compute": 0.4, "reduction": 0.0,
+                                  "idle": 0.0}},
+        },
+        "notes": {
+            "benchmarks": {
+                "MATMUL": {"total_time_s": 4.7, "attained_ops": 9.0e12,
+                           "peak_fraction": 0.6},
+            },
+        },
+    }
+
+
+def slowed(doc, factor=1.10, path=("simulator", "total_time_s")):
+    out = copy.deepcopy(doc)
+    node = out
+    for key in path[:-1]:
+        node = node[key]
+    node[path[-1]] *= factor
+    return out
+
+
+class TestFlatten:
+    def test_nested_paths(self):
+        flat = flatten_numeric({"a": {"b": 1, "c": {"d": 2.5}}, "e": 3})
+        assert flat == {"a.b": 1.0, "a.c.d": 2.5, "e": 3.0}
+
+    def test_bools_and_strings_excluded(self):
+        flat = flatten_numeric({"ok": True, "name": "x", "n": 1})
+        assert flat == {"n": 1.0}
+
+
+class TestGating:
+    def test_identical_passes(self):
+        result = diff_documents(base_doc(), base_doc())
+        assert result.passed and result.exit_code == 0
+        assert not result.regressions
+
+    def test_ten_percent_slowdown_regresses_and_names_path(self):
+        result = diff_documents(base_doc(), slowed(base_doc()))
+        assert result.exit_code == 3
+        assert result.worst().path == "simulator.total_time_s"
+        assert result.worst().rel == pytest.approx(0.10)
+
+    def test_below_threshold_passes(self):
+        result = diff_documents(base_doc(), slowed(base_doc(), 1.04))
+        assert result.exit_code == 0
+
+    def test_attribution_stage_regression_named(self):
+        cand = slowed(base_doc(), 1.5,
+                      ("attribution", "per_level_s", "0", "dma"))
+        result = diff_documents(base_doc(), cand)
+        assert result.exit_code == 3
+        paths = {e.path for e in result.regressions}
+        assert "attribution.per_level_s.0.dma" in paths
+
+    def test_throughput_drop_regresses(self):
+        cand = slowed(base_doc(), 0.8, ("simulator", "attained_ops"))
+        result = diff_documents(base_doc(), cand)
+        assert result.exit_code == 3
+        assert result.worst().path == "simulator.attained_ops"
+
+    def test_throughput_gain_improves(self):
+        cand = slowed(base_doc(), 1.5, ("simulator", "attained_ops"))
+        result = diff_documents(base_doc(), cand)
+        assert result.exit_code == 0
+        assert any(e.path == "simulator.attained_ops"
+                   for e in result.improvements)
+
+    def test_speedup_is_improvement_not_regression(self):
+        result = diff_documents(base_doc(), slowed(base_doc(), 0.5))
+        assert result.exit_code == 0
+        assert any(e.path == "simulator.total_time_s"
+                   for e in result.improvements)
+
+    def test_bench_table_gated(self):
+        cand = slowed(base_doc(), 1.2,
+                      ("notes", "benchmarks", "MATMUL", "total_time_s"))
+        result = diff_documents(base_doc(), cand)
+        assert result.exit_code == 3
+
+    def test_abs_floor_suppresses_noise(self):
+        base = base_doc()
+        base["simulator"]["total_time_s"] = 1e-14
+        cand = slowed(base, 2.0)  # +100% but absolutely tiny
+        result = diff_documents(base, cand)
+        assert result.exit_code == 0
+
+    def test_schema_version_never_compared(self):
+        cand = base_doc()
+        cand["schema_version"] = 3
+        result = diff_documents(base_doc(), cand)
+        assert all(e.path != "schema_version" for e in result.entries)
+
+    def test_added_and_removed_are_informational(self):
+        cand = base_doc()
+        cand["simulator"]["new_metric"] = 42.0
+        del cand["counters"]["executor.instructions{level=0}"]
+        result = diff_documents(base_doc(), cand)
+        assert result.exit_code == 0
+        statuses = {e.path: e.status for e in result.entries}
+        assert statuses["simulator.new_metric"] == "added"
+        assert statuses["counters.executor.instructions{level=0}"] == "removed"
+
+
+class TestSpanGating:
+    def test_spans_informational_by_default(self):
+        cand = slowed(base_doc(), 3.0, ("spans", "host.profile", "total_s"))
+        result = diff_documents(base_doc(), cand)
+        assert result.exit_code == 0
+        assert any(e.path == "spans.host.profile.total_s" and
+                   e.status == "changed" for e in result.entries)
+
+    def test_gate_spans_opt_in(self):
+        cand = slowed(base_doc(), 3.0, ("spans", "host.profile", "total_s"))
+        config = DiffConfig(gate_spans=True)
+        result = diff_documents(base_doc(), cand, config=config)
+        assert result.exit_code == 3
+
+
+class TestRendering:
+    def test_table_mentions_verdict_and_worst(self):
+        result = diff_documents(base_doc(), slowed(base_doc()))
+        table = result.format_table()
+        assert "REGRESSED (exit 3)" in table
+        assert "simulator.total_time_s" in table
+        assert "worst regression" in table
+
+    def test_json_obj_round_trips(self):
+        result = diff_documents(base_doc(), slowed(base_doc()))
+        obj = json.loads(json.dumps(result.to_json_obj()))
+        assert obj["passed"] is False and obj["exit_code"] == 3
+        assert obj["worst_regression"] == "simulator.total_time_s"
+
+
+class TestDiffCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_identical_exits_zero(self, tmp_path, capsys):
+        p = self._write(tmp_path, "base.json", base_doc())
+        assert main(["diff", p, p]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_slowed_exits_three_and_names_stage(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", base_doc())
+        cand = self._write(tmp_path, "cand.json", slowed(base_doc()))
+        assert main(["diff", base, cand]) == 3
+        out = capsys.readouterr().out
+        assert "simulator.total_time_s" in out and "REGRESSED" in out
+
+    def test_threshold_flag(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", base_doc())
+        cand = self._write(tmp_path, "cand.json", slowed(base_doc()))
+        assert main(["diff", base, cand, "--threshold", "0.2"]) == 0
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", base_doc())
+        cand = self._write(tmp_path, "cand.json", slowed(base_doc()))
+        assert main(["diff", base, cand, "--json"]) == 3
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["schema"] == "repro.perf.diff"
+        assert obj["worst_regression"] == "simulator.total_time_s"
+
+    def test_invalid_document_exits_two(self, tmp_path, capsys):
+        good = self._write(tmp_path, "base.json", base_doc())
+        bad = self._write(tmp_path, "bad.json", {"hello": 1})
+        assert main(["diff", good, bad]) == 2
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        good = self._write(tmp_path, "base.json", base_doc())
+        assert main(["diff", good, str(tmp_path / "nope.json")]) == 2
+
+    def test_v1_documents_still_diffable(self, tmp_path, capsys):
+        v1 = base_doc()
+        v1["schema_version"] = 1
+        del v1["attribution"]
+        del v1["spans_dropped"]
+        base = self._write(tmp_path, "v1.json", v1)
+        cand = self._write(tmp_path, "cand.json",
+                           slowed(dict(v1), 1.10))
+        assert main(["diff", base, cand]) == 3

@@ -19,6 +19,7 @@ from repro.sim import FractalSimulator
 from repro.telemetry import (
     SCHEMA,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     CounterRegistry,
     Tracer,
     build_run_report,
@@ -345,6 +346,47 @@ class TestRunReport:
         assert any("future" in p for p in
                    validate_document({"schema": SCHEMA,
                                       "schema_version": SCHEMA_VERSION + 1}))
+
+    def test_v1_documents_still_accepted(self):
+        """Schema policy: pre-attribution (v1) documents stay diffable."""
+        doc = self.build().to_dict()
+        doc["schema_version"] = 1
+        del doc["attribution"]
+        del doc["spans_dropped"]
+        assert 1 in SUPPORTED_VERSIONS
+        assert validate_document(doc) == []
+
+    def test_v2_attribution_section_present_and_sums(self):
+        doc = self.build().to_dict()
+        assert doc["schema_version"] == 2
+        attr = doc["attribution"]
+        total = sum(sum(cats.values())
+                    for cats in attr["per_level_s"].values())
+        assert total == pytest.approx(attr["makespan_s"], rel=1e-9)
+        assert attr["classification"].endswith("-bound")
+
+    def test_validate_rejects_bad_spans_dropped(self):
+        doc = self.build().to_dict()
+        assert doc["spans_dropped"] == 0
+        doc["spans_dropped"] = -1
+        assert any("spans_dropped" in p for p in validate_document(doc))
+        doc["spans_dropped"] = True  # bools are not counts
+        assert any("spans_dropped" in p for p in validate_document(doc))
+
+    def test_validate_rejects_inconsistent_attribution(self):
+        doc = self.build().to_dict()
+        doc["attribution"]["per_level_s"]["0"]["compute"] += \
+            doc["attribution"]["makespan_s"]
+        assert any("makespan" in p for p in validate_document(doc))
+
+    def test_spans_dropped_propagates_from_tracer(self):
+        tracer = Tracer(enabled=True, capacity=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        report = build_run_report("x", "y", tracer=tracer)
+        assert report.spans_dropped == tracer.dropped > 0
+        assert report.to_dict()["spans_dropped"] == tracer.dropped
 
 
 # ---------------------------------------------------------------------------

@@ -6,7 +6,8 @@ Run as ``python tools/lint.py`` from the repository root.  Two stages:
 1. **ruff** (config in ``pyproject.toml``) over ``src/`` and ``tests/``.
    ruff is optional tooling -- offline environments may not have it, so
    its absence is reported as a skip, not a failure.
-2. **ruff, strict profile** over the telemetry package (select set in
+2. **ruff, strict profile** over the instrumentation packages
+   (``repro.telemetry`` + ``repro.perf``; paths and select set in
    ``[tool.repro.lint]`` of pyproject.toml): new instrumentation code is
    held to a tighter bar than the legacy tree.
 3. **FISA static analysis smoke**: ``python -m repro lint`` over every

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: fresh paper-suite RunReport vs the committed baseline.
+
+Re-simulates the seven Table-5 benchmarks on Cambricon-F1 (the same code
+path as ``pytest benchmarks/``: :func:`conftest._simulate_suite`), writes
+the suite RunReport into a temporary directory, and diffs it against
+``benchmarks/baselines/BENCH_reference.json`` with
+:func:`repro.perf.diff_documents`.  Only deterministic simulator metrics
+are gated (simulated seconds, attribution, attained ops); wall-clock span
+rollups are informational, so the gate is reproducible across hosts.
+
+Exit codes (shared with ``repro diff``):
+
+* **0** -- no gated metric regressed,
+* **2** -- usage/IO error (missing baseline, simulation failure, ...),
+* **3** -- at least one gated regression past the threshold.
+
+After an intentional performance change, refresh the baseline with
+``python tools/perf_gate.py --update`` and commit the new JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+DEFAULT_BASELINE = ROOT / "benchmarks" / "baselines" / "BENCH_reference.json"
+
+
+def fresh_suite_document(machine_key: str) -> dict:
+    """Simulate the paper suite and return the BENCH_<machine>.json dict."""
+    import conftest  # benchmarks/conftest.py (sys.path above)
+
+    from repro import cambricon_f1, cambricon_f100
+
+    machine = {"f1": cambricon_f1, "f100": cambricon_f100}[machine_key]()
+    prev = os.environ.get("REPRO_BENCH_REPORT_DIR")
+    with tempfile.TemporaryDirectory(prefix="perf_gate_") as tmp:
+        os.environ["REPRO_BENCH_REPORT_DIR"] = tmp
+        try:
+            conftest._simulate_suite(machine)
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_BENCH_REPORT_DIR", None)
+            else:
+                os.environ["REPRO_BENCH_REPORT_DIR"] = prev
+        slug = machine.name.lower().replace(" ", "_").replace("-", "_")
+        path = Path(tmp) / f"BENCH_{slug}.json"
+        return json.loads(path.read_text(encoding="utf-8"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--machine", choices=("f1", "f100"), default="f1",
+                        help="instance to re-simulate (default f1)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline RunReport (default {DEFAULT_BASELINE})")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="relative slip gated metrics may take "
+                             "(default 0.05 = 5%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the fresh report "
+                             "and exit 0")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable diff")
+    args = parser.parse_args(argv)
+
+    from repro.perf import DiffConfig, diff_documents
+    from repro.telemetry import validate_document
+
+    try:
+        candidate = fresh_suite_document(args.machine)
+    except Exception as err:  # noqa: BLE001 - gate must report, not crash
+        print(f"perf_gate: suite simulation failed: {err}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(candidate, f, indent=2)
+            f.write("\n")
+        print(f"perf_gate: baseline updated -> {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"perf_gate: cannot read baseline {args.baseline}: {err}\n"
+              f"perf_gate: (bootstrap with: python tools/perf_gate.py --update)",
+              file=sys.stderr)
+        return 2
+    for name, doc in (("baseline", baseline), ("candidate", candidate)):
+        problems = validate_document(doc)
+        if problems:
+            print(f"perf_gate: {name} is not a valid RunReport: "
+                  f"{'; '.join(problems)}", file=sys.stderr)
+            return 2
+
+    result = diff_documents(
+        baseline, candidate,
+        config=DiffConfig(rel_threshold=args.threshold),
+        baseline_name=str(args.baseline),
+        candidate_name=f"fresh {args.machine} suite",
+    )
+    if args.json:
+        print(json.dumps(result.to_json_obj(), indent=2))
+    else:
+        print(result.format_table())
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
