@@ -9,6 +9,12 @@ Every suite simulation also writes a machine-readable RunReport
 (``BENCH_<machine>.json``, schema in docs/TELEMETRY.md) into
 ``$REPRO_BENCH_REPORT_DIR`` (default ``benchmarks/reports/``) -- the
 artifact perf PRs diff against.
+
+The suite runs under the observability layer (docs/OBSERVABILITY.md): the
+structured event log is armed, a flight recorder checkpoints the counters
+per benchmark, and an uncaught exception dumps a crash bundle under
+``$REPRO_BENCH_CRASH_DIR`` (default ``benchmarks/reports/crash_bundles/``)
+before the failure propagates to pytest.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ import pytest
 
 sys.stdout.reconfigure(line_buffering=True)
 
-from repro import cambricon_f1, cambricon_f100, telemetry
+from repro import cambricon_f1, cambricon_f100, obs, telemetry
 from repro.perf import attribute_report
 from repro.sim import FractalSimulator
 from repro.workloads import PAPER_BENCHMARKS, paper_benchmark
@@ -52,13 +58,14 @@ def _report_dir() -> Path:
 
 
 def _write_suite_report(machine, results: Dict[str, BenchResult],
-                        registry, tracer) -> None:
+                        registry, tracer, event_log=None) -> None:
     """One ``BENCH_<machine>.json`` RunReport for the whole suite."""
     report = telemetry.build_run_report(
         benchmark="paper-suite",
         machine=machine.name,
         registry=registry,
         tracer=tracer,
+        event_log=event_log,
         notes={
             "command": "benchmarks/conftest",
             "benchmarks": {
@@ -84,32 +91,61 @@ def _write_suite_report(machine, results: Dict[str, BenchResult],
         print(f"[bench] could not write suite RunReport: {err}")
 
 
+def _crash_dir() -> str:
+    return os.environ.get("REPRO_BENCH_CRASH_DIR",
+                          str(_report_dir() / "crash_bundles"))
+
+
 def _simulate_suite(machine) -> Dict[str, BenchResult]:
     out: Dict[str, BenchResult] = {}
-    with telemetry.enabled_scope() as (registry, tracer):
-        telemetry.reset()
-        for name in PAPER_BENCHMARKS:
-            w = paper_benchmark(name)
-            sim = FractalSimulator(machine, collect_profiles=False)
-            rep = sim.simulate(w.program)
-            attr = attribute_report(rep) if rep.attribution else None
-            out[name] = BenchResult(
-                name=name,
-                machine=machine.name,
-                total_time=rep.total_time,
-                attained_ops=rep.attained_ops,
-                operational_intensity=rep.operational_intensity,
-                root_traffic=rep.root_traffic,
-                peak_fraction=rep.peak_fraction(machine.peak_ops),
-                attribution=({
-                    "makespan_s": attr.makespan,
-                    "dominant": attr.dominant(),
-                    "classification": attr.classify(),
-                    "totals_s": attr.totals(),
-                } if attr is not None else None),
-            )
-        _write_suite_report(machine, out, registry, tracer)
+    event_log = obs.get_event_log()
+    prior_events = event_log.enabled
+    event_log.reset()
+    event_log.enable()
+    recorder = obs.FlightRecorder(event_log=event_log)
+    recorder.report_context.update({"benchmark": "paper-suite",
+                                    "machine": machine.name})
+    try:
+        with telemetry.enabled_scope() as (registry, tracer), \
+                obs.event_context(suite="paper-suite", machine=machine.name), \
+                obs.crash_scope(_crash_dir(),
+                                reason=f"bench-suite-{machine.name}",
+                                recorder=recorder):
+            telemetry.reset()
+            recorder.mark("suite.start")
+            for name in PAPER_BENCHMARKS:
+                _simulate_one(machine, name, out, recorder)
+            recorder.mark("suite.end")
+            _write_suite_report(machine, out, registry, tracer,
+                                event_log=event_log)
+    finally:
+        event_log.enabled = prior_events
     return out
+
+
+def _simulate_one(machine, name: str, out: Dict[str, BenchResult],
+                  recorder) -> None:
+    with obs.event_context(benchmark=name):
+        w = paper_benchmark(name)
+        sim = FractalSimulator(machine, collect_profiles=False)
+        rep = sim.simulate(w.program)
+        recorder.mark(f"bench.{name}")
+        attr = attribute_report(rep) if rep.attribution else None
+        out[name] = BenchResult(
+            name=name,
+            machine=machine.name,
+            total_time=rep.total_time,
+            attained_ops=rep.attained_ops,
+            operational_intensity=rep.operational_intensity,
+            root_traffic=rep.root_traffic,
+            peak_fraction=rep.peak_fraction(machine.peak_ops),
+            attribution=({
+                "makespan_s": attr.makespan,
+                "dominant": attr.dominant(),
+                "classification": attr.classify(),
+                "totals_s": attr.totals(),
+            } if attr is not None else None),
+        )
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,8 @@ Commands::
     trace     -b K-NN -o t.json     Chrome/Perfetto trace of a simulation
     profile   mm_fc                 run + simulate with telemetry; RunReport
     diff      base.json cand.json   compare two RunReports; exit 3 on regression
+    serve-metrics mm_fc --port 8000 run a workload under a live /metrics server
+    events tail events.jsonl        filter/pretty-print a structured event log
     figures   -o figures/           render every paper figure as SVG
     dse                             Table-4 hierarchy sweep (costs only)
     assemble  prog.fisa -o prog.bin assemble FISA text to the binary format
@@ -19,12 +21,22 @@ Commands::
 schema-versioned RunReport document instead of human text (see
 docs/TELEMETRY.md).  ``diff`` implements the perf-gate exit-code
 contract: 0 = pass, 2 = usage/IO error, 3 = gated regression.
+
+``profile`` and ``simulate`` take the observability flags ``--serve PORT``
+(live /metrics + /healthz + /events while the run is in flight),
+``--events PATH`` (stream the structured event log as JSONL) and
+``--crash-dir DIR`` (dump a flight-recorder crash bundle on an uncaught
+exception) -- see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import contextmanager
+from pathlib import Path
+from types import SimpleNamespace
 from typing import List, Optional
 
 import numpy as np
@@ -56,6 +68,109 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
                    help="disable pipeline concatenation")
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the long-running commands."""
+    p.add_argument("--serve", type=int, metavar="PORT", default=None,
+                   help="expose live /metrics, /healthz and /events on "
+                        "127.0.0.1:PORT while the run is in flight "
+                        "(0 = ephemeral port)")
+    p.add_argument("--events", metavar="PATH",
+                   help="stream the structured event log to PATH as JSONL "
+                        "(read back with `repro events tail`)")
+    p.add_argument("--crash-dir", metavar="DIR",
+                   help="dump a flight-recorder crash bundle under DIR on "
+                        "an uncaught exception")
+    p.add_argument("--stall-after", type=float, default=30.0, metavar="S",
+                   help="seconds without a progress beat before /healthz "
+                        "reports stalled (default 30)")
+
+
+def _writable_error(path: str) -> Optional[str]:
+    """Why ``path`` cannot be created/overwritten, or None if it can."""
+    p = Path(path)
+    if p.is_dir():
+        return "is a directory"
+    parent = p.parent if str(p.parent) else Path(".")
+    if not parent.exists():
+        return f"parent directory {parent} does not exist"
+    if not parent.is_dir():
+        return f"{parent} is not a directory"
+    if not os.access(parent, os.W_OK):
+        return f"parent directory {parent} is not writable"
+    if p.exists() and not os.access(p, os.W_OK):
+        return "exists and is not writable"
+    return None
+
+
+def _check_outputs(command: str, **paths) -> Optional[int]:
+    """Validate output paths up front; returns 2 after printing a clear
+    message when any is unwritable, else None (see ISSUE: no tracebacks
+    for bad ``-o/--trace/--spans/--events`` targets)."""
+    for flag, path in paths.items():
+        if not path:
+            continue
+        problem = _writable_error(str(path))
+        if problem:
+            print(f"{command}: cannot write --{flag.replace('_', '-')} "
+                  f"{path}: {problem}", file=sys.stderr)
+            return 2
+    return None
+
+
+@contextmanager
+def _observability(args, benchmark: str, machine_name: str, command: str):
+    """Arm the obs layer for one CLI run per the --serve/--events/--crash-dir
+    flags; yields a handle with the event log, watchdog, flight recorder
+    and (optional) metrics server.  Everything is restored on exit."""
+    from . import obs, telemetry
+
+    event_log = obs.get_event_log()
+    prior_enabled = event_log.enabled
+    event_log.reset()
+    event_log.enable()
+    if getattr(args, "events", None):
+        event_log.attach_jsonl(args.events)
+    watchdog = obs.install_watchdog(
+        obs.Watchdog(stall_after_s=getattr(args, "stall_after", 30.0)))
+    recorder = obs.FlightRecorder(event_log=event_log,
+                                  registry=telemetry.get_registry(),
+                                  tracer=telemetry.get_tracer())
+    recorder.config.update({"command": command, "benchmark": benchmark,
+                            "machine": machine_name,
+                            "argv": [str(a) for a in (sys.argv or [])]})
+    recorder.report_context.update({"benchmark": benchmark,
+                                    "machine": machine_name})
+    server = None
+    try:
+        if getattr(args, "serve", None) is not None:
+            server = obs.MetricsServer(registry=telemetry.get_registry(),
+                                       event_log=event_log,
+                                       watchdog=watchdog,
+                                       port=int(args.serve)).start()
+            print(f"[obs] serving {server.url}/metrics "
+                  f"(/healthz, /events)", file=sys.stderr)
+        handle = SimpleNamespace(event_log=event_log, watchdog=watchdog,
+                                 recorder=recorder, server=server)
+        crash_dir = getattr(args, "crash_dir", None)
+        with obs.event_context(benchmark=benchmark, machine=machine_name):
+            if crash_dir:
+                with obs.crash_scope(crash_dir, f"{command}-{benchmark}",
+                                     recorder=recorder):
+                    recorder.mark("run.start")
+                    yield handle
+                    recorder.mark("run.end")
+            else:
+                recorder.mark("run.start")
+                yield handle
+                recorder.mark("run.end")
+    finally:
+        if server is not None:
+            server.stop()
+        obs.install_watchdog(None)
+        event_log.close_sink()
+        event_log.enabled = prior_enabled
+
+
 def cmd_specs(args) -> int:
     for factory in (cambricon_f100, cambricon_f1):
         print(factory().describe())
@@ -63,7 +178,7 @@ def cmd_specs(args) -> int:
     return 0
 
 
-def _sim_run_report(args, machine, rep):
+def _sim_run_report(args, machine, rep, obs_handle=None):
     """RunReport for one simulator-only CLI invocation (``--json``)."""
     from . import telemetry
 
@@ -73,8 +188,17 @@ def _sim_run_report(args, machine, rep):
         registry=telemetry.get_registry() if telemetry.get_registry().enabled
         else None,
         sim_report=rep,
+        event_log=obs_handle.event_log if obs_handle is not None else None,
+        health=(obs_handle.watchdog.health_section()
+                if obs_handle is not None else None),
         notes={"command": args.command},
     )
+
+
+def _wants_obs(args) -> bool:
+    return (getattr(args, "serve", None) is not None
+            or bool(getattr(args, "events", None))
+            or bool(getattr(args, "crash_dir", None)))
 
 
 def cmd_simulate(args) -> int:
@@ -82,8 +206,24 @@ def cmd_simulate(args) -> int:
     from .workloads import paper_benchmark
 
     machine = _machine(args)
+    code = _check_outputs("simulate", events=getattr(args, "events", None))
+    if code is not None:
+        return code
     w = paper_benchmark(args.benchmark)
-    rep = FractalSimulator(machine, collect_profiles=False).simulate(w.program)
+    if _wants_obs(args):
+        from . import telemetry
+
+        with telemetry.enabled_scope():
+            with _observability(args, args.benchmark, machine.name,
+                                "simulate") as handle:
+                rep = FractalSimulator(
+                    machine, collect_profiles=False).simulate(w.program)
+            if getattr(args, "json", False):
+                print(_sim_run_report(args, machine, rep, handle).to_json())
+                return 0
+    else:
+        rep = FractalSimulator(machine,
+                               collect_profiles=False).simulate(w.program)
     if getattr(args, "json", False):
         print(_sim_run_report(args, machine, rep).to_json())
         return 0
@@ -245,36 +385,47 @@ def cmd_profile(args) -> int:
     except KeyError as err:
         print(f"profile: {err.args[0]}")
         return 2
+    out = args.out or f"runreport_{args.benchmark}.json"
+    code = _check_outputs("profile", out=out, trace=args.trace,
+                          spans=args.spans,
+                          events=getattr(args, "events", None))
+    if code is not None:
+        return code
     w = profile_benchmark(args.benchmark)
 
     with telemetry.enabled_scope() as (registry, tracer):
         telemetry.reset()
-        with tracer.span("host.profile", cat="host",
-                         benchmark=args.benchmark, machine=machine.name):
-            # Functional pass: real execution through the fractal recursion.
-            rng = np.random.default_rng(args.seed)
-            store = TensorStore()
-            for t in list(w.inputs.values()) + list(w.params.values()):
-                store.bind(t, rng.normal(size=t.shape))
-            executor = FractalExecutor(machine, store)
-            executor.run_program(w.program)
+        with _observability(args, args.benchmark, machine.name,
+                            "profile") as handle:
+            with tracer.span("host.profile", cat="host",
+                             benchmark=args.benchmark, machine=machine.name):
+                # Functional pass: real execution through the fractal
+                # recursion.
+                rng = np.random.default_rng(args.seed)
+                store = TensorStore()
+                for t in list(w.inputs.values()) + list(w.params.values()):
+                    store.bind(t, rng.normal(size=t.shape))
+                executor = FractalExecutor(machine, store)
+                executor.run_program(w.program)
+                handle.recorder.mark("functional.end")
 
-            # Timing pass: the simulator's view of the same program.
-            simulator = FractalSimulator(machine,
-                                         collect_profiles=bool(args.trace))
-            sim_report = simulator.simulate(w.program)
+                # Timing pass: the simulator's view of the same program.
+                simulator = FractalSimulator(machine,
+                                             collect_profiles=bool(args.trace))
+                sim_report = simulator.simulate(w.program)
 
-        report = telemetry.build_run_report(
-            benchmark=args.benchmark,
-            machine=machine.name,
-            registry=registry,
-            tracer=tracer,
-            exec_stats=executor.stats,
-            sim_report=sim_report,
-            notes={"command": "profile", "seed": args.seed,
-                   "program_instructions": len(w.program)},
-        )
-        out = args.out or f"runreport_{args.benchmark}.json"
+            report = telemetry.build_run_report(
+                benchmark=args.benchmark,
+                machine=machine.name,
+                registry=registry,
+                tracer=tracer,
+                exec_stats=executor.stats,
+                sim_report=sim_report,
+                event_log=handle.event_log,
+                health=handle.watchdog.health_section(),
+                notes={"command": "profile", "seed": args.seed,
+                       "program_instructions": len(w.program)},
+            )
         try:
             report.write(out)
         except OSError as err:
@@ -372,6 +523,97 @@ def cmd_diff(args) -> int:
     return result.exit_code
 
 
+def cmd_serve_metrics(args) -> int:
+    """Run a workload in a loop under a live observability endpoint.
+
+    Every iteration does one functional pass + one simulator pass of the
+    benchmark while ``/metrics`` (OpenMetrics), ``/healthz`` (stall
+    watchdog) and ``/events`` (recent structured events) are served on
+    ``--port``.  With ``--hold`` the server keeps answering after the last
+    iteration until interrupted -- handy for pointing Prometheus at a
+    finished run.  Exit codes: 0 ok, 2 unknown benchmark / bad output path.
+    """
+    import time
+
+    from . import telemetry
+    from .core.executor import FractalExecutor
+    from .core.store import TensorStore
+    from .sim import FractalSimulator
+    from .workloads import profile_benchmark, resolve_profile_benchmark
+
+    machine = _machine(args)
+    try:
+        args.benchmark = resolve_profile_benchmark(args.benchmark)
+    except KeyError as err:
+        print(f"serve-metrics: {err.args[0]}", file=sys.stderr)
+        return 2
+    code = _check_outputs("serve-metrics",
+                          events=getattr(args, "events", None))
+    if code is not None:
+        return code
+    args.serve = args.port  # reuse the shared _observability plumbing
+    w = profile_benchmark(args.benchmark)
+
+    with telemetry.enabled_scope():
+        telemetry.reset()
+        with _observability(args, args.benchmark, machine.name,
+                            "serve-metrics") as handle:
+            rng = np.random.default_rng(args.seed)
+            for i in range(args.iterations):
+                store = TensorStore()
+                for t in list(w.inputs.values()) + list(w.params.values()):
+                    store.bind(t, rng.normal(size=t.shape))
+                FractalExecutor(machine, store).run_program(w.program)
+                FractalSimulator(machine,
+                                 collect_profiles=False).simulate(w.program)
+                handle.recorder.mark(f"iteration.{i}")
+            print(f"served {args.iterations} iteration(s) of "
+                  f"{args.benchmark} on {machine.name} at "
+                  f"{handle.server.url}/metrics")
+            if args.hold:
+                print("holding; Ctrl-C to stop", file=sys.stderr)
+                try:
+                    while True:
+                        time.sleep(0.5)
+                except KeyboardInterrupt:
+                    pass
+    return 0
+
+
+def cmd_events_tail(args) -> int:
+    """Filter and pretty-print a structured event log (file or bundle dir).
+
+    Exit codes: **0** events printed (possibly none matched), **2** the
+    target could not be read.
+    """
+    import json
+
+    from . import obs
+
+    try:
+        events, bad = obs.load_events(args.target)
+    except OSError as err:
+        print(f"events tail: cannot read {args.target}: {err}",
+              file=sys.stderr)
+        return 2
+    picked = obs.filter_events(
+        events,
+        subsystem=args.subsystem,
+        min_severity=args.severity,
+        event_glob=args.event,
+        last=args.last,
+    )
+    if args.json:
+        for record in picked:
+            print(json.dumps(record, default=repr))
+    elif picked:
+        print(obs.format_events(picked))
+    footer = (f"{len(picked)} of {len(events)} event(s) shown"
+              + (f"; {bad} corrupt line(s) skipped" if bad else ""))
+    print(footer, file=sys.stderr)
+    return 0
+
+
 def cmd_run(args) -> int:
     from .core.executor import FractalExecutor
     from .core.store import TensorStore
@@ -405,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="simulate a paper benchmark")
     _add_machine_args(p)
+    _add_obs_args(p)
     p.add_argument("-b", "--benchmark", required=True)
     p.add_argument("--json", action="store_true",
                    help="emit the RunReport JSON instead of human text")
@@ -475,7 +718,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true",
                    help="print the RunReport JSON instead of the summary")
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("serve-metrics",
+                       help="run a workload under a live /metrics + "
+                            "/healthz + /events endpoint")
+    _add_machine_args(p)
+    p.add_argument("benchmark",
+                   help="profiling subject (e.g. mm_fc) -- same registry "
+                        "as `repro profile`")
+    p.add_argument("--port", type=int, default=8000,
+                   help="TCP port on 127.0.0.1 (0 = ephemeral; default 8000)")
+    p.add_argument("--iterations", type=int, default=1,
+                   help="functional+simulator passes to run (default 1)")
+    p.add_argument("--hold", action="store_true",
+                   help="keep serving after the last iteration until Ctrl-C")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--events", metavar="PATH",
+                   help="stream the structured event log to PATH as JSONL")
+    p.add_argument("--crash-dir", metavar="DIR",
+                   help="dump a crash bundle under DIR on an uncaught "
+                        "exception")
+    p.add_argument("--stall-after", type=float, default=30.0, metavar="S",
+                   help="stall watchdog budget in seconds (default 30)")
+    p.set_defaults(fn=cmd_serve_metrics)
+
+    p = sub.add_parser("events", help="structured event log tooling")
+    events_sub = p.add_subparsers(dest="events_command", required=True)
+    p = events_sub.add_parser(
+        "tail", help="filter and pretty-print an events.jsonl file or a "
+                     "crash-bundle directory")
+    p.add_argument("target",
+                   help="events.jsonl path or crash-bundle directory")
+    p.add_argument("-s", "--subsystem",
+                   help="only events from this subsystem (executor, sim, "
+                        "runtime, ops, decompose)")
+    p.add_argument("--severity", choices=("debug", "info", "warn", "error"),
+                   help="minimum severity to show")
+    p.add_argument("-e", "--event", metavar="GLOB",
+                   help="event-name glob, e.g. 'instruction.*'")
+    p.add_argument("-n", "--last", type=int,
+                   help="only the newest N matching events")
+    p.add_argument("--json", action="store_true",
+                   help="re-emit matching records as JSONL instead of "
+                        "pretty text")
+    p.set_defaults(fn=cmd_events_tail)
 
     p = sub.add_parser("diff", help="compare two RunReport JSON documents; "
                                     "exit 3 on gated regression")

@@ -25,7 +25,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ... import telemetry
+from ... import obs, telemetry
 from ..isa import DependencyKind, Instruction, Opcode
 from ..tensor import Region, Tensor
 
@@ -150,6 +150,11 @@ def decompose_parallel(inst: Instruction, n: int) -> Optional[Split]:
         if registry.enabled:
             registry.count("decompose.degenerate",
                            labels={"opcode": inst.opcode.value})
+        if obs.get_event_log().enabled:
+            # Degenerate granularity leaves n-1 FFUs idle below this node --
+            # worth a structured warning for offline triage.
+            obs.log_event("decompose", "degenerate_split", "warn",
+                          opcode=inst.opcode.value, fanout=n)
         return None
     degree = min(n, rule.extent(inst))
     split = rule.apply(inst, degree)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from .. import ops, telemetry
+from .. import obs, ops, telemetry
 from .decomposition import decompose_parallel, shrink_sequential
 from .isa import Instruction, Opcode
 from .machine import Machine
@@ -110,12 +110,27 @@ class FractalExecutor:
 
             analyze(program, name="preflight").raise_if_errors()
         tracer = telemetry.get_tracer()
+        log = obs.logger("executor")
         with tracer.span("executor.program", cat="program",
                          machine=self.machine.name,
                          instructions=len(program)):
-            for inst in program:
-                with tracer.span(f"inst:{inst.opcode.value}", cat="instruction"):
-                    self._run(inst, level=0)
+            log.info("program.start", machine=self.machine.name,
+                     instructions=len(program))
+            for index, inst in enumerate(program):
+                obs.beat()
+                with obs.event_context(instruction=index,
+                                       opcode=inst.opcode.value), \
+                        tracer.span(f"inst:{inst.opcode.value}",
+                                    cat="instruction"):
+                    try:
+                        self._run(inst, level=0)
+                    except Exception as err:
+                        log.error("instruction.fail", instruction=index,
+                                  opcode=inst.opcode.value,
+                                  error=f"{type(err).__name__}: {err}")
+                        raise
+            log.info("program.end", kernel_calls=self.stats.kernel_calls,
+                     max_depth=self.stats.max_depth_reached)
         self._publish_counters()
         return self.store
 
@@ -146,7 +161,7 @@ class FractalExecutor:
         self.stats.count(level)
         spec = self.machine.level(level)
         if spec.is_leaf:
-            self._execute_kernel(inst)
+            self._execute_kernel(inst, level)
             return
 
         steps: List[Instruction]
@@ -165,6 +180,11 @@ class FractalExecutor:
                 continue
             self.stats.fanouts += 1
             self.stats.fanout_parts += len(split.parts)
+            if obs.get_event_log().enabled:
+                obs.log_event("executor", "fanout", "debug", level=level,
+                              opcode=step.opcode.value,
+                              parts=len(split.parts),
+                              reductions=len(split.reduction))
             for part in split.parts:
                 self._run(part, level + 1)
             for red in split.reduction:
@@ -172,11 +192,17 @@ class FractalExecutor:
 
     # -- execution units ------------------------------------------------------
 
-    def _execute_kernel(self, inst: Instruction) -> None:
+    def _execute_kernel(self, inst: Instruction, level: int = 0) -> None:
         self.stats.kernel_calls += 1
         mnemonic = inst.opcode.value
         self.stats.leaf_ops[mnemonic] = self.stats.leaf_ops.get(mnemonic, 0) + 1
-        self._apply(inst)
+        try:
+            self._apply(inst)
+        except Exception as err:
+            obs.log_event("executor", "kernel.fail", "error",
+                          opcode=mnemonic, level=level,
+                          error=f"{type(err).__name__}: {err}")
+            raise
 
     def _execute_lfu(self, inst: Instruction) -> None:
         self.stats.lfu_calls += 1

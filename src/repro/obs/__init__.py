@@ -1,0 +1,122 @@
+"""``repro.obs`` -- in-flight and post-mortem observability.
+
+The telemetry layer (:mod:`repro.telemetry`) counts and times; this layer
+makes a run **operable**: a schema-versioned structured event log with
+propagated run context, a flight recorder that dumps crash bundles when a
+run dies, and a live ``/metrics`` + ``/healthz`` + ``/events`` HTTP
+endpoint with a stall watchdog.  See docs/OBSERVABILITY.md for the event
+schema, the crash-bundle layout and the watchdog semantics.
+
+Like the registry and the tracer, everything here is **disabled by
+default** and the instrumented hot paths pay a single flag check (the
+<5% overhead budget from docs/TELEMETRY.md covers all three subsystems).
+
+Quick start::
+
+    from repro import obs, telemetry
+
+    telemetry.enable()
+    obs.get_event_log().enable()
+    with obs.observed_run("mm_fc", machine="Cambricon-F1",
+                          crash_dir="crash_bundles") as recorder:
+        ...run the workload...
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .events import (
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    SEVERITIES,
+    SEVERITY_RANK,
+    EventLog,
+    SubsystemLogger,
+    current_context,
+    event_context,
+    events_summary,
+    get_event_log,
+    iter_jsonl,
+    log_event,
+    logger,
+)
+from .flight import (
+    BUNDLE_SCHEMA,
+    BUNDLE_SCHEMA_VERSION,
+    FlightRecorder,
+    crash_scope,
+    read_bundle_manifest,
+)
+from .openmetrics import (
+    METRIC_PREFIX,
+    check_openmetrics,
+    escape_label_value,
+    metric_name,
+    render_openmetrics,
+)
+from .server import (
+    MetricsServer,
+    Watchdog,
+    beat,
+    get_watchdog,
+    install_watchdog,
+)
+from .tail import filter_events, format_event, format_events, load_events
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_SCHEMA_VERSION",
+    "SEVERITIES",
+    "SEVERITY_RANK",
+    "EventLog",
+    "SubsystemLogger",
+    "current_context",
+    "event_context",
+    "events_summary",
+    "get_event_log",
+    "iter_jsonl",
+    "log_event",
+    "logger",
+    "BUNDLE_SCHEMA",
+    "BUNDLE_SCHEMA_VERSION",
+    "FlightRecorder",
+    "crash_scope",
+    "read_bundle_manifest",
+    "METRIC_PREFIX",
+    "check_openmetrics",
+    "escape_label_value",
+    "metric_name",
+    "render_openmetrics",
+    "MetricsServer",
+    "Watchdog",
+    "beat",
+    "get_watchdog",
+    "install_watchdog",
+    "filter_events",
+    "format_event",
+    "format_events",
+    "load_events",
+    "observed_run",
+]
+
+
+@contextmanager
+def observed_run(benchmark: str, machine: str = "unknown",
+                 crash_dir: str = "crash_bundles", config=None):
+    """One-stop scope for an operable run.
+
+    Arms a :class:`FlightRecorder` (crash bundles under ``crash_dir``),
+    stamps ``run``-level event context, and marks the registry before and
+    after so the bundle's counter deltas bracket the run.  Telemetry and
+    the event log keep their caller-chosen enabled states -- this scope
+    only wires the pieces together.
+    """
+    recorder = FlightRecorder()
+    recorder.report_context.update({"benchmark": benchmark, "machine": machine})
+    with event_context(benchmark=benchmark, machine=machine):
+        with crash_scope(crash_dir, reason=f"run-{benchmark}",
+                         recorder=recorder, config=config):
+            recorder.mark("run.start")
+            yield recorder
+            recorder.mark("run.end")

@@ -1,0 +1,244 @@
+"""Flight recorder: keep the recent past, dump it when a run dies.
+
+A :class:`FlightRecorder` rides along with an in-flight run holding
+
+* the structured event log's bounded ring of recent events,
+* periodic counter-registry snapshots (``mark()``) with deltas between
+  consecutive marks -- "what moved since the last checkpoint", and
+* references to the tracer and any partial RunReport context.
+
+On an uncaught exception (via :func:`crash_scope`) or an explicit
+:meth:`FlightRecorder.dump` it writes a **crash bundle**: one directory of
+plain JSON/JSONL artifacts an engineer (or ``repro events tail``) can
+triage offline without the dying process.  Bundle layout::
+
+    <dir>/bundle-<utcstamp>-<reason>/
+        MANIFEST.json     reason, exception, artifact inventory, schema
+        events.jsonl      the retained event window (oldest first)
+        counters.json     full counter snapshot at dump time
+        marks.json        checkpoint snapshots + deltas between marks
+        spans.jsonl       completed tracer spans (ring window)
+        config.json       run configuration (benchmark, machine, argv...)
+        report.json       partial RunReport (schema v3, notes.partial=true)
+        traceback.txt     formatted traceback (crash dumps only)
+
+Every writer is fail-soft: a bundle that cannot be written must never mask
+the original exception.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import traceback
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .. import telemetry
+from .events import EventLog, get_event_log
+
+BUNDLE_SCHEMA = "repro.obs.crash_bundle"
+BUNDLE_SCHEMA_VERSION = 1
+
+#: counter-snapshot checkpoints kept (ring, oldest evicted).
+DEFAULT_MARKS = 16
+
+
+def _numeric_delta(prev: Dict[str, object], cur: Dict[str, object]) -> Dict[str, float]:
+    """Per-series numeric change between two registry snapshots."""
+    out: Dict[str, float] = {}
+    for key, value in cur.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        before = prev.get(key, 0)
+        if isinstance(before, bool) or not isinstance(before, (int, float)):
+            before = 0
+        if value != before:
+            out[key] = float(value) - float(before)
+    return out
+
+
+class FlightRecorder:
+    """Bounded recent-history recorder + crash-bundle writer."""
+
+    def __init__(
+        self,
+        event_log: Optional[EventLog] = None,
+        registry=None,
+        tracer=None,
+        max_marks: int = DEFAULT_MARKS,
+    ):
+        self.event_log = event_log if event_log is not None else get_event_log()
+        self.registry = registry if registry is not None else telemetry.get_registry()
+        self.tracer = tracer if tracer is not None else telemetry.get_tracer()
+        self.max_marks = max_marks
+        self._marks: List[Dict[str, object]] = []
+        self.config: Dict[str, object] = {}
+        self.report_context: Dict[str, object] = {}
+
+    # -- checkpoints --------------------------------------------------------
+
+    def mark(self, label: str = "") -> Dict[str, object]:
+        """Checkpoint the counter registry; records the delta since the
+        previous mark so the bundle shows what moved per phase."""
+        snapshot = self.registry.snapshot()
+        prev = self._marks[-1]["counters"] if self._marks else {}
+        mark = {
+            "ts": time.time(),
+            "label": label,
+            "counters": snapshot,
+            "delta": _numeric_delta(prev, snapshot),
+        }
+        self._marks.append(mark)
+        if len(self._marks) > self.max_marks:
+            self._marks.pop(0)
+        return mark
+
+    @property
+    def marks(self) -> List[Dict[str, object]]:
+        return list(self._marks)
+
+    # -- bundle writing -----------------------------------------------------
+
+    def dump(
+        self,
+        directory: str,
+        reason: str = "manual",
+        exc: Optional[BaseException] = None,
+        config: Optional[Dict[str, object]] = None,
+        report=None,
+    ) -> Path:
+        """Write one crash bundle under ``directory``; returns its path."""
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        slug = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)[:40]
+        bundle = Path(directory) / f"bundle-{stamp}-{slug or 'manual'}"
+        n = 0
+        while bundle.exists():  # same-second dumps get distinct directories
+            n += 1
+            bundle = bundle.with_name(f"{bundle.name.rsplit('.', 1)[0]}.{n}")
+        bundle.mkdir(parents=True)
+
+        artifacts: Dict[str, str] = {}
+
+        def _write_json(name: str, obj) -> None:
+            path = bundle / name
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(obj, f, indent=2, default=repr)
+                f.write("\n")
+            artifacts[name] = path.name
+
+        events = self.event_log.events()
+        with open(bundle / "events.jsonl", "w", encoding="utf-8") as f:
+            for record in events:
+                f.write(json.dumps(record, default=repr))
+                f.write("\n")
+        artifacts["events.jsonl"] = "events.jsonl"
+
+        _write_json("counters.json", self.registry.snapshot())
+        _write_json("marks.json", self._marks)
+
+        spans = self.tracer.spans()
+        with open(bundle / "spans.jsonl", "w", encoding="utf-8") as f:
+            for span in spans:
+                f.write(json.dumps(span.to_json_obj(), default=repr))
+                f.write("\n")
+        artifacts["spans.jsonl"] = "spans.jsonl"
+
+        merged_config = dict(self.config)
+        if config:
+            merged_config.update(config)
+        _write_json("config.json", merged_config)
+
+        if report is None:
+            report = self._partial_report(reason)
+        if report is not None:
+            doc = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+            _write_json("report.json", doc)
+
+        tb = None
+        if exc is not None:
+            tb = "".join(traceback.format_exception(type(exc), exc,
+                                                    exc.__traceback__))
+            with open(bundle / "traceback.txt", "w", encoding="utf-8") as f:
+                f.write(tb)
+            artifacts["traceback.txt"] = "traceback.txt"
+
+        _write_json("MANIFEST.json", {
+            "schema": BUNDLE_SCHEMA,
+            "schema_version": BUNDLE_SCHEMA_VERSION,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "reason": reason,
+            "exception": (f"{type(exc).__name__}: {exc}" if exc is not None
+                          else None),
+            "events": {
+                "count": len(events),
+                "dropped": self.event_log.dropped,
+                "total": self.event_log.total,
+            },
+            "spans": len(spans),
+            "marks": len(self._marks),
+            "artifacts": sorted(artifacts),
+        })
+        return bundle
+
+    def _partial_report(self, reason: str):
+        """Best-effort partial RunReport for the bundle (never raises)."""
+        try:
+            return telemetry.build_run_report(
+                benchmark=str(self.report_context.get("benchmark", "unknown")),
+                machine=str(self.report_context.get("machine", "unknown")),
+                registry=self.registry,
+                tracer=self.tracer,
+                event_log=self.event_log,
+                notes={"partial": True, "reason": reason,
+                       **{k: v for k, v in self.report_context.items()
+                          if k not in ("benchmark", "machine")}},
+            )
+        except Exception:  # noqa: BLE001 - bundle writing is fail-soft
+            return None
+
+
+@contextmanager
+def crash_scope(
+    directory: str,
+    reason: str = "crash",
+    recorder: Optional[FlightRecorder] = None,
+    config: Optional[Dict[str, object]] = None,
+    stream=None,
+):
+    """Run a block under flight-recorder protection.
+
+    Yields the (possibly fresh) :class:`FlightRecorder`.  If the block
+    raises, a crash bundle is dumped under ``directory``, a one-line notice
+    goes to ``stream`` (default stderr), and the exception propagates --
+    observability must never swallow the failure it is documenting.
+    """
+    rec = recorder if recorder is not None else FlightRecorder()
+    if config:
+        rec.config.update(config)
+    try:
+        yield rec
+    except BaseException as err:  # noqa: BLE001 - re-raised below
+        if isinstance(err, (KeyboardInterrupt, SystemExit)):
+            raise
+        try:
+            bundle = rec.dump(directory, reason=reason, exc=err, config=config)
+            print(f"[obs] crash bundle written -> {bundle}",
+                  file=stream or sys.stderr)
+        except Exception as dump_err:  # noqa: BLE001 - never mask the crash
+            print(f"[obs] crash bundle could not be written: {dump_err}",
+                  file=stream or sys.stderr)
+        raise
+
+
+def read_bundle_manifest(bundle_dir: str) -> Dict[str, object]:
+    """Load and lightly validate a bundle's MANIFEST.json."""
+    path = Path(bundle_dir) / "MANIFEST.json"
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != BUNDLE_SCHEMA:
+        raise ValueError(f"{path}: not a crash bundle manifest "
+                         f"(schema {doc.get('schema')!r})")
+    return doc

@@ -1,0 +1,277 @@
+"""OpenMetrics/Prometheus text-format rendering of a CounterRegistry.
+
+:func:`render_openmetrics` turns every instrument in a
+:class:`repro.telemetry.CounterRegistry` into the Prometheus exposition
+format (text/plain; version=0.0.4, OpenMetrics-compatible modulo the
+``# EOF`` trailer, which we emit):
+
+* dotted instrument names become ``repro_``-prefixed snake case
+  (``sim.sig_cache.hits`` -> ``repro_sim_sig_cache_hits``);
+* counters gain the ``_total`` suffix;
+* histograms render cumulative ``_bucket{le="..."}`` series from the
+  power-of-two buckets plus ``_sum``/``_count``;
+* label values are escaped per the spec (backslash, quote, newline);
+* non-finite values are refused (rendered as 0 with a ``nonfinite`` note)
+  so scrapes never poison downstream rate() math.
+
+:func:`check_openmetrics` is the strict line-format checker the tests (and
+any paranoid caller) run over rendered output: it validates HELP/TYPE
+lines, metric-name and label grammar, escaping, value finiteness, counter
+``_total`` discipline, histogram bucket monotonicity, and the ``# EOF``
+trailer.  It returns a list of problems, empty when the text is clean.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..telemetry.counters import Counter, CounterRegistry, Gauge, Histogram
+
+#: prefix stamped onto every exported metric family.
+METRIC_PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: one sample line: name{labels} value  (labels optional)
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$")
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def metric_name(dotted: str) -> str:
+    """``sim.sig_cache.hits`` -> ``repro_sim_sig_cache_hits``."""
+    safe = re.sub(r"[^a-zA-Z0-9_]", "_", dotted)
+    if not safe or not (safe[0].isalpha() or safe[0] == "_"):
+        safe = "_" + safe
+    return METRIC_PREFIX + safe
+
+
+def escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, quote, newline."""
+    return (value.replace("\\", r"\\")
+                 .replace('"', r"\"")
+                 .replace("\n", r"\n"))
+
+
+def _fmt_value(v: float) -> str:
+    """Render one sample value; non-finite values are clamped to 0."""
+    if isinstance(v, bool):
+        v = int(v)
+    if not math.isfinite(v):
+        return "0"
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def _label_str(labels: Tuple[Tuple[str, str], ...],
+               extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{re.sub(r"[^a-zA-Z0-9_]", "_", k)}="{escape_label_value(str(v))}"'
+        for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render_openmetrics(
+    registry: CounterRegistry,
+    extra_gauges: Optional[Dict[str, Tuple[float, str]]] = None,
+) -> str:
+    """Render every instrument (plus ``extra_gauges``) as exposition text.
+
+    ``extra_gauges`` maps an already-exported metric name (no prefix is
+    added) to ``(value, help_text)`` -- the server uses it for heartbeat /
+    health gauges that live outside the registry.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    for inst in registry:
+        fam = families.setdefault(inst.name, {"kind": None, "series": []})
+        if isinstance(inst, Counter):
+            kind = "counter"
+        elif isinstance(inst, Gauge):
+            kind = "gauge"
+        elif isinstance(inst, Histogram):
+            kind = "histogram"
+        else:  # pragma: no cover - registry only holds the three kinds
+            continue
+        fam["kind"] = kind
+        fam["series"].append(inst)
+
+    lines: List[str] = []
+    for dotted in sorted(families):
+        fam = families[dotted]
+        kind = fam["kind"]
+        name = metric_name(dotted)
+        lines.append(f"# HELP {name} repro instrument {dotted}")
+        lines.append(f"# TYPE {name} {kind}")
+        for inst in fam["series"]:
+            if kind == "counter":
+                lines.append(f"{name}_total{_label_str(inst.labels)} "
+                             f"{_fmt_value(inst.value)}")
+            elif kind == "gauge":
+                lines.append(f"{name}{_label_str(inst.labels)} "
+                             f"{_fmt_value(inst.value)}")
+            else:
+                lines.extend(_render_histogram(name, inst))
+
+    for name, (value, help_text) in sorted((extra_gauges or {}).items()):
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt_value(value)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _render_histogram(name: str, hist: Histogram) -> List[str]:
+    """Cumulative le-bucket lines from the power-of-two buckets."""
+    out: List[str] = []
+    cumulative = 0
+    for exponent in sorted(hist.buckets):
+        cumulative += hist.buckets[exponent]
+        le = _fmt_value(float(2 ** exponent))
+        out.append(f"{name}_bucket{_label_str(hist.labels, (('le', le),))} "
+                   f"{cumulative}")
+    out.append(f"{name}_bucket{_label_str(hist.labels, (('le', '+Inf'),))} "
+               f"{hist.count}")
+    total = hist.total if math.isfinite(hist.total) else 0.0
+    out.append(f"{name}_sum{_label_str(hist.labels)} {_fmt_value(total)}")
+    out.append(f"{name}_count{_label_str(hist.labels)} {hist.count}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Strict line-format checker
+# ---------------------------------------------------------------------------
+
+
+_HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> Optional[str]:
+    """Resolve a sample name back to its declared family."""
+    if sample_name in types:
+        return sample_name
+    if sample_name.endswith("_total") and sample_name[:-6] in types:
+        return sample_name[:-6]
+    for suffix in _HIST_SUFFIXES:
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in types:
+            return sample_name[: -len(suffix)]
+    return None
+
+
+def _parse_labels(raw: str) -> Optional[List[Tuple[str, str]]]:
+    """Parse a label body strictly; None on grammar violation."""
+    pairs: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(raw):
+        m = _LABEL_PAIR_RE.match(raw, pos)
+        if m is None:
+            return None
+        pairs.append((m.group("name"), m.group("value")))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                return None
+            pos += 1
+    return pairs
+
+
+def check_openmetrics(text: str) -> List[str]:
+    """Strictly validate exposition text; returns problems (empty = ok)."""
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    helped: Dict[str, bool] = {}
+    bucket_state: Dict[str, int] = {}
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        problems.append("missing '# EOF' trailer")
+    body = lines[:-1] if lines and lines[-1].strip() == "# EOF" else lines
+    for lineno, line in enumerate(body, 1):
+        if not line:
+            problems.append(f"line {lineno}: blank line")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[0] != "#" or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            _, keyword, name, rest = parts
+            if not _NAME_RE.match(name):
+                problems.append(f"line {lineno}: bad metric name {name!r}")
+                continue
+            if keyword == "TYPE":
+                if rest not in ("counter", "gauge", "histogram", "summary",
+                                "untyped", "info"):
+                    problems.append(f"line {lineno}: unknown type {rest!r}")
+                if name in types:
+                    problems.append(f"line {lineno}: duplicate TYPE for {name}")
+                types[name] = rest
+            else:
+                helped[name] = True
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {lineno}: unparsable sample {line!r}")
+            continue
+        name, raw_labels, raw_value = (m.group("name"), m.group("labels"),
+                                       m.group("value"))
+        labels: List[Tuple[str, str]] = []
+        if raw_labels is not None:
+            parsed = _parse_labels(raw_labels)
+            if parsed is None:
+                problems.append(f"line {lineno}: bad label grammar "
+                                f"{{{raw_labels}}}")
+                continue
+            labels = parsed
+            seen = set()
+            for label_name, _ in labels:
+                if not _LABEL_NAME_RE.match(label_name):
+                    problems.append(f"line {lineno}: bad label name "
+                                    f"{label_name!r}")
+                if label_name in seen:
+                    problems.append(f"line {lineno}: duplicate label "
+                                    f"{label_name!r}")
+                seen.add(label_name)
+        le = dict(labels).get("le")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            problems.append(f"line {lineno}: unparsable value {raw_value!r}")
+            continue
+        if not math.isfinite(value):
+            problems.append(f"line {lineno}: non-finite value {raw_value!r}")
+        family = _family_of(name, types)
+        if family is None:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE "
+                            f"declaration")
+            continue
+        kind = types[family]
+        if kind == "counter":
+            if not name.endswith("_total"):
+                problems.append(f"line {lineno}: counter sample {name!r} "
+                                f"must end in _total")
+            if value < 0:
+                problems.append(f"line {lineno}: negative counter {value!r}")
+        if kind == "histogram" and name.endswith("_bucket"):
+            if le is None:
+                problems.append(f"line {lineno}: histogram bucket without "
+                                f"an le label")
+            key = family + _label_str(
+                tuple(p for p in labels if p[0] != "le"))
+            prev = bucket_state.get(key, -1)
+            if value < prev:
+                problems.append(f"line {lineno}: bucket counts not "
+                                f"monotonic for {family}")
+            bucket_state[key] = value
+    for name in types:
+        if name not in helped:
+            problems.append(f"family {name}: TYPE without HELP")
+    return problems

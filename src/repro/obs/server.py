@@ -1,0 +1,231 @@
+"""Live observability endpoint: /metrics, /healthz and /events over HTTP.
+
+A :class:`MetricsServer` runs a stdlib ``ThreadingHTTPServer`` on a
+daemon thread next to an in-flight run:
+
+* ``GET /metrics``  -- the counter registry rendered as OpenMetrics text
+  (:func:`repro.obs.openmetrics.render_openmetrics`) plus heartbeat
+  gauges: uptime, heartbeat age, healthiness, event totals;
+* ``GET /healthz``  -- JSON liveness; **HTTP 200** while the stall
+  watchdog sees progress, **HTTP 503** once the run stops beating;
+* ``GET /events``   -- the newest structured events as a JSON array
+  (``?n=``, ``?severity=``, ``?subsystem=`` filters).
+
+The :class:`Watchdog` is the progress contract: instrumented hot paths
+call :func:`beat` (one global load + None check when no watchdog is
+installed), and the server flips unhealthy when the last beat is older
+than ``stall_after_s``.  Binding defaults to loopback, port 0 (ephemeral)
+so tests and parallel runs never collide.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .. import telemetry
+from .events import EventLog, get_event_log
+from .openmetrics import render_openmetrics
+
+
+class Watchdog:
+    """Stall detector: healthy while beats arrive faster than the budget."""
+
+    def __init__(self, stall_after_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.stall_after_s = stall_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_beat = clock()
+        self._started = self._last_beat
+        self.beats = 0
+
+    def beat(self) -> None:
+        """Record one unit of forward progress."""
+        with self._lock:
+            self._last_beat = self._clock()
+            self.beats += 1
+
+    @property
+    def heartbeat_age_s(self) -> float:
+        with self._lock:
+            return max(0.0, self._clock() - self._last_beat)
+
+    @property
+    def uptime_s(self) -> float:
+        with self._lock:
+            return max(0.0, self._clock() - self._started)
+
+    @property
+    def healthy(self) -> bool:
+        return self.heartbeat_age_s <= self.stall_after_s
+
+    def status(self) -> Dict[str, object]:
+        """The /healthz document (see docs/OBSERVABILITY.md)."""
+        age = self.heartbeat_age_s
+        return {
+            "status": "ok" if age <= self.stall_after_s else "stalled",
+            "healthy": age <= self.stall_after_s,
+            "heartbeat_age_s": age,
+            "stall_after_s": self.stall_after_s,
+            "beats": self.beats,
+            "uptime_s": self.uptime_s,
+        }
+
+    def health_section(self) -> Dict[str, object]:
+        """The RunReport v3 ``health`` section."""
+        doc = self.status()
+        doc.pop("status", None)
+        return doc
+
+
+#: the process-wide watchdog (None until a serving run installs one).
+_WATCHDOG: Optional[Watchdog] = None
+
+
+def install_watchdog(watchdog: Optional[Watchdog]) -> Optional[Watchdog]:
+    """Install (or clear, with None) the global watchdog; returns it."""
+    global _WATCHDOG
+    _WATCHDOG = watchdog
+    return watchdog
+
+
+def get_watchdog() -> Optional[Watchdog]:
+    return _WATCHDOG
+
+
+def beat() -> None:
+    """Progress beat from instrumented hot paths (no-op when unarmed)."""
+    wd = _WATCHDOG
+    if wd is not None:
+        wd.beat()
+
+
+class MetricsServer:
+    """Background HTTP server exposing one run's live telemetry."""
+
+    def __init__(
+        self,
+        registry=None,
+        event_log: Optional[EventLog] = None,
+        watchdog: Optional[Watchdog] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry if registry is not None else telemetry.get_registry()
+        self.event_log = event_log if event_log is not None else get_event_log()
+        self.watchdog = watchdog if watchdog is not None else Watchdog()
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # noqa: ARG002 - silence stdlib
+                pass
+
+            def do_GET(self):  # noqa: N802 - stdlib naming
+                try:
+                    status, content_type, body = server._route(self.path)
+                except Exception as err:  # noqa: BLE001 - keep serving
+                    status, content_type = 500, "text/plain; charset=utf-8"
+                    body = f"internal error: {err}\n".encode()
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-obs-metrics:{self.port}", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- routing ------------------------------------------------------------
+
+    def _route(self, path: str) -> Tuple[int, str, bytes]:
+        parsed = urlparse(path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/metrics":
+            return (200, "text/plain; version=0.0.4; charset=utf-8",
+                    self._metrics_body().encode("utf-8"))
+        if route == "/healthz":
+            doc = self.watchdog.status()
+            status = 200 if doc["healthy"] else 503
+            return (status, "application/json; charset=utf-8",
+                    (json.dumps(doc, indent=2) + "\n").encode("utf-8"))
+        if route == "/events":
+            return (200, "application/json; charset=utf-8",
+                    self._events_body(parse_qs(parsed.query)))
+        if route == "/":
+            index = {"endpoints": ["/metrics", "/healthz", "/events"]}
+            return (200, "application/json; charset=utf-8",
+                    (json.dumps(index) + "\n").encode("utf-8"))
+        return 404, "text/plain; charset=utf-8", b"not found\n"
+
+    def _metrics_body(self) -> str:
+        wd = self.watchdog
+        log = self.event_log
+        extra = {
+            "repro_obs_uptime_seconds": (wd.uptime_s, "seconds since the "
+                                                      "watchdog was armed"),
+            "repro_obs_heartbeat_age_seconds": (
+                wd.heartbeat_age_s, "seconds since the last progress beat"),
+            "repro_obs_healthy": (1.0 if wd.healthy else 0.0,
+                                  "1 while the stall watchdog sees progress"),
+            "repro_obs_events": (float(log.total),
+                                 "structured events accepted"),
+            "repro_obs_events_dropped": (float(log.dropped),
+                                         "events evicted from the ring"),
+        }
+        return render_openmetrics(self.registry, extra_gauges=extra)
+
+    def _events_body(self, query: Dict[str, list]) -> bytes:
+        try:
+            last = int(query.get("n", ["100"])[0])
+        except ValueError:
+            last = 100
+        severity = query.get("severity", [None])[0]
+        subsystem = query.get("subsystem", [None])[0]
+        events = self.event_log.events()
+        if severity:
+            events = [e for e in events if e.get("severity") == severity]
+        if subsystem:
+            events = [e for e in events if e.get("subsystem") == subsystem]
+        events = events[-max(0, last):]
+        return (json.dumps(events, indent=2, default=repr) + "\n").encode("utf-8")

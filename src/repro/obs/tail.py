@@ -1,0 +1,108 @@
+"""Offline event-log triage: filter and pretty-print JSONL event streams.
+
+Backs the ``repro events tail`` CLI.  Input is either an ``events.jsonl``
+file (written by ``--events`` on profiling runs or by the flight
+recorder) or a crash-bundle directory, in which case the bundle's
+``events.jsonl`` is read.  Corrupt lines -- expected in bundles written
+mid-crash -- are counted, not fatal.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .events import SEVERITY_RANK, iter_jsonl
+
+
+def resolve_events_path(target: str) -> Path:
+    """Accept an events.jsonl file or a crash-bundle directory."""
+    path = Path(target)
+    if path.is_dir():
+        candidate = path / "events.jsonl"
+        if not candidate.exists():
+            raise FileNotFoundError(
+                f"{target}: directory holds no events.jsonl "
+                f"(not a crash bundle?)")
+        return candidate
+    return path
+
+
+def load_events(target: str) -> Tuple[List[Dict[str, object]], int]:
+    """Read events from a file or bundle dir; returns (events, bad_lines)."""
+    path = resolve_events_path(target)
+    events: List[Dict[str, object]] = []
+    bad = 0
+    with open(path, encoding="utf-8") as f:
+        for record, corrupt in iter_jsonl(f):
+            if record is None:
+                bad += 1
+            else:
+                events.append(record)
+    return events, bad
+
+
+def filter_events(
+    events: Iterable[Dict[str, object]],
+    subsystem: Optional[str] = None,
+    min_severity: Optional[str] = None,
+    event_glob: Optional[str] = None,
+    last: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Apply tail filters (all optional) preserving order."""
+    out = list(events)
+    if subsystem:
+        out = [e for e in out if e.get("subsystem") == subsystem]
+    if min_severity:
+        floor = SEVERITY_RANK.get(min_severity, 0)
+        out = [e for e in out
+               if SEVERITY_RANK.get(str(e.get("severity")), 1) >= floor]
+    if event_glob:
+        out = [e for e in out if fnmatch(str(e.get("event", "")), event_glob)]
+    if last is not None and last >= 0:
+        out = out[-last:] if last else []
+    return out
+
+
+_RESERVED = ("schema", "v", "seq", "ts", "subsystem", "event", "severity",
+             "ctx")
+
+
+def format_event(record: Dict[str, object], base_ts: Optional[float] = None) -> str:
+    """One human-readable line per event, context included.
+
+    ``+12.345s  [error] executor  instruction.fail  error=boom
+    | instruction=3 opcode=MatMul machine=tiny``
+    """
+    ts = record.get("ts")
+    if isinstance(ts, (int, float)) and base_ts is not None:
+        stamp = f"+{ts - base_ts:9.3f}s"
+    elif isinstance(ts, (int, float)):
+        stamp = f"{ts:.3f}"
+    else:
+        stamp = "?"
+    severity = str(record.get("severity", "?"))
+    subsystem = str(record.get("subsystem", "?"))
+    event = str(record.get("event", "?"))
+    fields = " ".join(f"{k}={record[k]!r}" for k in record
+                      if k not in _RESERVED)
+    ctx = record.get("ctx")
+    ctx_str = ""
+    if isinstance(ctx, dict) and ctx:
+        ctx_str = "  | " + " ".join(f"{k}={v}" for k, v in ctx.items())
+    body = f"{stamp}  [{severity:<5s}] {subsystem:<10s} {event}"
+    if fields:
+        body += "  " + fields
+    return body + ctx_str
+
+
+def format_events(events: List[Dict[str, object]]) -> str:
+    """Pretty-print a filtered stream with relative timestamps."""
+    base = None
+    for record in events:
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            base = ts
+            break
+    return "\n".join(format_event(e, base_ts=base) for e in events)

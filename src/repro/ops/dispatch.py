@@ -11,7 +11,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from .. import telemetry
+from .. import obs, telemetry
 from ..core.isa import Opcode
 from . import conv, eltwise, linalg, pool, sortcount
 
@@ -124,6 +124,13 @@ def execute(
         return result if isinstance(result, tuple) else (result,)
     telemetry.get_registry().count("ops.dispatch",
                                    labels={"opcode": opcode.value})
+    log = obs.logger("ops")
+    log.debug("dispatch", opcode=opcode.value, operands=len(inputs))
     with tracer.span(f"op:{opcode.value}", cat="op"):
-        result = kernel_for(opcode)(list(inputs), attrs or {})
+        try:
+            result = kernel_for(opcode)(list(inputs), attrs or {})
+        except Exception as err:
+            log.error("dispatch.fail", opcode=opcode.value,
+                      error=f"{type(err).__name__}: {err}")
+            raise
     return result if isinstance(result, tuple) else (result,)

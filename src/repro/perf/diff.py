@@ -49,6 +49,16 @@ DEFAULT_GATE_DOWN: Tuple[str, ...] = (
 #: numeric leaves that are identity/bookkeeping, never compared.
 _SKIPPED_PATHS: Tuple[str, ...] = ("schema_version", "spans_dropped")
 
+#: whole sections that are observability metadata, not performance: the v3
+#: ``events``/``health`` sections vary run to run (event counts depend on
+#: sampling, heartbeat ages are wall clock) and must neither gate nor show
+#: up as "added" noise when diffing a v3 report against a v2 baseline.
+_SKIPPED_PREFIXES: Tuple[str, ...] = ("events.", "health.")
+
+
+def _skipped(path: str) -> bool:
+    return path in _SKIPPED_PATHS or path.startswith(_SKIPPED_PREFIXES)
+
 
 @dataclass
 class DiffConfig:
@@ -273,14 +283,16 @@ def diff_documents(
     baseline_name: str = "baseline",
     candidate_name: str = "candidate",
 ) -> DiffResult:
-    """Compare two RunReport documents (already parsed; v1 and v2 both ok)."""
+    """Compare two RunReport documents (already parsed; v1/v2/v3 all ok --
+    v3-only sections are skipped, so v3 candidates diff cleanly against v2
+    baselines)."""
     config = config or DiffConfig()
     result = DiffResult(baseline_name=baseline_name,
                         candidate_name=candidate_name, config=config)
     base_flat = {k: v for k, v in flatten_numeric(baseline).items()
-                 if k not in _SKIPPED_PATHS}
+                 if not _skipped(k)}
     cand_flat = {k: v for k, v in flatten_numeric(candidate).items()
-                 if k not in _SKIPPED_PATHS}
+                 if not _skipped(k)}
     for path in sorted(set(base_flat) | set(cand_flat)):
         base = base_flat.get(path)
         cand = cand_flat.get(path)

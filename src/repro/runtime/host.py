@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from .. import telemetry
+from .. import obs, telemetry
 from ..core.executor import FractalExecutor
 from ..core.isa import Instruction, Opcode
 from ..core.machine import Machine, cambricon_f1
@@ -46,6 +46,10 @@ class HostRuntime:
                         for arr in inputs)
         out = Tensor(f"host.out{next(self._ids)}", tuple(out_shape))
         inst = Instruction(opcode, regions, (out.region(),), attrs or {})
+        if obs.get_event_log().enabled:
+            obs.log_event("runtime", "host.issue", "debug",
+                          opcode=opcode.value, machine=self.machine.name,
+                          issued=self.instructions_issued)
         with telemetry.span(f"host:{opcode.value}", cat="host",
                             machine=self.machine.name):
             self.executor.run(inst)

@@ -15,7 +15,7 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from .. import telemetry
+from .. import obs, telemetry
 from ..core.executor import FractalExecutor
 from ..core.machine import Machine, cambricon_f1
 from ..core.store import TensorStore
@@ -95,7 +95,13 @@ class InferenceSession:
             store.bind(t, self._params[name])
         with telemetry.span("session.call", cat="session",
                             workload=self.workload.name,
-                            machine=self.machine.name):
+                            machine=self.machine.name), \
+                obs.event_context(workload=self.workload.name,
+                                  machine=self.machine.name):
+            obs.logger("runtime").info("session.call",
+                                       workload=self.workload.name,
+                                       machine=self.machine.name,
+                                       inputs=sorted(inputs))
             FractalExecutor(self.machine, store).run_program(self.workload.program)
         return {
             full.split(".")[-1]: store.read(t.region())

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .. import telemetry
+from .. import obs, telemetry
 from ..core.controller.demotion import DemotionDecoder
 from ..core.controller.parallel import ParallelDecomposer
 from ..core.controller.reduction import ReductionController, ReductionTarget
@@ -285,11 +285,23 @@ class FractalSimulator:
 
     def simulate(self, program: Sequence[Instruction]) -> SimReport:
         """Simulate the whole machine executing ``program`` from the root."""
+        log = obs.logger("sim")
+        log.info("simulate.start", machine=self.machine.name,
+                 instructions=len(program))
         with telemetry.get_tracer().span("sim.simulate", cat="simulator",
                                          machine=self.machine.name,
                                          instructions=len(program)):
-            root = self._simulate_node(0, list(program),
-                                       broadcast_regions=(), is_root=True)
+            try:
+                root = self._simulate_node(0, list(program),
+                                           broadcast_regions=(), is_root=True)
+            except Exception as err:
+                log.error("simulate.fail", machine=self.machine.name,
+                          error=f"{type(err).__name__}: {err}")
+                raise
+        log.info("simulate.end", machine=self.machine.name,
+                 total_time_s=root.total_time, work_ops=root.work,
+                 nodes_simulated=self.cache_stats.nodes_simulated,
+                 sig_hits=self.cache_stats.sig_hits)
         report = SimReport(
             machine_name=self.machine.name,
             total_time=root.total_time,
@@ -449,6 +461,7 @@ class FractalSimulator:
                                        resident_regions, deferred_stores,
                                        sibling_regions)
         self.cache_stats.nodes_simulated += 1
+        obs.beat()  # progress for the stall watchdog (no-op when unarmed)
 
         private_rate, broadcast_rate = self._rates(level)
         memory = NodeMemoryManager(spec.mem_bytes)

@@ -78,9 +78,19 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution with power-of-two buckets (plus count/sum/min/max)."""
+    """A distribution with power-of-two buckets (plus count/sum/min/max).
 
-    __slots__ = ("name", "labels", "count", "total", "vmin", "vmax", "buckets")
+    Edge-case contract (exercised by the telemetry tests):
+
+    * an **empty** histogram has ``mean == 0.0`` and every percentile is
+      ``None`` -- consumers must treat "no data" as distinct from 0;
+    * a **single sample** collapses every percentile to that sample;
+    * **NaN** observations are dropped (counted in ``nan_dropped``) so one
+      poisoned measurement cannot corrupt ``sum``/``mean``/percentiles.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "vmin", "vmax",
+                 "buckets", "nan_dropped")
 
     def __init__(self, name: str, labels: LabelTuple = ()):
         self.name = name
@@ -90,8 +100,12 @@ class Histogram:
         self.vmin: Optional[float] = None
         self.vmax: Optional[float] = None
         self.buckets: Dict[int, int] = {}  # exponent e -> values <= 2**e
+        self.nan_dropped = 0
 
     def observe(self, v: float) -> None:
+        if v != v:  # NaN guard: never let a poisoned sample in
+            self.nan_dropped += 1
+            return
         self.count += 1
         self.total += v
         if self.vmin is None or v < self.vmin:
@@ -108,6 +122,30 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate q-th percentile from the power-of-two buckets.
+
+        Returns ``None`` on an empty histogram.  The bucket upper edge is
+        clamped into ``[vmin, vmax]``, so a single sample (or q at the
+        extremes) returns an exact observed value rather than a bucket
+        boundary.
+        """
+        if self.count == 0:
+            return None
+        q = min(100.0, max(0.0, float(q)))
+        if self.count == 1 or q == 0.0:
+            return self.vmin
+        if q == 100.0:
+            return self.vmax
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for e in sorted(self.buckets):
+            cumulative += self.buckets[e]
+            if cumulative >= rank:
+                upper = float(1 << e) if e < 63 else float(2 ** e)
+                return min(max(upper, self.vmin), self.vmax)
+        return self.vmax  # pragma: no cover - cumulative always reaches count
+
     def snapshot(self):
         return {
             "count": self.count,
@@ -115,6 +153,10 @@ class Histogram:
             "min": self.vmin,
             "max": self.vmax,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "nan_dropped": self.nan_dropped,
             "buckets": {f"le_2^{e}": n for e, n in sorted(self.buckets.items())},
         }
 

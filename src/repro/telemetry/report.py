@@ -6,7 +6,9 @@ A :class:`RunReport` is one schema-versioned JSON document merging
 * span rollups from the tracer (``spans``),
 * functional-executor statistics (``executor``),
 * timing-simulator statistics incl. cache hit rates (``simulator``), and
-* (v2) the bottleneck ``attribution`` section plus ``spans_dropped``
+* (v2) the bottleneck ``attribution`` section plus ``spans_dropped``, and
+* (v3) the structured-event ``events`` summary + watchdog ``health``
+  section (see docs/OBSERVABILITY.md)
 
 for one (benchmark, machine) run.  It is the artifact perf work diffs
 against: ``repro profile`` writes one per invocation, the benchmark
@@ -17,9 +19,12 @@ Schema policy (documented in docs/TELEMETRY.md): ``schema`` names the
 document type and never changes; ``schema_version`` is a monotonically
 increasing integer bumped whenever a field is removed or its meaning
 changes.  *Adding* fields does not bump the version -- consumers must
-ignore unknown keys.  **v2** formalizes the ``attribution`` section
+ignore unknown keys.  **v2** formalized the ``attribution`` section
 (critical-path stall taxonomy, see docs/TELEMETRY.md) as a recognized,
-validated section; :func:`validate_document` accepts both v1 and v2.
+validated section; **v3** formalizes the structured-event ``events``
+summary and the stall-watchdog ``health`` section (docs/OBSERVABILITY.md).
+:func:`validate_document` accepts v1 through v3, and the perf diff
+machinery ignores v3-only sections against older baselines.
 """
 
 from __future__ import annotations
@@ -30,10 +35,10 @@ from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Dict, List, Optional
 
 SCHEMA = "repro.telemetry.run_report"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: schema versions validate_document accepts (v1 documents remain diffable).
-SUPPORTED_VERSIONS = (1, 2)
+#: schema versions validate_document accepts (v1/v2 remain diffable).
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: top-level keys every RunReport document carries.
 REQUIRED_KEYS = ("schema", "schema_version", "created", "benchmark",
@@ -54,6 +59,10 @@ class RunReport:
     attribution: Optional[Dict[str, object]] = None
     #: v2: spans evicted from the tracer ring buffer (0 = rollups complete).
     spans_dropped: int = 0
+    #: v3: structured-event summary (repro.obs EventLog.summary()).
+    events: Optional[Dict[str, object]] = None
+    #: v3: stall-watchdog health section (repro.obs Watchdog.health_section()).
+    health: Optional[Dict[str, object]] = None
     notes: Dict[str, object] = field(default_factory=dict)
     created: str = ""
 
@@ -80,6 +89,10 @@ class RunReport:
             doc["simulator"] = self.simulator
         if self.attribution is not None:
             doc["attribution"] = self.attribution
+        if self.events is not None:
+            doc["events"] = self.events
+        if self.health is not None:
+            doc["health"] = self.health
         if self.notes:
             doc["notes"] = self.notes
         return doc
@@ -121,6 +134,46 @@ def validate_document(doc: Dict[str, object]) -> List[str]:
             or doc["spans_dropped"] < 0):
         problems.append(f"bad spans_dropped {doc['spans_dropped']!r}")
     problems.extend(_validate_attribution(doc.get("attribution")))
+    problems.extend(_validate_events(doc.get("events")))
+    problems.extend(_validate_health(doc.get("health")))
+    return problems
+
+
+def _validate_events(section) -> List[str]:
+    """Structural checks for the v3 ``events`` summary (if present)."""
+    if section is None:
+        return []
+    if not isinstance(section, dict):
+        return ["'events' must be an object"]
+    problems: List[str] = []
+    for key in ("total", "dropped", "suppressed", "retained"):
+        value = section.get(key)
+        if value is not None and (not isinstance(value, int)
+                                  or isinstance(value, bool) or value < 0):
+            problems.append(f"bad events.{key} {value!r}")
+    for key in ("by_severity", "by_subsystem"):
+        value = section.get(key)
+        if value is not None and not isinstance(value, dict):
+            problems.append(f"'events.{key}' must be an object")
+    return problems
+
+
+def _validate_health(section) -> List[str]:
+    """Structural checks for the v3 ``health`` section (if present)."""
+    if section is None:
+        return []
+    if not isinstance(section, dict):
+        return ["'health' must be an object"]
+    problems: List[str] = []
+    healthy = section.get("healthy")
+    if healthy is not None and not isinstance(healthy, bool):
+        problems.append(f"bad health.healthy {healthy!r}")
+    for key in ("heartbeat_age_s", "stall_after_s", "uptime_s"):
+        value = section.get(key)
+        if value is not None and (isinstance(value, bool)
+                                  or not isinstance(value, (int, float))
+                                  or value < 0):
+            problems.append(f"bad health.{key} {value!r}")
     return problems
 
 
@@ -217,6 +270,8 @@ def build_run_report(
     exec_stats=None,
     sim_report=None,
     attribution: Optional[Dict[str, object]] = None,
+    event_log=None,
+    health: Optional[Dict[str, object]] = None,
     notes: Optional[Dict[str, object]] = None,
 ) -> RunReport:
     """Assemble a RunReport from whichever telemetry sources exist.
@@ -225,6 +280,11 @@ def build_run_report(
     since RunReport v2 does) and no explicit ``attribution`` section is
     given, the section is built automatically via
     :func:`repro.perf.attribution.attribution_section`.
+
+    ``event_log`` (a duck-typed ``repro.obs.EventLog``) contributes the
+    v3 ``events`` summary; when ``health`` is not given but a stall
+    watchdog is installed (``repro.obs.install_watchdog``), its health
+    section is embedded automatically.
     """
     if attribution is None and sim_report is not None:
         # Lazy import: repro.perf is import-light but the telemetry package
@@ -235,6 +295,17 @@ def build_run_report(
             attribution_section = None
         if attribution_section is not None:
             attribution = attribution_section(sim_report)
+    if health is None:
+        # Lazy for the same reason as attribution: repro.obs imports
+        # telemetry, so telemetry only reaches back at call time.
+        try:
+            from ..obs.server import get_watchdog
+        except ImportError:  # pragma: no cover - obs ships with repro
+            get_watchdog = None
+        if get_watchdog is not None:
+            watchdog = get_watchdog()
+            if watchdog is not None:
+                health = watchdog.health_section()
     return RunReport(
         benchmark=benchmark,
         machine=machine,
@@ -244,5 +315,7 @@ def build_run_report(
         simulator=simulator_section(sim_report) if sim_report is not None else None,
         attribution=attribution,
         spans_dropped=int(getattr(tracer, "dropped", 0)) if tracer is not None else 0,
+        events=event_log.summary() if event_log is not None else None,
+        health=health,
         notes=dict(notes or {}),
     )

@@ -12,7 +12,9 @@ instrumented call site pays one flag check.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -214,12 +216,27 @@ class Tracer:
     # -- export ------------------------------------------------------------------
 
     def export_jsonl(self, path: str) -> int:
-        """Write one JSON object per completed span; returns the span count."""
+        """Write one JSON object per completed span; returns the span count.
+
+        Crash-safe: the stream goes to a context-managed temporary file
+        that is atomically renamed onto ``path`` only after every span
+        serialized.  If serialization raises mid-write (a span carrying a
+        non-JSON arg), the handle is closed by the ``with`` block, the
+        partial temp file is removed, and ``path`` is left untouched --
+        no leaked fd, no torn export.
+        """
         spans = self.spans()
-        with open(path, "w", encoding="utf-8") as f:
-            for s in spans:
-                f.write(json.dumps(s.to_json_obj()))
-                f.write("\n")
+        tmp = f"{path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as f:
+                for s in spans:
+                    f.write(json.dumps(s.to_json_obj()))
+                    f.write("\n")
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.remove(tmp)
+            raise
+        os.replace(tmp, path)
         return len(spans)
 
     def to_chrome_events(self, pid: int = 900, tid: int = 0) -> List[Dict]:

@@ -146,8 +146,8 @@ class TestProfile:
         assert code == 0 and rr.exists()
         assert "mm_fc" in out  # resolved to the canonical suite key
 
-    def test_profile_json_emits_v2_report(self, capsys, tmp_path):
-        """Acceptance: repro profile mm_fc --json is a RunReport v2 whose
+    def test_profile_json_emits_current_report(self, capsys, tmp_path):
+        """Acceptance: repro profile mm_fc --json is a RunReport v3 whose
         attribution fractions sum to the makespan."""
         import json
         rr = tmp_path / "rr.json"
@@ -156,7 +156,7 @@ class TestProfile:
         assert code == 0
         doc = json.loads(out)  # stdout is the document, nothing else
         from repro.telemetry import validate_document
-        assert doc["schema_version"] == 2
+        assert doc["schema_version"] == 3
         assert validate_document(doc) == []
         attr = doc["attribution"]
         total = sum(sum(cats.values())
@@ -235,3 +235,115 @@ class TestAssemblerPipeline:
         code, out = run_cli(capsys, "figures", "-o", str(tmp_path))
         assert code == 0
         assert "wrote" in out
+
+
+class TestObservabilityCLI:
+    """serve-metrics, events tail, and the --serve/--events/--crash-dir
+    flags (docs/OBSERVABILITY.md)."""
+
+    def test_profile_unwritable_out_exits_2(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "profile", "mm_fc",
+                            "-o", str(tmp_path / "no-such-dir" / "rr.json"))
+        assert code == 2
+        err = capsys.readouterr().err  # message went to stderr pre-run
+        # run_cli drained stdout; the check happens before any run output
+        assert out == ""
+
+    def test_profile_unwritable_trace_exits_2(self, capsys, tmp_path):
+        code, _ = run_cli(capsys, "profile", "mm_fc",
+                          "-o", str(tmp_path / "rr.json"),
+                          "--trace", str(tmp_path / "nope" / "t.json"))
+        assert code == 2
+        assert not (tmp_path / "rr.json").exists()  # checked before running
+
+    def test_profile_directory_target_exits_2(self, capsys, tmp_path):
+        code, _ = run_cli(capsys, "profile", "mm_fc", "-o", str(tmp_path))
+        assert code == 2
+
+    def test_profile_events_stream_and_tail(self, capsys, tmp_path):
+        import json
+        events = tmp_path / "events.jsonl"
+        code, _ = run_cli(capsys, "profile", "mm_fc",
+                          "-o", str(tmp_path / "rr.json"),
+                          "--events", str(events))
+        assert code == 0 and events.exists()
+        doc = json.loads((tmp_path / "rr.json").read_text())
+        assert doc["schema_version"] == 3
+        assert doc["events"]["total"] > 0
+        assert doc["health"]["healthy"] is True
+
+        code, out = run_cli(capsys, "events", "tail", str(events),
+                            "-s", "executor", "--severity", "info")
+        assert code == 0
+        assert "program.start" in out and "program.end" in out
+
+    def test_events_tail_missing_target_exits_2(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "events", "tail",
+                            str(tmp_path / "missing.jsonl"))
+        assert code == 2
+
+    def test_events_tail_json_mode_roundtrips(self, capsys, tmp_path):
+        import json
+        events = tmp_path / "e.jsonl"
+        events.write_text(json.dumps(
+            {"schema": "repro.obs.event", "v": 1, "seq": 1, "ts": 0.0,
+             "subsystem": "sim", "event": "simulate.end",
+             "severity": "info"}) + "\ngarbage-line\n")
+        code, out = run_cli(capsys, "events", "tail", str(events), "--json")
+        assert code == 0
+        (line,) = out.strip().splitlines()
+        assert json.loads(line)["event"] == "simulate.end"
+
+    def test_serve_metrics_runs_and_scrapes(self, capsys, tmp_path):
+        import urllib.request
+
+        from repro import obs
+
+        scraped = {}
+        real_start = obs.MetricsServer.start
+
+        def start_and_scrape(self):
+            real_start(self)
+            scraped["url"] = self.url
+            return self
+
+        # scrape while the server is live: patch stop to fetch first
+        real_stop = obs.MetricsServer.stop
+
+        def scrape_then_stop(self):
+            if self._httpd is not None and "url" in scraped:
+                with urllib.request.urlopen(
+                        scraped["url"] + "/metrics", timeout=5) as resp:
+                    scraped["metrics"] = resp.read().decode()
+                with urllib.request.urlopen(
+                        scraped["url"] + "/healthz", timeout=5) as resp:
+                    scraped["health"] = resp.status
+            real_stop(self)
+
+        obs.MetricsServer.start = start_and_scrape
+        obs.MetricsServer.stop = scrape_then_stop
+        try:
+            code, out = run_cli(capsys, "serve-metrics", "mm_fc",
+                                "--port", "0", "--iterations", "2")
+        finally:
+            obs.MetricsServer.start = real_start
+            obs.MetricsServer.stop = real_stop
+        assert code == 0
+        assert "served 2 iteration(s)" in out
+        assert scraped["health"] == 200
+        assert obs.check_openmetrics(scraped["metrics"]) == []
+        assert "repro_executor_kernel_calls" in scraped["metrics"]
+        assert "repro_sim_" in scraped["metrics"]
+
+    def test_serve_metrics_unknown_benchmark_exits_2(self, capsys):
+        code, _ = run_cli(capsys, "serve-metrics", "definitely-not-a-bench",
+                          "--port", "0")
+        assert code == 2
+
+    def test_simulate_with_crash_dir_stays_clean_on_success(self, capsys,
+                                                            tmp_path):
+        crash = tmp_path / "bundles"
+        code, out = run_cli(capsys, "simulate", "-b", "K-NN",
+                            "--crash-dir", str(crash))
+        assert code == 0
+        assert not crash.exists() or list(crash.iterdir()) == []

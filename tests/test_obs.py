@@ -1,0 +1,527 @@
+"""Observability layer tests: event log, flight recorder, live endpoint.
+
+Everything here carries the ``obs`` marker (registered in pyproject.toml)
+and runs in tier-1.  The acceptance scenarios from the observability PR
+live here too: a live /metrics scrape during a simulation, the /healthz
+flip under an injected stall, and the crash-bundle -> ``repro events
+tail`` triage loop.
+"""
+
+import json
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs, telemetry
+from repro.core.executor import FractalExecutor
+from repro.core.store import TensorStore
+from repro.obs import (
+    EventLog,
+    FlightRecorder,
+    MetricsServer,
+    Watchdog,
+    check_openmetrics,
+    crash_scope,
+    escape_label_value,
+    filter_events,
+    format_events,
+    load_events,
+    metric_name,
+    read_bundle_manifest,
+    render_openmetrics,
+)
+from repro.sim import FractalSimulator
+from repro.workloads import matmul_workload, mm_fc_workload
+
+from conftest import tiny_machine
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def clean_global_obs():
+    """Every test starts and ends with disabled, empty global obs state."""
+    log = obs.get_event_log()
+    log.disable()
+    log.reset()
+    log.close_sink()
+    obs.install_watchdog(None)
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    log = obs.get_event_log()
+    log.disable()
+    log.reset()
+    log.close_sink()
+    obs.install_watchdog(None)
+    telemetry.disable()
+    telemetry.reset()
+
+
+def run_functional(workload, machine=None, seed=0):
+    machine = machine or tiny_machine()
+    rng = np.random.default_rng(seed)
+    store = TensorStore()
+    for t in list(workload.inputs.values()) + list(workload.params.values()):
+        store.bind(t, rng.normal(size=t.shape))
+    executor = FractalExecutor(machine, store)
+    executor.run_program(workload.program)
+    return executor
+
+
+def http_get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_disabled_log_records_nothing(self):
+        log = obs.get_event_log()
+        assert obs.log_event("executor", "x") is None
+        obs.logger("executor").info("ghost")
+        assert log.events() == []
+        assert log.summary()["total"] == 0
+
+    def test_schema_fields_and_sequence(self):
+        log = EventLog(enabled=True)
+        r1 = log.emit("executor", "program.start", "info", instructions=3)
+        r2 = log.emit("sim", "simulate.end", "info")
+        assert r1["schema"] == obs.EVENT_SCHEMA and r1["v"] == 1
+        assert r1["seq"] == 1 and r2["seq"] == 2
+        assert r1["subsystem"] == "executor"
+        assert r1["event"] == "program.start"
+        assert r1["instructions"] == 3
+
+    def test_context_propagation_and_nesting(self):
+        log = EventLog(enabled=True)
+        with obs.event_context(benchmark="mm_fc", machine="tiny"):
+            with obs.event_context(instruction=3, opcode="MatMul"):
+                rec = log.emit("ops", "dispatch.fail", "error", error="boom")
+            outer = log.emit("executor", "program.end", "info")
+        bare = log.emit("sim", "simulate.start", "info")
+        assert rec["ctx"] == {"benchmark": "mm_fc", "machine": "tiny",
+                              "instruction": 3, "opcode": "MatMul"}
+        assert outer["ctx"] == {"benchmark": "mm_fc", "machine": "tiny"}
+        assert "ctx" not in bare
+
+    def test_inner_context_wins_on_collision(self):
+        log = EventLog(enabled=True)
+        with obs.event_context(phase="outer"):
+            with obs.event_context(phase="inner"):
+                rec = log.emit("sim", "x", "info")
+        assert rec["ctx"]["phase"] == "inner"
+        assert obs.current_context() == {}
+
+    def test_min_severity_filters_and_counts(self):
+        log = EventLog(enabled=True, min_severity="warn")
+        assert log.emit("ops", "dispatch", "debug") is None
+        assert log.emit("ops", "note", "info") is None
+        assert log.emit("ops", "odd", "warn") is not None
+        assert log.summary()["suppressed"] == 2
+        assert log.summary()["total"] == 1
+
+    def test_debug_sampling_keeps_first_of_each_name(self):
+        log = EventLog(enabled=True, debug_sample=4)
+        kept = [log.emit("ops", "dispatch", "debug", i=i) is not None
+                for i in range(8)]
+        assert kept == [True, False, False, False, True, False, False, False]
+        # a different event name is independently sampled: first passes.
+        assert log.emit("ops", "rare", "debug") is not None
+        # info events are never sampled away.
+        assert all(log.emit("ops", "hot", "info") is not None
+                   for _ in range(5))
+
+    def test_ring_eviction_counts_drops(self):
+        log = EventLog(enabled=True, capacity=4)
+        for i in range(10):
+            log.emit("sim", "tick", "info", i=i)
+        assert len(log.events()) == 4
+        assert log.dropped == 6
+        assert [e["i"] for e in log.events()] == [6, 7, 8, 9]
+        assert log.summary() == {
+            "total": 10, "retained": 4, "dropped": 6, "suppressed": 0,
+            "by_severity": {"info": 10}, "by_subsystem": {"sim": 10}}
+
+    def test_jsonl_sink_streams_and_survives_nonjson_fields(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(enabled=True)
+        log.attach_jsonl(str(path))
+        log.emit("executor", "start", "info", payload=object())
+        log.emit("executor", "end", "info")
+        log.close_sink()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["event"] == "start"
+
+    def test_iter_jsonl_tolerates_corrupt_lines(self):
+        lines = ['{"event": "ok"}', "{torn", "", '["not a dict"]']
+        parsed = list(obs.iter_jsonl(lines))
+        assert parsed[0] == ({"event": "ok"}, None)
+        assert parsed[1][0] is None and parsed[2][0] is None
+
+    def test_instrumented_run_emits_program_events(self):
+        obs.get_event_log().enable()
+        run_functional(mm_fc_workload())
+        events = {e["event"] for e in obs.get_event_log().events()}
+        assert "program.start" in events and "program.end" in events
+        summary = obs.events_summary()
+        assert summary["by_subsystem"].get("executor", 0) >= 2
+
+
+class TestDisabledObsOverhead:
+    def test_disabled_guard_cost_under_5_percent_of_matmul_run(self):
+        """Same budget methodology as TestDisabledOverhead in
+        test_telemetry.py: the disabled obs path is one flag check per
+        site (plus one global load per beat), and that guard budget must
+        stay under 5% of the functional runtime."""
+        assert not obs.get_event_log().enabled
+        w = matmul_workload(24)
+        machine = tiny_machine()
+        rng = np.random.default_rng(0)
+        arrays = {t: rng.normal(size=t.shape) for t in w.inputs.values()}
+
+        best = float("inf")
+        for _ in range(3):
+            store = TensorStore()
+            for t, arr in arrays.items():
+                store.bind(t, arr)
+            executor = FractalExecutor(machine, store)
+            t0 = time.perf_counter()
+            executor.run_program(w.program)
+            best = min(best, time.perf_counter() - t0)
+
+        stats = executor.stats
+        # one guard per fractal node + kernel dispatch + fan-out, plus a
+        # beat per top-level instruction.
+        events = (sum(stats.instructions_per_level.values())
+                  + 2 * stats.kernel_calls + stats.fanouts + 8)
+        log = obs.get_event_log()
+        t0 = time.perf_counter()
+        for _ in range(events):
+            if log.enabled:  # pragma: no cover
+                raise AssertionError("event log unexpectedly enabled")
+            obs.beat()
+        guard_cost = time.perf_counter() - t0
+        assert guard_cost < 0.05 * best, (
+            f"disabled-obs guards cost {guard_cost * 1e3:.3f} ms vs "
+            f"{best * 1e3:.3f} ms run ({guard_cost / best:.1%})")
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics renderer
+# ---------------------------------------------------------------------------
+
+
+class TestOpenMetrics:
+    def test_metric_name_mapping(self):
+        assert metric_name("executor.kernel_calls") == \
+            "repro_executor_kernel_calls"
+        assert metric_name("sim.total_time_s") == "repro_sim_total_time_s"
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_round_trips_every_instrument_kind(self):
+        reg = telemetry.CounterRegistry(enabled=True)
+        reg.count("executor.instructions", 30, labels={"level": 0})
+        reg.count("executor.instructions", 90, labels={"level": 1})
+        reg.gauge("executor.max_depth").set(2)
+        for v in (0.5, 1.5, 3.0):
+            reg.histogram("sim.total_time_s").observe(v)
+        text = render_openmetrics(reg)
+        assert check_openmetrics(text) == []
+        assert 'repro_executor_instructions_total{level="0"} 30' in text
+        assert "# TYPE repro_executor_max_depth gauge" in text
+        assert "repro_executor_max_depth 2" in text
+        assert 'repro_sim_total_time_s_bucket{le="+Inf"} 3' in text
+        assert "repro_sim_total_time_s_count 3" in text
+        assert "repro_sim_total_time_s_sum 5" in text
+        assert text.endswith("# EOF\n")
+
+    def test_extra_gauges_and_nonfinite_clamp(self):
+        reg = telemetry.CounterRegistry(enabled=True)
+        text = render_openmetrics(reg, extra_gauges={
+            "repro_obs_healthy": (1.0, "watchdog health"),
+            "repro_obs_bad": (float("inf"), "clamped"),
+        })
+        assert check_openmetrics(text) == []
+        assert "repro_obs_healthy 1" in text
+        assert "repro_obs_bad 0" in text  # non-finite clamped, never emitted
+
+    def test_checker_flags_bad_expositions(self):
+        assert any("EOF" in p for p in check_openmetrics("no trailer\n"))
+        assert any("value" in p.lower() for p in
+                   check_openmetrics("repro_x nan\n# EOF\n"))
+        assert check_openmetrics(
+            "# TYPE repro_c counter\nrepro_c 1\n# EOF\n")  # missing _total
+        assert check_openmetrics(
+            "# HELP repro_h h\n# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\nrepro_h_bucket{le="2"} 3\n'
+            "repro_h_count 5\nrepro_h_sum 2\n# EOF\n")  # non-monotonic
+
+    def test_checker_accepts_live_registry_render(self):
+        with telemetry.enabled_scope() as (reg, _tr):
+            run_functional(mm_fc_workload())
+            FractalSimulator(tiny_machine(),
+                             collect_profiles=False).simulate(
+                mm_fc_workload().program)
+            text = render_openmetrics(reg)
+        assert check_openmetrics(text) == []
+        assert "repro_executor_kernel_calls" in text
+        assert "repro_sim_" in text
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder + crash bundles
+# ---------------------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_marks_record_counter_deltas(self):
+        with telemetry.enabled_scope() as (reg, _tr):
+            rec = FlightRecorder(registry=reg)
+            rec.mark("start")
+            reg.count("executor.kernel_calls", 5)
+            m = rec.mark("end")
+        assert m["delta"] == {"executor.kernel_calls": 5.0}
+        assert [x["label"] for x in rec.marks] == ["start", "end"]
+
+    def test_manual_dump_bundle_layout(self, tmp_path):
+        log = obs.get_event_log()
+        log.enable()
+        with telemetry.enabled_scope() as (reg, tr):
+            with tr.span("host.profile", cat="host"):
+                log.emit("executor", "program.start", "info")
+            rec = FlightRecorder(event_log=log, registry=reg, tracer=tr)
+            rec.report_context.update({"benchmark": "mm_fc",
+                                       "machine": "tiny"})
+            rec.mark("only")
+            bundle = rec.dump(str(tmp_path), reason="manual-test")
+        names = sorted(p.name for p in bundle.iterdir())
+        assert names == ["MANIFEST.json", "config.json", "counters.json",
+                         "events.jsonl", "marks.json", "report.json",
+                         "spans.jsonl"]
+        manifest = read_bundle_manifest(str(bundle))
+        assert manifest["schema"] == obs.BUNDLE_SCHEMA
+        assert manifest["reason"] == "manual-test"
+        assert manifest["exception"] is None
+        report = json.loads((bundle / "report.json").read_text())
+        assert report["schema_version"] == 3
+        assert report["notes"]["partial"] is True
+        assert report["benchmark"] == "mm_fc"
+
+    def test_crash_scope_dumps_and_reraises(self, tmp_path, capsys,
+                                            monkeypatch):
+        """Acceptance: an injected mid-run exception produces a crash
+        bundle from which ``repro events tail`` reconstructs the failing
+        instruction context."""
+        from repro.core.isa import Opcode
+        from repro.ops import dispatch
+
+        log = obs.get_event_log()
+        log.enable()
+        w = mm_fc_workload()
+        machine = tiny_machine()
+        store = TensorStore()
+        rng = np.random.default_rng(0)
+        for t in list(w.inputs.values()) + list(w.params.values()):
+            store.bind(t, rng.normal(size=t.shape))
+
+        def poisoned(inputs, attrs):
+            raise ValueError("injected kernel fault")
+
+        # the activation follows the first MatMul, so the program dies
+        # genuinely mid-run with instruction context on the stack.
+        monkeypatch.setitem(dispatch._KERNELS, Opcode.ACT1D, poisoned)
+
+        with telemetry.enabled_scope():
+            with pytest.raises(ValueError, match="injected kernel fault"):
+                with crash_scope(str(tmp_path), reason="injected",
+                                 config={"benchmark": "mm_fc"}):
+                    FractalExecutor(machine, store).run_program(w.program)
+        err = capsys.readouterr().err
+        assert "crash bundle written" in err
+        (bundle,) = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert (bundle / "traceback.txt").exists()
+        manifest = read_bundle_manifest(str(bundle))
+        assert manifest["exception"] is not None
+
+        # triage loop: load the bundle's events and find the failure ctx
+        events, bad = load_events(str(bundle))
+        failures = filter_events(events, min_severity="error")
+        assert failures, "expected error events in the bundle"
+        ctx = failures[-1].get("ctx", {})
+        assert "instruction" in ctx and "opcode" in ctx
+        text = format_events(failures)
+        assert "instruction" in text and "error" in text
+
+    def test_crash_scope_passes_keyboardinterrupt_through(self, tmp_path):
+        with pytest.raises(KeyboardInterrupt):
+            with crash_scope(str(tmp_path), reason="ctrlc"):
+                raise KeyboardInterrupt
+        assert list(tmp_path.iterdir()) == []  # no bundle for Ctrl-C
+
+    def test_failed_dump_never_masks_the_crash(self, tmp_path, capsys):
+        target = tmp_path / "a-file-not-a-dir"
+        target.write_text("occupied")
+        with pytest.raises(ValueError, match="the real failure"):
+            with crash_scope(str(target), reason="x"):
+                raise ValueError("the real failure")
+        assert "could not be written" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Watchdog + live endpoint
+# ---------------------------------------------------------------------------
+
+
+class TestWatchdog:
+    def test_beat_keeps_healthy(self):
+        t = [0.0]
+        wd = Watchdog(stall_after_s=10.0, clock=lambda: t[0])
+        assert wd.healthy
+        t[0] = 9.0
+        assert wd.healthy
+        wd.beat()
+        t[0] = 18.0
+        assert wd.healthy  # 9s since beat
+        t[0] = 25.0
+        assert not wd.healthy  # 16s since beat
+
+    def test_status_and_health_section(self):
+        t = [0.0]
+        wd = Watchdog(stall_after_s=5.0, clock=lambda: t[0])
+        wd.beat()
+        t[0] = 2.0
+        doc = wd.status()
+        assert doc["status"] == "ok" and doc["healthy"]
+        assert doc["heartbeat_age_s"] == pytest.approx(2.0)
+        section = wd.health_section()
+        assert "status" not in section and section["healthy"] is True
+
+    def test_global_beat_is_noop_when_unarmed(self):
+        assert obs.get_watchdog() is None
+        obs.beat()  # must not raise
+        wd = obs.install_watchdog(Watchdog())
+        obs.beat()
+        assert wd.beats == 1
+
+    def test_executor_beats_when_armed(self):
+        wd = obs.install_watchdog(Watchdog())
+        run_functional(mm_fc_workload())
+        assert wd.beats >= 3  # one per top-level instruction
+
+
+class TestMetricsServer:
+    def test_scrape_during_simulation_is_valid_openmetrics(self):
+        """Acceptance: a live /metrics scrape during a simulation returns
+        a valid OpenMetrics exposition including sim + executor series."""
+        log = obs.get_event_log()
+        log.enable()
+        wd = obs.install_watchdog(Watchdog())
+        with telemetry.enabled_scope() as (reg, _tr):
+            run_functional(mm_fc_workload())
+            with MetricsServer(registry=reg, event_log=log,
+                               watchdog=wd) as server:
+                FractalSimulator(tiny_machine(),
+                                 collect_profiles=False).simulate(
+                    mm_fc_workload().program)
+                status, text = http_get(server.url + "/metrics")
+        assert status == 200
+        assert check_openmetrics(text) == []
+        assert "repro_executor_kernel_calls" in text
+        assert "repro_sim_" in text
+        assert "repro_obs_healthy 1" in text
+
+    def test_healthz_flips_unhealthy_under_injected_stall(self):
+        """Acceptance: /healthz goes 200 -> 503 when progress stops."""
+        t = [0.0]
+        wd = Watchdog(stall_after_s=0.05, clock=lambda: t[0])
+        with MetricsServer(watchdog=wd) as server:
+            status, body = http_get(server.url + "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            t[0] = 1.0  # inject the stall: no beats for 1 simulated second
+            try:
+                status, body = http_get(server.url + "/healthz")
+            except urllib.error.HTTPError as e:
+                status, body = e.code, e.read().decode()
+            assert status == 503
+            doc = json.loads(body)
+            assert doc["status"] == "stalled" and not doc["healthy"]
+            wd.beat()  # recovery
+            status, body = http_get(server.url + "/healthz")
+            assert status == 200
+
+    def test_events_endpoint_filters(self):
+        log = obs.get_event_log()
+        log.enable()
+        log.emit("executor", "program.start", "info")
+        log.emit("ops", "dispatch.fail", "error", error="boom")
+        with MetricsServer(event_log=log) as server:
+            _, body = http_get(server.url + "/events?severity=error")
+            events = json.loads(body)
+            assert len(events) == 1
+            assert events[0]["event"] == "dispatch.fail"
+            _, body = http_get(server.url + "/events?subsystem=executor&n=1")
+            assert json.loads(body)[0]["subsystem"] == "executor"
+
+    def test_unknown_route_404s_and_index_lists_endpoints(self):
+        with MetricsServer() as server:
+            try:
+                status, _ = http_get(server.url + "/nope")
+            except urllib.error.HTTPError as e:
+                status = e.code
+            assert status == 404
+            _, body = http_get(server.url + "/")
+            assert "/metrics" in body and "/healthz" in body
+
+
+# ---------------------------------------------------------------------------
+# RunReport v3 sections
+# ---------------------------------------------------------------------------
+
+
+class TestRunReportV3:
+    def test_events_and_health_sections_validate(self):
+        log = EventLog(enabled=True)
+        log.emit("executor", "program.start", "info")
+        wd = Watchdog(stall_after_s=5.0)
+        report = telemetry.build_run_report(
+            benchmark="mm_fc", machine="tiny",
+            event_log=log, health=wd.health_section())
+        doc = report.to_dict()
+        assert doc["schema_version"] == 3
+        assert telemetry.validate_document(doc) == []
+        assert doc["events"]["total"] == 1
+        assert doc["health"]["healthy"] is True
+
+    def test_v2_documents_without_obs_sections_still_validate(self):
+        report = telemetry.build_run_report(benchmark="b", machine="m")
+        doc = report.to_dict()
+        doc["schema_version"] = 2
+        doc.pop("events", None)
+        doc.pop("health", None)
+        assert telemetry.validate_document(doc) == []
+
+    def test_validate_rejects_malformed_sections(self):
+        doc = telemetry.build_run_report(benchmark="b",
+                                         machine="m").to_dict()
+        doc["events"] = {"total": -1}
+        assert any("events" in p for p in telemetry.validate_document(doc))
+        doc["events"] = None
+        doc["health"] = {"healthy": "yes"}
+        assert any("health" in p for p in telemetry.validate_document(doc))
+
+    def test_installed_watchdog_auto_populates_health(self):
+        obs.install_watchdog(Watchdog(stall_after_s=9.0))
+        doc = telemetry.build_run_report(benchmark="b",
+                                        machine="m").to_dict()
+        assert doc["health"]["stall_after_s"] == 9.0

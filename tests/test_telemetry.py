@@ -356,9 +356,9 @@ class TestRunReport:
         assert 1 in SUPPORTED_VERSIONS
         assert validate_document(doc) == []
 
-    def test_v2_attribution_section_present_and_sums(self):
+    def test_attribution_section_present_and_sums(self):
         doc = self.build().to_dict()
-        assert doc["schema_version"] == 2
+        assert doc["schema_version"] == 3
         attr = doc["attribution"]
         total = sum(sum(cats.values())
                     for cats in attr["per_level_s"].values())
@@ -453,3 +453,118 @@ class TestGlobalState:
         with telemetry.span("nothing"):
             pass
         assert telemetry.get_tracer().spans() == []
+
+
+# ---------------------------------------------------------------------------
+# Histogram percentile/rollup edge cases (satellite: PR 4)
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramEdgeCases:
+    def _hist(self):
+        return CounterRegistry(enabled=True).histogram("lat")
+
+    def test_empty_histogram_percentiles_are_none(self):
+        h = self._hist()
+        assert h.percentile(50) is None
+        assert h.percentile(0) is None
+        assert h.percentile(100) is None
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] is None and snap["p99"] is None
+        assert snap["mean"] == 0.0  # "no data" mean is 0.0, percentile None
+
+    def test_single_sample_collapses_every_percentile(self):
+        h = self._hist()
+        h.observe(7.25)
+        for q in (0, 1, 50, 90, 99, 100):
+            assert h.percentile(q) == 7.25
+        snap = h.snapshot()
+        assert snap["p50"] == snap["p90"] == snap["p99"] == 7.25
+        assert snap["min"] == snap["max"] == 7.25
+
+    def test_nan_observations_are_dropped_and_counted(self):
+        h = self._hist()
+        h.observe(1.0)
+        h.observe(float("nan"))
+        h.observe(3.0)
+        assert h.count == 2
+        assert h.nan_dropped == 1
+        assert h.total == pytest.approx(4.0)
+        snap = h.snapshot()
+        assert snap["nan_dropped"] == 1
+        assert snap["mean"] == pytest.approx(2.0)
+        # percentiles stay within the observed (non-NaN) range
+        assert 1.0 <= snap["p50"] <= 3.0
+
+    def test_all_nan_histogram_behaves_like_empty(self):
+        h = self._hist()
+        for _ in range(3):
+            h.observe(float("nan"))
+        assert h.count == 0
+        assert h.nan_dropped == 3
+        assert h.percentile(50) is None
+        assert h.snapshot()["min"] is None
+
+    def test_percentiles_bounded_and_monotone(self):
+        h = self._hist()
+        for v in (0.5, 1.0, 2.0, 4.0, 9.0, 100.0, 1000.0):
+            h.observe(v)
+        qs = [h.percentile(q) for q in (1, 25, 50, 75, 90, 99)]
+        assert all(h.vmin <= x <= h.vmax for x in qs)
+        assert qs == sorted(qs)
+
+    def test_percentile_clamps_out_of_range_q(self):
+        h = self._hist()
+        h.observe(1.0)
+        h.observe(10.0)
+        assert h.percentile(-5) == h.vmin
+        assert h.percentile(250) == h.vmax
+
+
+# ---------------------------------------------------------------------------
+# Tracer export crash-safety (satellite: PR 4)
+# ---------------------------------------------------------------------------
+
+
+class TestTracerExportSafety:
+    def test_failed_export_leaves_no_partial_file(self, tmp_path):
+        """A span carrying a non-JSON arg must raise -- and leave neither
+        the target file nor a leaked .tmp behind."""
+        tr = Tracer(enabled=True)
+        with tr.span("good", cat="x"):
+            pass
+        with tr.span("bad", cat="x", payload=object()):
+            pass
+        path = tmp_path / "spans.jsonl"
+        with pytest.raises(TypeError):
+            tr.export_jsonl(str(path))
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # no .tmp litter
+
+    def test_failed_export_preserves_previous_file(self, tmp_path):
+        """Atomic replace: a failing re-export keeps the prior export."""
+        path = tmp_path / "spans.jsonl"
+        tr = Tracer(enabled=True)
+        with tr.span("first", cat="x"):
+            pass
+        assert tr.export_jsonl(str(path)) == 1
+        before = path.read_text()
+        with tr.span("poison", cat="x", payload={1, 2, 3}):
+            pass
+        with pytest.raises(TypeError):
+            tr.export_jsonl(str(path))
+        assert path.read_text() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["spans.jsonl"]
+
+    def test_successful_export_replaces_atomically(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("stale\n")
+        tr = Tracer(enabled=True)
+        with tr.span("fresh", cat="x"):
+            pass
+        assert tr.export_jsonl(str(path)) == 1
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "fresh"
+        assert not (tmp_path / "spans.jsonl.tmp").exists()

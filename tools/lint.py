@@ -7,9 +7,9 @@ Run as ``python tools/lint.py`` from the repository root.  Two stages:
    ruff is optional tooling -- offline environments may not have it, so
    its absence is reported as a skip, not a failure.
 2. **ruff, strict profile** over the instrumentation packages
-   (``repro.telemetry`` + ``repro.perf``; paths and select set in
-   ``[tool.repro.lint]`` of pyproject.toml): new instrumentation code is
-   held to a tighter bar than the legacy tree.
+   (``repro.telemetry`` + ``repro.perf`` + ``repro.obs``; paths and select
+   set in ``[tool.repro.lint]`` of pyproject.toml): new instrumentation
+   code is held to a tighter bar than the legacy tree.
 3. **FISA static analysis smoke**: ``python -m repro lint`` over every
    ``examples/programs/*.fisa`` (must exit 0) and over the negative
    fixtures in ``tests/fixtures/`` (must exit non-zero -- they exist to
@@ -47,7 +47,7 @@ def stage_ruff() -> bool:
 
 def _telemetry_lint_config() -> tuple:
     """(paths, select) for the strict telemetry stage from pyproject.toml."""
-    paths = ["src/repro/telemetry"]
+    paths = ["src/repro/telemetry", "src/repro/obs"]
     select = "E,W,F,I,B,C4,SIM,RET"
     try:  # tomllib is py311+; fall back to the defaults above without it
         import tomllib
