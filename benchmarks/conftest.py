@@ -57,8 +57,62 @@ def _report_dir() -> Path:
         str(Path(__file__).resolve().parent / "reports")))
 
 
+def _plan_microbench(machine, benchmark: str = "mm_fc",
+                     reps: int = 5) -> Dict[str, object]:
+    """Cold recursive execution vs warm plan replay on one benchmark.
+
+    Functional-scale subject (``mm_fc``), min-of-``reps`` wall-clock for
+    both paths, identical inputs.  The resulting ``speedup`` (cold /
+    warm) lands in the suite RunReport's notes and is what
+    ``tools/perf_gate.py --min-replay-speedup`` gates on.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.executor import FractalExecutor
+    from repro.core.store import TensorStore
+    from repro.plan import compile_program
+    from repro.workloads import profile_benchmark
+
+    w = profile_benchmark(benchmark)
+    rng = np.random.default_rng(0)
+    bound = list(w.inputs.values()) + list(w.params.values())
+    arrays = {t.uid: rng.normal(size=t.shape) for t in bound}
+
+    def fresh_store() -> TensorStore:
+        store = TensorStore()
+        for t in bound:
+            store.bind(t, arrays[t.uid])
+        return store
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    cold = best_of(lambda: FractalExecutor(
+        machine, fresh_store()).run_program(w.program))
+    plan = compile_program(machine, w.program)
+    warm = best_of(lambda: FractalExecutor(
+        machine, fresh_store()).run_program(w.program, plan=plan))
+    return {
+        "benchmark": benchmark,
+        "reps": reps,
+        "cold_recursive_s": cold,
+        "warm_replay_s": warm,
+        "speedup": (cold / warm) if warm > 0 else float("inf"),
+        "plan_steps": plan.n_steps,
+        "compile_s": plan.compile_seconds,
+    }
+
+
 def _write_suite_report(machine, results: Dict[str, BenchResult],
-                        registry, tracer, event_log=None) -> None:
+                        registry, tracer, event_log=None,
+                        plan_microbench: Optional[Dict] = None) -> None:
     """One ``BENCH_<machine>.json`` RunReport for the whole suite."""
     report = telemetry.build_run_report(
         benchmark="paper-suite",
@@ -68,6 +122,8 @@ def _write_suite_report(machine, results: Dict[str, BenchResult],
         event_log=event_log,
         notes={
             "command": "benchmarks/conftest",
+            **({"plan_microbench": plan_microbench}
+               if plan_microbench else {}),
             "benchmarks": {
                 name: {
                     "total_time_s": r.total_time,
@@ -98,6 +154,14 @@ def _crash_dir() -> str:
 
 def _simulate_suite(machine) -> Dict[str, BenchResult]:
     out: Dict[str, BenchResult] = {}
+    # Measure the compile/replay microbenchmark *before* arming telemetry:
+    # the per-dispatch instrumentation is common to both paths and would
+    # flatten the cold/warm ratio, and production replay runs untraced.
+    try:
+        microbench = _plan_microbench(machine)
+    except Exception as err:  # noqa: BLE001 - informational only
+        print(f"[bench] plan microbenchmark failed: {err}")
+        microbench = None
     event_log = obs.get_event_log()
     prior_events = event_log.enabled
     event_log.reset()
@@ -117,7 +181,8 @@ def _simulate_suite(machine) -> Dict[str, BenchResult]:
                 _simulate_one(machine, name, out, recorder)
             recorder.mark("suite.end")
             _write_suite_report(machine, out, registry, tracer,
-                                event_log=event_log)
+                                event_log=event_log,
+                                plan_microbench=microbench)
     finally:
         event_log.enabled = prior_events
     return out

@@ -30,7 +30,12 @@ from .diagnostics import (
 )
 from .hazards import check_hazards
 from .pipeline import analyze, analyze_workload
-from .signatures import check_types
+from .signatures import (
+    check_types,
+    external_tensors,
+    program_digest,
+    program_signature,
+)
 
 __all__ = [
     "CODES",
@@ -43,4 +48,7 @@ __all__ = [
     "check_defuse",
     "check_hazards",
     "check_types",
+    "external_tensors",
+    "program_digest",
+    "program_signature",
 ]

@@ -415,6 +415,74 @@ def _check_attr_keys(inst: Instruction, index: int) -> List[Diagnostic]:
     return out
 
 
+# -- structural program signatures ------------------------------------------
+#
+# The timing simulator memoizes per-*instruction* on
+# :meth:`repro.core.isa.Instruction.signature`.  The fractal plan compiler
+# (:mod:`repro.plan`) needs the *program-level* analogue: a canonical key
+# under which two instruction sequences decompose identically on the same
+# machine, including the pattern of tensor sharing between instructions
+# (instruction signatures alone cannot distinguish "inst 1 consumes inst
+# 0's output" from "inst 1 reads a fresh tensor", and those decompose into
+# different data flows).  Tensors are renumbered by first appearance, so
+# the signature is stable across processes and tensor-uid counters.
+
+
+def external_tensors(program: Sequence[Instruction]) -> List:
+    """Tensors referenced by ``program`` operands, first-appearance order.
+
+    This ordering is the canonical tensor numbering used by
+    :func:`program_signature` and by plan rebinding
+    (:meth:`repro.plan.FractalPlan.rebind`): two programs with equal
+    signatures have externals lists that correspond position by position.
+    """
+    seen = {}
+    out = []
+    for inst in program:
+        for r in inst.inputs + inst.outputs:
+            uid = r.tensor.uid
+            if uid not in seen:
+                seen[uid] = len(out)
+                out.append(r.tensor)
+    return out
+
+
+def _canonical_operand(region, index: Dict[int, int]) -> tuple:
+    uid = region.tensor.uid
+    tid = index.setdefault(uid, len(index))
+    return (tid, region.bounds, region.tensor.shape, region.tensor.dtype.name)
+
+
+def program_signature(program: Sequence[Instruction]) -> tuple:
+    """Canonical structural signature of an instruction sequence.
+
+    Covers opcodes, attributes (minus the allocator-internal ``acc_chain``
+    ids), operand region bounds, tensor shapes/dtypes, and the cross-
+    instruction tensor-sharing pattern via first-appearance tensor
+    renumbering.  Source locations and tensor names/uids are excluded --
+    the signature is identical for any re-build of the same workload.
+    """
+    index: Dict[int, int] = {}
+    out = []
+    for inst in program:
+        out.append((
+            inst.opcode.value,
+            tuple(sorted((k, v) for k, v in inst.attrs.items()
+                         if k != "acc_chain")),
+            tuple(_canonical_operand(r, index) for r in inst.inputs),
+            tuple(_canonical_operand(r, index) for r in inst.outputs),
+        ))
+    return tuple(out)
+
+
+def program_digest(program: Sequence[Instruction]) -> str:
+    """Stable hex digest of :func:`program_signature` (disk-cache keys)."""
+    import hashlib
+
+    return hashlib.sha256(
+        repr(program_signature(program)).encode("utf-8")).hexdigest()
+
+
 def check_types(program: Sequence[Instruction]) -> List[Diagnostic]:
     """Type-check every instruction; returns all diagnostics found."""
     out: List[Diagnostic] = []

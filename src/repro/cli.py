@@ -15,6 +15,7 @@ Commands::
     assemble  prog.fisa -o prog.bin assemble FISA text to the binary format
     disasm    prog.bin              disassemble a FISA binary
     lint      prog.fisa             static analysis (shape/def-use/hazards)
+    compile   mm_fc                 compile a fractal plan; print its stats
     run       prog.fisa             assemble + execute with random inputs
 
 ``simulate``, ``timeline`` and ``profile`` accept ``--json`` to emit the
@@ -614,6 +615,70 @@ def cmd_events_tail(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    """Compile a profiling benchmark into a replayable fractal plan.
+
+    Prints the plan's compile-time statistics (steps, kernel/LFU calls,
+    bytes moved) and the cache keys it is stored under.  With ``--verify``
+    the plan is replayed against the recursive executor on random inputs
+    and the outputs compared bit-for-bit.  Exit codes: **0** ok, **1** a
+    ``--verify`` mismatch, **2** unknown benchmark.
+    """
+    from .core.executor import FractalExecutor
+    from .core.store import TensorStore
+    from .plan import (compile_cached, fingerprint_digest, machine_fingerprint)
+    from .workloads import profile_benchmark, resolve_profile_benchmark
+
+    machine = _machine(args)
+    try:
+        args.benchmark = resolve_profile_benchmark(args.benchmark)
+    except KeyError as err:
+        print(f"compile: {err.args[0]}", file=sys.stderr)
+        return 2
+    w = profile_benchmark(args.benchmark)
+    plan = compile_cached(machine, w.program, disk_dir=args.plan_cache)
+    stats = plan.stats
+    print(f"compiled {args.benchmark} on {machine.name}:")
+    print(f"  steps               {plan.n_steps:12d} "
+          f"({stats.kernel_calls} kernel, {stats.lfu_calls} LFU)")
+    print(f"  instructions        "
+          f"{sum(stats.instructions_per_level.values()):12d} "
+          f"(depth {stats.max_depth_reached})")
+    print(f"  fan-outs            {stats.fanouts:12d} "
+          f"-> {stats.fanout_parts} parts")
+    print(f"  bytes moved         "
+          f"{stats.bytes_read + stats.bytes_written:12d}")
+    print(f"  externals           {len(plan.externals):12d} tensors")
+    print(f"  compile time        {plan.compile_seconds * 1e3:12.2f} ms")
+    print(f"  machine fingerprint {fingerprint_digest(machine_fingerprint(machine))[:16]}")
+    print(f"  program signature   {plan.signature_digest[:16]}")
+    if args.plan_cache:
+        print(f"  disk cache          {args.plan_cache}")
+    if not args.verify:
+        return 0
+
+    rng = np.random.default_rng(args.seed)
+    bound = list(w.inputs.values()) + list(w.params.values())
+    arrays = {t.uid: rng.normal(size=t.shape) for t in bound}
+    results = []
+    for use_plan in (None, plan):
+        store = TensorStore()
+        for t in bound:
+            store.bind(t, arrays[t.uid])
+        FractalExecutor(machine, store).run_program(w.program, plan=use_plan)
+        results.append({name: store.read(t.region())
+                        for name, t in w.outputs.items()})
+    for name in results[0]:
+        if not np.array_equal(results[0][name], results[1][name]):
+            print(f"compile: --verify FAILED: output {name!r} differs "
+                  f"between recursive and replayed execution",
+                  file=sys.stderr)
+            return 1
+    print(f"  verify              replay bit-identical "
+          f"({len(results[0])} output(s))")
+    return 0
+
+
 def cmd_run(args) -> int:
     from .core.executor import FractalExecutor
     from .core.store import TensorStore
@@ -622,14 +687,24 @@ def cmd_run(args) -> int:
     machine = _machine(args)
     with open(args.source, encoding="utf-8") as f:
         w = assemble(f.read(), name=args.source)
+    plan = None
+    if getattr(args, "plan_cache", None) or getattr(args, "repeat", 1) > 1:
+        from .plan import compile_cached
+
+        plan = compile_cached(machine, w.program,
+                              disk_dir=getattr(args, "plan_cache", None))
     rng = np.random.default_rng(args.seed)
-    store = TensorStore()
-    for t in w.inputs.values():
-        store.bind(t, rng.normal(size=t.shape))
-    executor = FractalExecutor(machine, store)
-    executor.run_program(w.program)
+    repeats = max(1, int(getattr(args, "repeat", 1)))
+    for _ in range(repeats):
+        store = TensorStore()
+        for t in w.inputs.values():
+            store.bind(t, rng.normal(size=t.shape))
+        executor = FractalExecutor(machine, store)
+        executor.run_program(w.program, plan=plan)
     print(f"ran {len(w.program)} instructions on {machine.name} "
-          f"({executor.stats.kernel_calls} leaf kernels)")
+          f"({executor.stats.kernel_calls} leaf kernels"
+          + (f", {repeats} repeats, replayed plan" if plan is not None else "")
+          + ")")
     for name, t in w.outputs.items():
         arr = store.read(t.region())
         print(f"  {name}: shape {arr.shape}, "
@@ -781,10 +856,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the machine-readable diff instead of the table")
     p.set_defaults(fn=cmd_diff)
 
+    p = sub.add_parser("compile", help="compile a benchmark into a "
+                                       "replayable fractal plan")
+    _add_machine_args(p)
+    p.add_argument("benchmark",
+                   help="profiling subject (e.g. mm_fc) -- same names as "
+                        "`repro profile`")
+    p.add_argument("--plan-cache", metavar="DIR",
+                   help="persist the compiled plan under DIR (versioned "
+                        "JSON; see docs/PERFORMANCE.md)")
+    p.add_argument("--verify", action="store_true",
+                   help="replay the plan against recursive execution and "
+                        "compare outputs bit-for-bit")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_compile)
+
     p = sub.add_parser("run", help="assemble and execute a FISA program")
     _add_machine_args(p)
     p.add_argument("source")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plan-cache", metavar="DIR",
+                   help="compile through the on-disk plan cache and replay "
+                        "the plan instead of recursing")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="execute the program N times (compiles once and "
+                        "replays when N > 1; default 1)")
     p.set_defaults(fn=cmd_run)
 
     return parser

@@ -16,13 +16,16 @@ validates every decomposition rule end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from .. import obs, ops, telemetry
 from .decomposition import decompose_parallel, shrink_sequential
 from .isa import Instruction, Opcode
 from .machine import Machine
 from .store import TensorStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan imports core)
+    from ..plan import FractalPlan
 
 
 @dataclass
@@ -54,6 +57,28 @@ class ExecutionStats:
     def count(self, level: int) -> None:
         self.instructions_per_level[level] = self.instructions_per_level.get(level, 0) + 1
         self.max_depth_reached = max(self.max_depth_reached, level)
+
+    def merge_plan(self, plan_stats) -> None:
+        """Fold a compiled plan's precomputed stats into this run's counters.
+
+        Replay performs exactly the work the recursion would have, so the
+        plan-time numbers (:class:`repro.plan.PlanStats`) are added verbatim
+        instead of being re-derived step by step on the hot path.
+        """
+        self.kernel_calls += plan_stats.kernel_calls
+        self.lfu_calls += plan_stats.lfu_calls
+        for level, n in plan_stats.instructions_per_level.items():
+            self.instructions_per_level[level] = (
+                self.instructions_per_level.get(level, 0) + n)
+        self.max_depth_reached = max(self.max_depth_reached,
+                                     plan_stats.max_depth_reached)
+        self.fanouts += plan_stats.fanouts
+        self.fanout_parts += plan_stats.fanout_parts
+        self.seq_steps += plan_stats.seq_steps
+        for opcode, n in plan_stats.leaf_ops.items():
+            self.leaf_ops[opcode] = self.leaf_ops.get(opcode, 0) + n
+        self.bytes_read += plan_stats.bytes_read
+        self.bytes_written += plan_stats.bytes_written
 
     def counter_series(self) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int]:
         """Flatten into ``{(name, labels): value}`` for registry mirroring."""
@@ -96,14 +121,46 @@ class FractalExecutor:
 
     # -- public API ---------------------------------------------------------
 
-    def run_program(self, program: Iterable[Instruction]) -> TensorStore:
+    def compile(self, program: Iterable[Instruction], use_cache: bool = True,
+                plan_cache_dir=None) -> "FractalPlan":
+        """Compile ``program`` into a replayable :class:`FractalPlan`.
+
+        With ``use_cache`` (the default) the plan comes from the process-
+        wide signature-keyed cache (and, when ``plan_cache_dir`` is given,
+        the on-disk store) -- repeated compiles of the same shapes on the
+        same machine are near-free.  Pass the result back to
+        :meth:`run_program` (or call :meth:`run_plan`) to skip all
+        decomposition on warm runs.
+        """
+        from ..plan import compile_cached, compile_program
+
+        program = list(program)
+        if self.preflight:
+            from ..analysis import analyze
+
+            analyze(program, name="preflight").raise_if_errors()
+        if use_cache:
+            return compile_cached(self.machine, program,
+                                  apply_sequential=self.apply_sequential,
+                                  disk_dir=plan_cache_dir)
+        return compile_program(self.machine, program,
+                               apply_sequential=self.apply_sequential)
+
+    def run_program(self, program: Iterable[Instruction],
+                    plan: Optional["FractalPlan"] = None) -> TensorStore:
         """Execute an instruction sequence top-down; returns the store.
 
         With ``preflight=True`` the program is first run through the static
         analyzer and an :class:`repro.analysis.AnalysisError` is raised on
         any error-severity diagnostic -- a fast reject instead of a numpy
         failure (or silent divergence) deep inside the recursion.
+
+        With ``plan`` (from :meth:`compile`) the decomposition recursion is
+        skipped entirely and the flattened plan is replayed instead --
+        bit-identical results, compile-once/run-many cost.
         """
+        if plan is not None:
+            return self.run_plan(plan)
         program = list(program)
         if self.preflight:
             from ..analysis import analyze  # deferred: keeps core import-light
@@ -141,12 +198,58 @@ class FractalExecutor:
         self._publish_counters()
         return self.store
 
+    def run_plan(self, plan: "FractalPlan") -> TensorStore:
+        """Replay a compiled plan: the warm path of compile-once/run-many.
+
+        Executes the flattened kernel/LFU steps in their recorded order --
+        no ``shrink_sequential``, no ``decompose_parallel``, no rule
+        searches -- producing results bit-identical to the recursive path.
+        The plan's precomputed stats are merged up front (replay performs
+        exactly that work; on a mid-replay failure the stats overstate the
+        completed portion, which errs on the visible side).
+        """
+        self.stats.merge_plan(plan.stats)
+        tracer = telemetry.get_tracer()
+        log = obs.logger("executor")
+        store = self.store
+        execute = ops.execute
+        with tracer.span("executor.replay", cat="program",
+                         machine=self.machine.name, steps=plan.n_steps):
+            log.info("replay.start", machine=self.machine.name,
+                     steps=plan.n_steps)
+            for step in plan.steps:
+                obs.beat()
+                inst = step.inst
+                try:
+                    outputs = execute(inst.opcode,
+                                      self._read_operands(inst), step.run_attrs)
+                except Exception as err:
+                    log.error("replay.fail", opcode=inst.opcode.value,
+                              level=step.level,
+                              error=f"{type(err).__name__}: {err}")
+                    raise
+                if len(outputs) != len(inst.outputs):
+                    raise RuntimeError(
+                        f"{inst.opcode} produced {len(outputs)} outputs, "
+                        f"expected {len(inst.outputs)}")
+                if step.accumulate:
+                    for region, value in zip(inst.outputs, outputs):
+                        store.write_accumulate(region, value)
+                else:
+                    for region, value in zip(inst.outputs, outputs):
+                        store.write(region, value)
+            log.info("replay.end", kernel_calls=self.stats.kernel_calls)
+        self._publish_counters()
+        return self.store
+
     def _publish_counters(self) -> None:
         """Mirror stats deltas into the telemetry registry (if enabled)."""
         registry = telemetry.get_registry()
         if not registry.enabled:
             return
         current = self.stats.counter_series()
+        current[("store.zero_copy_reads", ())] = self.store.zero_copy_reads
+        current[("store.copied_reads", ())] = self.store.copied_reads
         for (name, labels), value in current.items():
             delta = value - self._published.get((name, labels), 0)
             if delta:
@@ -208,8 +311,26 @@ class FractalExecutor:
         self.stats.lfu_calls += 1
         self._apply(inst)
 
+    def _read_operands(self, inst: Instruction) -> List:
+        """Kernel operands for ``inst``, zero-copy wherever it is safe.
+
+        Inputs are handed to kernels as read-only views into the store
+        (kernels cannot mutate them) unless an input region overlaps one of
+        the instruction's *output* regions -- the aliasing guard: the
+        write-back would then stomp bytes a lazy/kept reference might still
+        read, so those operands are materialized as copies, exactly as the
+        old unconditional-copy path did.
+        """
+        outputs = inst.outputs
+        store = self.store
+        return [
+            store.read(r) if any(r.overlaps(o) for o in outputs)
+            else store.read(r, copy=False)
+            for r in inst.inputs
+        ]
+
     def _apply(self, inst: Instruction) -> None:
-        inputs = [self.store.read(r) for r in inst.inputs]
+        inputs = self._read_operands(inst)
         self.stats.bytes_read += sum(r.nbytes for r in inst.inputs)
         self.stats.bytes_written += sum(r.nbytes for r in inst.outputs)
         attrs = {k: v for k, v in inst.attrs.items()

@@ -16,11 +16,20 @@ from .tensor import Region, Tensor
 
 
 class TensorStore:
-    """Maps logical tensors to backing numpy arrays."""
+    """Maps logical tensors to backing numpy arrays.
+
+    ``zero_copy_reads`` / ``copied_reads`` are plain-int tallies of the
+    :meth:`read` fast and slow paths (mirrored into the telemetry registry
+    as ``store.zero_copy_reads`` / ``store.copied_reads`` by the executor;
+    kept as bare attributes because ``read`` is the hottest line of
+    functional execution).
+    """
 
     def __init__(self):
         self._arrays: Dict[int, np.ndarray] = {}
         self._tensors: Dict[int, Tensor] = {}
+        self.zero_copy_reads: int = 0
+        self.copied_reads: int = 0
 
     def bind(self, tensor: Tensor, array: np.ndarray) -> None:
         """Attach a concrete array (copied) as the tensor's contents."""
@@ -40,40 +49,55 @@ class TensorStore:
     def has(self, tensor: Tensor) -> bool:
         return tensor.uid in self._arrays
 
-    def read(self, region: Region) -> np.ndarray:
-        """The region's contents (a copy, so kernels cannot alias)."""
-        base = self.ensure(region.tensor)
-        slices = tuple(slice(lo, hi) for lo, hi in region.bounds)
-        return base[slices].copy()
+    def read(self, region: Region, copy: bool = True) -> np.ndarray:
+        """The region's contents.
 
-    def write(self, region: Region, value: np.ndarray) -> None:
+        By default a private copy (callers may mutate it freely).  With
+        ``copy=False`` -- the zero-copy fast path on the hottest line of
+        functional execution -- a **read-only view** of the backing array
+        is returned instead: no bytes move, and an in-place-mutating caller
+        trips numpy's writeable guard rather than corrupting the store.
+        Callers must only take the view when the region cannot alias a
+        pending write (see ``FractalExecutor._read_operands``).
+        """
         base = self.ensure(region.tensor)
-        slices = tuple(slice(lo, hi) for lo, hi in region.bounds)
+        view = base[tuple(slice(lo, hi) for lo, hi in region.bounds)]
+        if copy:
+            self.copied_reads += 1
+            return view.copy()
+        view.flags.writeable = False  # fresh view object; base is untouched
+        self.zero_copy_reads += 1
+        return view
+
+    def _coerce(self, region: Region, value, verb: str) -> np.ndarray:
+        """Validate/shape ``value`` for storage into ``region``.
+
+        1-D opcode outputs (sort/merge/count/hsum) are flat; an exact-size
+        reshape is allowed so rank-1 results land in rank-N regions.  Shared
+        by :meth:`write` and :meth:`write_accumulate` (the two copies had
+        drifted apart in their error prefixes only).
+        """
         value = np.asarray(value, dtype=np.float64)
         if value.shape != region.shape:
-            # 1-D opcode outputs (sort/merge/count/hsum) are flat; allow an
-            # exact-size reshape so rank-1 results land in rank-1 regions.
             if value.size == region.nelems:
                 value = value.reshape(region.shape)
             else:
                 raise ValueError(
-                    f"write shape mismatch: region {region.shape}, value {value.shape}"
+                    f"{verb} shape mismatch: region {region.shape}, "
+                    f"value {value.shape}"
                 )
-        base[slices] = value
+        return value
+
+    def write(self, region: Region, value: np.ndarray) -> None:
+        base = self.ensure(region.tensor)
+        slices = tuple(slice(lo, hi) for lo, hi in region.bounds)
+        base[slices] = self._coerce(region, value, "write")
 
     def write_accumulate(self, region: Region, value: np.ndarray) -> None:
         """Add ``value`` into the region (MAC-array style accumulation)."""
         base = self.ensure(region.tensor)
         slices = tuple(slice(lo, hi) for lo, hi in region.bounds)
-        value = np.asarray(value, dtype=np.float64)
-        if value.shape != region.shape:
-            if value.size == region.nelems:
-                value = value.reshape(region.shape)
-            else:
-                raise ValueError(
-                    f"accumulate shape mismatch: region {region.shape}, value {value.shape}"
-                )
-        base[slices] += value
+        base[slices] += self._coerce(region, value, "accumulate")
 
     def tensor(self, uid: int) -> Optional[Tensor]:
         return self._tensors.get(uid)

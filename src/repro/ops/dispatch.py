@@ -105,7 +105,9 @@ def kernel_for(opcode: Opcode):
     try:
         return _KERNELS[opcode]
     except KeyError:
-        raise NotImplementedError(f"no kernel for {opcode}")
+        # `from None`: the KeyError is an implementation detail of the
+        # registry lookup, not context the caller can act on.
+        raise NotImplementedError(f"no kernel for {opcode}") from None
 
 
 def execute(
@@ -118,9 +120,13 @@ def execute(
     -> op nesting) and counted per opcode; when disabled the overhead is a
     single flag check.
     """
+    # Kernels only index/iterate their operands, so the sequence is passed
+    # through as-is -- no per-dispatch ``list(inputs)`` re-materialization
+    # on either the enabled or the disabled path (Merge1D, the one variadic
+    # kernel, makes its own list).
     tracer = telemetry.get_tracer()
     if not tracer.enabled and not telemetry.get_registry().enabled:
-        result = kernel_for(opcode)(list(inputs), attrs or {})
+        result = kernel_for(opcode)(inputs, attrs or {})
         return result if isinstance(result, tuple) else (result,)
     telemetry.get_registry().count("ops.dispatch",
                                    labels={"opcode": opcode.value})
@@ -128,7 +134,7 @@ def execute(
     log.debug("dispatch", opcode=opcode.value, operands=len(inputs))
     with tracer.span(f"op:{opcode.value}", cat="op"):
         try:
-            result = kernel_for(opcode)(list(inputs), attrs or {})
+            result = kernel_for(opcode)(inputs, attrs or {})
         except Exception as err:
             log.error("dispatch.fail", opcode=opcode.value,
                       error=f"{type(err).__name__}: {err}")

@@ -1,0 +1,118 @@
+"""Compile a FISA program's fractal decomposition once, for replay forever.
+
+:func:`compile_program` walks exactly the recursion that
+:class:`repro.core.executor.FractalExecutor` performs -- sequential shrink
+(SD) at each non-leaf node, parallel fan-out (PD) across the FFUs, g(.)
+reductions on the LFUs -- but instead of *executing* kernels it records
+them, producing a :class:`~repro.plan.plan.FractalPlan` whose step order is
+the executor's exact execution order.  Because all FFUs of a node run
+isomorphic sub-instructions (the paper's structural claim), the expensive
+part of functional execution on repeated shapes is precisely this walk;
+compiling it once and replaying the flat plan is the functional analogue
+of the timing simulator's signature memoization.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from .. import obs
+from ..analysis.signatures import external_tensors, program_digest
+from ..core.decomposition import decompose_parallel, shrink_sequential
+from ..core.isa import Instruction
+from ..core.machine import Machine
+from .plan import FractalPlan, PlanStats, PlanStep
+
+
+def machine_fingerprint(machine: Machine, apply_sequential: bool = True) -> Tuple:
+    """Canonical key of everything that shapes functional decomposition.
+
+    Level geometry (fanout + per-level memory capacity) decides every SD
+    and PD decision; ``apply_sequential`` selects the executor mode.  Name
+    and LFU counts are included conservatively so distinct machine
+    configurations never share plans.  Any change here invalidates cached
+    plans -- which is the point.
+    """
+    return (
+        machine.name,
+        tuple((lv.name, lv.fanout, lv.n_lfus, lv.mem_bytes)
+              for lv in machine.levels),
+        bool(apply_sequential),
+    )
+
+
+def fingerprint_digest(fingerprint: Tuple) -> str:
+    """Stable hex digest of a machine fingerprint (disk-cache keys)."""
+    import hashlib
+
+    return hashlib.sha256(repr(fingerprint).encode("utf-8")).hexdigest()
+
+
+def compile_program(
+    machine: Machine,
+    program: Sequence[Instruction],
+    apply_sequential: bool = True,
+) -> FractalPlan:
+    """Flatten the fractal decomposition of ``program`` into a plan.
+
+    The recursion mirrors ``FractalExecutor._run`` exactly; the resulting
+    step list replays to bit-identical results (same kernels, same
+    operands, same order).  Per-level stats are accumulated as the walk
+    proceeds so replays can merge them without re-deriving anything.
+    """
+    program = list(program)
+    t0 = time.perf_counter()
+    stats = PlanStats()
+    steps: List[PlanStep] = []
+
+    def walk(inst: Instruction, level: int) -> None:
+        stats.count(level)
+        spec = machine.level(level)
+        if spec.is_leaf:
+            stats.kernel_calls += 1
+            mnemonic = inst.opcode.value
+            stats.leaf_ops[mnemonic] = stats.leaf_ops.get(mnemonic, 0) + 1
+            stats.bytes_read += sum(r.nbytes for r in inst.inputs)
+            stats.bytes_written += sum(r.nbytes for r in inst.outputs)
+            steps.append(PlanStep.from_instruction("kernel", inst, level))
+            return
+        if apply_sequential:
+            seq = shrink_sequential(inst, spec.mem_bytes)
+            if len(seq) > 1:
+                stats.seq_steps += len(seq)
+        else:
+            seq = [inst]
+        for step in seq:
+            split = decompose_parallel(step, spec.fanout)
+            if split is None:
+                walk(step, level + 1)
+                continue
+            stats.fanouts += 1
+            stats.fanout_parts += len(split.parts)
+            for part in split.parts:
+                walk(part, level + 1)
+            for red in split.reduction:
+                stats.lfu_calls += 1
+                stats.bytes_read += sum(r.nbytes for r in red.inputs)
+                stats.bytes_written += sum(r.nbytes for r in red.outputs)
+                steps.append(PlanStep.from_instruction("lfu", red, level))
+
+    log = obs.logger("plan")
+    log.info("compile.start", machine=machine.name,
+             instructions=len(program))
+    for inst in program:
+        walk(inst, level=0)
+    elapsed = time.perf_counter() - t0
+    plan = FractalPlan(
+        machine_fingerprint=machine_fingerprint(machine, apply_sequential),
+        signature_digest=program_digest(program),
+        steps=steps,
+        stats=stats,
+        externals=external_tensors(program),
+        compile_seconds=elapsed,
+    )
+    log.info("compile.end", steps=len(steps),
+             kernel_calls=stats.kernel_calls, lfu_calls=stats.lfu_calls,
+             seconds=round(elapsed, 6))
+    return plan

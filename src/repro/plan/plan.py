@@ -1,0 +1,332 @@
+"""The replayable fractal plan: a flattened decomposition recursion.
+
+A :class:`FractalPlan` is what the fractal controller hierarchy *would*
+issue for one program on one machine, flattened into the exact ordered
+sequence of leaf kernel calls and LFU reductions that the recursive
+executor performs -- with all regions resolved and all decomposition
+decisions (SD shrink chains, PD fan-outs, g(.) reduction schedules) baked
+in at compile time.  Replaying a plan therefore produces *bit-identical*
+results to recursive execution (same kernels, same operands, same order),
+while skipping every ``shrink_sequential`` / ``decompose_parallel`` call.
+
+Plans are pure data: they can be rebound onto a structurally identical
+program with different tensors (:meth:`FractalPlan.rebind`) and round-
+tripped through a versioned JSON document (:meth:`FractalPlan.to_doc` /
+:func:`plan_from_doc`) for the on-disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.isa import Instruction, Opcode
+from ..core.tensor import DType, Region, Tensor
+
+#: version stamp of the serialized plan document; bump on any layout change
+#: (old entries then simply miss and are recompiled).
+PLAN_SCHEMA = "repro.plan"
+PLAN_SCHEMA_VERSION = 1
+
+#: instruction attributes that steer the executor's write-back, not the
+#: kernel itself; precomputed out of every step's ``run_attrs``.
+_WRITEBACK_ATTRS = ("accumulate", "acc_local_out", "acc_chain")
+
+
+class PlanFormatError(ValueError):
+    """A serialized plan document is corrupt, truncated or incompatible."""
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One flattened execution step: a leaf kernel call or an LFU reduction.
+
+    ``run_attrs`` is ``inst.attrs`` with the executor-internal write-back
+    flags stripped (precomputed so replay does no per-step dict work), and
+    ``accumulate`` is the write-back mode.
+    """
+
+    kind: str  # "kernel" | "lfu"
+    inst: Instruction
+    level: int
+    run_attrs: Dict[str, object]
+    accumulate: bool
+
+    @staticmethod
+    def from_instruction(kind: str, inst: Instruction, level: int) -> "PlanStep":
+        return PlanStep(
+            kind=kind,
+            inst=inst,
+            level=level,
+            run_attrs={k: v for k, v in inst.attrs.items()
+                       if k not in _WRITEBACK_ATTRS},
+            accumulate=bool(inst.attrs.get("accumulate", False)),
+        )
+
+
+@dataclass
+class PlanStats:
+    """Execution statistics precomputed at compile time.
+
+    These are exactly the counters the recursive executor would have
+    accumulated while running the same program, so a replay can merge them
+    into :class:`repro.core.executor.ExecutionStats` in one shot instead of
+    re-deriving them step by step.
+    """
+
+    kernel_calls: int = 0
+    lfu_calls: int = 0
+    instructions_per_level: Dict[int, int] = field(default_factory=dict)
+    max_depth_reached: int = 0
+    fanouts: int = 0
+    fanout_parts: int = 0
+    seq_steps: int = 0
+    leaf_ops: Dict[str, int] = field(default_factory=dict)
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def count(self, level: int) -> None:
+        self.instructions_per_level[level] = (
+            self.instructions_per_level.get(level, 0) + 1)
+        if level > self.max_depth_reached:
+            self.max_depth_reached = level
+
+    def to_doc(self) -> dict:
+        return {
+            "kernel_calls": self.kernel_calls,
+            "lfu_calls": self.lfu_calls,
+            "instructions_per_level": {
+                str(k): v for k, v in self.instructions_per_level.items()},
+            "max_depth_reached": self.max_depth_reached,
+            "fanouts": self.fanouts,
+            "fanout_parts": self.fanout_parts,
+            "seq_steps": self.seq_steps,
+            "leaf_ops": dict(self.leaf_ops),
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    @staticmethod
+    def from_doc(doc: dict) -> "PlanStats":
+        return PlanStats(
+            kernel_calls=int(doc["kernel_calls"]),
+            lfu_calls=int(doc["lfu_calls"]),
+            instructions_per_level={
+                int(k): int(v)
+                for k, v in doc["instructions_per_level"].items()},
+            max_depth_reached=int(doc["max_depth_reached"]),
+            fanouts=int(doc["fanouts"]),
+            fanout_parts=int(doc["fanout_parts"]),
+            seq_steps=int(doc["seq_steps"]),
+            leaf_ops={str(k): int(v) for k, v in doc["leaf_ops"].items()},
+            bytes_read=int(doc["bytes_read"]),
+            bytes_written=int(doc["bytes_written"]),
+        )
+
+
+@dataclass
+class FractalPlan:
+    """A compiled, replayable execution plan for one (program, machine).
+
+    ``externals`` are the program's operand tensors in first-appearance
+    order (the canonical numbering of
+    :func:`repro.analysis.program_signature`); every other tensor
+    referenced by ``steps`` is a compile-created partial.
+    """
+
+    machine_fingerprint: Tuple
+    signature_digest: str
+    steps: List[PlanStep]
+    stats: PlanStats
+    externals: List[Tensor]
+    compile_seconds: float = 0.0
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def external_uids(self) -> Tuple[int, ...]:
+        return tuple(t.uid for t in self.externals)
+
+    # -- rebinding -----------------------------------------------------------
+
+    def rebind(self, externals: Sequence[Tensor]) -> "FractalPlan":
+        """This plan re-expressed over a new set of external tensors.
+
+        ``externals`` must correspond position by position to this plan's
+        ``externals`` (equal shapes and dtypes) -- which is guaranteed when
+        both programs share a :func:`repro.analysis.program_signature`.
+        Partial tensors are re-allocated fresh so two rebound plans never
+        collide in a shared :class:`~repro.core.store.TensorStore`.
+        """
+        if len(externals) != len(self.externals):
+            raise PlanFormatError(
+                f"rebind: expected {len(self.externals)} external tensors, "
+                f"got {len(externals)}")
+        mapping: Dict[int, Tensor] = {}
+        for old, new in zip(self.externals, externals):
+            if old.shape != new.shape or old.dtype != new.dtype:
+                raise PlanFormatError(
+                    f"rebind: tensor mismatch {old.name}{old.shape} vs "
+                    f"{new.name}{new.shape}")
+            mapping[old.uid] = new
+
+        def map_tensor(t: Tensor) -> Tensor:
+            got = mapping.get(t.uid)
+            if got is None:
+                got = Tensor(name=t.name, shape=t.shape, dtype=t.dtype,
+                             space=t.space)
+                mapping[t.uid] = got
+            return got
+
+        def map_region(r: Region) -> Region:
+            return Region(map_tensor(r.tensor), r.bounds)
+
+        steps = []
+        for step in self.steps:
+            inst = step.inst
+            new_inst = Instruction(
+                inst.opcode,
+                tuple(map_region(r) for r in inst.inputs),
+                tuple(map_region(r) for r in inst.outputs),
+                dict(inst.attrs),
+            )
+            steps.append(PlanStep.from_instruction(step.kind, new_inst,
+                                                   step.level))
+        return FractalPlan(
+            machine_fingerprint=self.machine_fingerprint,
+            signature_digest=self.signature_digest,
+            steps=steps,
+            stats=self.stats,
+            externals=list(externals),
+            compile_seconds=self.compile_seconds,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_doc(self) -> dict:
+        """Versioned, JSON-serializable plan document (disk-cache payload)."""
+        tensor_ids: Dict[int, int] = {}
+        tensors: List[dict] = []
+        external_index = {t.uid: i for i, t in enumerate(self.externals)}
+
+        def tid(t: Tensor) -> int:
+            got = tensor_ids.get(t.uid)
+            if got is None:
+                got = len(tensors)
+                tensor_ids[t.uid] = got
+                tensors.append({
+                    "name": t.name,
+                    "shape": list(t.shape),
+                    "dtype": t.dtype.name,
+                    "space": t.space,
+                    "external": external_index.get(t.uid, -1),
+                })
+            return got
+
+        # Register externals first so ids are stable and every external is
+        # present even if (degenerately) unreferenced by any step.
+        for t in self.externals:
+            tid(t)
+        steps = []
+        for step in self.steps:
+            inst = step.inst
+            steps.append({
+                "kind": step.kind,
+                "level": step.level,
+                "opcode": inst.opcode.value,
+                "attrs": dict(inst.attrs),
+                "inputs": [[tid(r.tensor), [list(b) for b in r.bounds]]
+                           for r in inst.inputs],
+                "outputs": [[tid(r.tensor), [list(b) for b in r.bounds]]
+                            for r in inst.outputs],
+            })
+        return {
+            "schema": PLAN_SCHEMA,
+            "version": PLAN_SCHEMA_VERSION,
+            "machine_fingerprint": repr(self.machine_fingerprint),
+            "signature_digest": self.signature_digest,
+            "n_externals": len(self.externals),
+            "tensors": tensors,
+            "steps": steps,
+            "stats": self.stats.to_doc(),
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+_OPCODES = {op.value: op for op in Opcode}
+
+
+def plan_from_doc(doc: dict, externals: Sequence[Tensor],
+                  machine_fingerprint: Optional[Tuple] = None) -> FractalPlan:
+    """Rebuild a plan from its document, bound onto ``externals``.
+
+    Raises :class:`PlanFormatError` on any structural problem -- wrong
+    schema/version, truncated tables, unknown opcodes, shape mismatches --
+    so a corrupt cache entry is reported and skipped, never executed.
+    """
+    try:
+        if doc.get("schema") != PLAN_SCHEMA:
+            raise PlanFormatError(f"not a plan document: {doc.get('schema')!r}")
+        if doc.get("version") != PLAN_SCHEMA_VERSION:
+            raise PlanFormatError(
+                f"plan version {doc.get('version')!r} != "
+                f"{PLAN_SCHEMA_VERSION}")
+        if int(doc["n_externals"]) != len(externals):
+            raise PlanFormatError(
+                f"plan binds {doc['n_externals']} externals, "
+                f"program has {len(externals)}")
+
+        tensors: List[Tensor] = []
+        for entry in doc["tensors"]:
+            ext = int(entry["external"])
+            shape = tuple(int(d) for d in entry["shape"])
+            dtype = DType.from_name(str(entry["dtype"]))
+            if ext >= 0:
+                t = externals[ext]
+                if t.shape != shape or t.dtype != dtype:
+                    raise PlanFormatError(
+                        f"external {ext} mismatch: plan has "
+                        f"{shape}/{entry['dtype']}, program has "
+                        f"{t.shape}/{t.dtype.name}")
+            else:
+                t = Tensor(name=str(entry["name"]), shape=shape, dtype=dtype,
+                           space=str(entry["space"]))
+            tensors.append(t)
+
+        def region(spec) -> Region:
+            tid, bounds = spec
+            return Region(tensors[int(tid)],
+                          tuple((int(lo), int(hi)) for lo, hi in bounds))
+
+        steps: List[PlanStep] = []
+        for raw in doc["steps"]:
+            kind = str(raw["kind"])
+            if kind not in ("kernel", "lfu"):
+                raise PlanFormatError(f"unknown step kind {kind!r}")
+            opcode = _OPCODES.get(str(raw["opcode"]))
+            if opcode is None:
+                raise PlanFormatError(f"unknown opcode {raw['opcode']!r}")
+            inst = Instruction(
+                opcode,
+                tuple(region(s) for s in raw["inputs"]),
+                tuple(region(s) for s in raw["outputs"]),
+                dict(raw["attrs"]),
+            )
+            steps.append(PlanStep.from_instruction(kind, inst,
+                                                   int(raw["level"])))
+        return FractalPlan(
+            machine_fingerprint=(machine_fingerprint
+                                 if machine_fingerprint is not None
+                                 else (doc["machine_fingerprint"],)),
+            signature_digest=str(doc["signature_digest"]),
+            steps=steps,
+            stats=PlanStats.from_doc(doc["stats"]),
+            externals=list(externals),
+            compile_seconds=float(doc.get("compile_seconds", 0.0)),
+        )
+    except PlanFormatError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as err:
+        raise PlanFormatError(f"malformed plan document: "
+                              f"{type(err).__name__}: {err}") from err

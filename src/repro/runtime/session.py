@@ -29,6 +29,32 @@ class InferenceSession:
         self.workload = workload
         self.machine = machine if machine is not None else cambricon_f1()
         self._params: Dict[str, np.ndarray] = {}
+        #: compiled fractal plan (see :meth:`compile`); ``None`` until the
+        #: session is compiled, after which every call replays it.
+        self._plan = None
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile(self, plan_cache_dir=None):
+        """Compile the workload once; subsequent calls replay the plan.
+
+        Walks the fractal decomposition a single time (through the
+        signature-keyed plan cache, so structurally identical sessions
+        share the work; ``plan_cache_dir`` additionally persists plans on
+        disk) and pins the resulting :class:`repro.plan.FractalPlan` on the
+        session.  Replayed calls are bit-identical to recursive execution
+        -- see docs/PERFORMANCE.md for the measured speedups.
+        """
+        from ..plan import compile_cached
+
+        self._plan = compile_cached(self.machine, self.workload.program,
+                                    disk_dir=plan_cache_dir)
+        return self._plan
+
+    @property
+    def plan(self):
+        """The compiled plan, or ``None`` while the session is uncompiled."""
+        return self._plan
 
     # -- parameters -----------------------------------------------------------
 
@@ -101,8 +127,10 @@ class InferenceSession:
             obs.logger("runtime").info("session.call",
                                        workload=self.workload.name,
                                        machine=self.machine.name,
-                                       inputs=sorted(inputs))
-            FractalExecutor(self.machine, store).run_program(self.workload.program)
+                                       inputs=sorted(inputs),
+                                       compiled=self._plan is not None)
+            FractalExecutor(self.machine, store).run_program(
+                self.workload.program, plan=self._plan)
         return {
             full.split(".")[-1]: store.read(t.region())
             for full, t in self.workload.outputs.items()

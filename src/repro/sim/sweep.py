@@ -2,8 +2,10 @@
 
 The evaluation harness repeatedly needs "simulate these workloads on these
 machine variants and tabulate": this module does that once, properly --
-records with consistent fields, optional CSV export, and a formatted
-table.
+records with consistent fields, optional CSV export, a formatted table,
+and (``workers=N``) a process-pool mode that simulates independent
+(machine, variant) cells in parallel while keeping the output order
+deterministic.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.isa import Instruction
 from ..core.machine import Machine
@@ -45,35 +47,105 @@ class SweepRecord:
     preassign_fraction: float
 
 
+def _simulate_cell(
+    m_name: str,
+    machine: Machine,
+    v_name: str,
+    flags: Dict[str, bool],
+    workloads: Sequence[Tuple[str, Sequence[Instruction]]],
+) -> List[SweepRecord]:
+    """Simulate every workload of one (machine, variant) grid cell.
+
+    One :class:`FractalSimulator` per cell (its signature memo warms across
+    the cell's workloads, as in the serial path).  Module-level so the
+    ``workers=N`` process pool can pickle it.
+    """
+    variant_machine = machine.with_features(**flags) if flags else machine
+    sim = FractalSimulator(variant_machine, collect_profiles=False)
+    records: List[SweepRecord] = []
+    for w_name, program in workloads:
+        rep = sim.simulate(list(program))
+        records.append(SweepRecord(
+            machine=m_name,
+            variant=v_name,
+            workload=w_name,
+            total_time=rep.total_time,
+            attained_ops=rep.attained_ops,
+            peak_fraction=rep.peak_fraction(variant_machine.peak_ops),
+            operational_intensity=rep.operational_intensity,
+            root_traffic=rep.root_traffic,
+            ttt_elided_bytes=rep.stats.elided_bytes,
+            preassign_fraction=rep.stats.preassign_fraction,
+        ))
+    return records
+
+
 def run_sweep(
     machines: Mapping[str, Machine],
     workloads: Mapping[str, Sequence[Instruction]],
     variants: Optional[Mapping[str, Dict[str, bool]]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
 ) -> List[SweepRecord]:
-    """Simulate every combination; returns one record per cell."""
+    """Simulate every combination; returns one record per cell.
+
+    With ``workers=N`` (N > 1) the independent (machine, variant) cells
+    are fanned out over a process pool: each worker process builds its own
+    per-cell simulator, and the results are merged back **in grid order**
+    (machines x variants x workloads, exactly as the serial path emits
+    them), so the record list -- and everything derived from it (CSV,
+    tables, committed benchmark artifacts) -- is byte-identical regardless
+    of worker count or completion order.  ``progress`` callbacks fire in
+    the parent as each cell's results are collected.
+    """
     variants = dict(variants) if variants is not None else {"baseline": {}}
-    records: List[SweepRecord] = []
-    for m_name, machine in machines.items():
-        for v_name, flags in variants.items():
-            variant_machine = machine.with_features(**flags) if flags else machine
-            sim = FractalSimulator(variant_machine, collect_profiles=False)
-            for w_name, program in workloads.items():
+    cells = [
+        (m_name, machine, v_name, flags)
+        for m_name, machine in machines.items()
+        for v_name, flags in variants.items()
+    ]
+    workload_items = list(workloads.items())
+
+    if workers is not None and workers > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        records: List[SweepRecord] = []
+        with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+            futures = [
+                pool.submit(_simulate_cell, m_name, machine, v_name, flags,
+                            workload_items)
+                for m_name, machine, v_name, flags in cells
+            ]
+            # Collect in submission (= grid) order; completion order is
+            # irrelevant to the merged output.
+            for (m_name, _machine, v_name, _flags), future in zip(cells, futures):
+                cell_records = future.result()
                 if progress:
-                    progress(f"{m_name}/{v_name}/{w_name}")
-                rep = sim.simulate(list(program))
-                records.append(SweepRecord(
-                    machine=m_name,
-                    variant=v_name,
-                    workload=w_name,
-                    total_time=rep.total_time,
-                    attained_ops=rep.attained_ops,
-                    peak_fraction=rep.peak_fraction(variant_machine.peak_ops),
-                    operational_intensity=rep.operational_intensity,
-                    root_traffic=rep.root_traffic,
-                    ttt_elided_bytes=rep.stats.elided_bytes,
-                    preassign_fraction=rep.stats.preassign_fraction,
-                ))
+                    for w_name, _ in workload_items:
+                        progress(f"{m_name}/{v_name}/{w_name}")
+                records.extend(cell_records)
+        return records
+
+    records = []
+    for m_name, machine, v_name, flags in cells:
+        variant_machine = machine.with_features(**flags) if flags else machine
+        sim = FractalSimulator(variant_machine, collect_profiles=False)
+        for w_name, program in workload_items:
+            if progress:
+                progress(f"{m_name}/{v_name}/{w_name}")
+            rep = sim.simulate(list(program))
+            records.append(SweepRecord(
+                machine=m_name,
+                variant=v_name,
+                workload=w_name,
+                total_time=rep.total_time,
+                attained_ops=rep.attained_ops,
+                peak_fraction=rep.peak_fraction(variant_machine.peak_ops),
+                operational_intensity=rep.operational_intensity,
+                root_traffic=rep.root_traffic,
+                ttt_elided_bytes=rep.stats.elided_bytes,
+                preassign_fraction=rep.stats.preassign_fraction,
+            ))
     return records
 
 

@@ -237,6 +237,37 @@ class TestAssemblerPipeline:
         assert "wrote" in out
 
 
+class TestCompileCommand:
+    def test_compile_prints_plan_stats(self, capsys):
+        code, out = run_cli(capsys, "compile", "mm_fc")
+        assert code == 0
+        assert "steps" in out and "compile time" in out
+        assert "program signature" in out
+
+    def test_compile_verify(self, capsys):
+        code, out = run_cli(capsys, "compile", "mm_fc", "--verify")
+        assert code == 0
+        assert "bit-identical" in out
+
+    def test_compile_plan_cache_persists(self, capsys, tmp_path):
+        cache = tmp_path / "plans"
+        code, out = run_cli(capsys, "compile", "mm_fc",
+                            "--plan-cache", str(cache))
+        assert code == 0
+        assert list(cache.glob("plan-v*.json"))
+
+    def test_compile_unknown_benchmark(self, capsys):
+        assert main(["compile", "nope"]) == 2
+
+    def test_run_repeat_replays_plan(self, capsys, tmp_path):
+        src = tmp_path / "prog.fisa"
+        src.write_text(TestAssemblerPipeline.SOURCE)
+        code, out = run_cli(capsys, "run", str(src), "--repeat", "3")
+        assert code == 0
+        assert "replayed plan" in out
+        assert "shape (6, 5)" in out
+
+
 class TestObservabilityCLI:
     """serve-metrics, events tail, and the --serve/--events/--crash-dir
     flags (docs/OBSERVABILITY.md)."""

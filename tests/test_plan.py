@@ -1,0 +1,433 @@
+"""Fractal plan compiler tests: compile/replay identity, caching, disk
+round-trips, corruption tolerance, and the zero-copy store fast path."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from conftest import tiny_machine
+from repro import (
+    FractalExecutor,
+    Instruction,
+    Opcode,
+    Tensor,
+    TensorStore,
+    cambricon_f1,
+    custom_machine,
+)
+from repro import telemetry
+from repro.analysis import program_digest, program_signature
+from repro.ops import dispatch
+from repro.plan import (
+    DiskPlanCache,
+    PlanCache,
+    PlanFormatError,
+    compile_cached,
+    compile_program,
+    machine_fingerprint,
+    plan_from_doc,
+    plan_key,
+    reset_plan_cache,
+)
+from repro.workloads import profile_benchmark
+
+KB = 1 << 10
+
+pytestmark = pytest.mark.plan
+
+
+# -- program factories --------------------------------------------------------
+
+def _matmul_program(n=96):
+    a, b, c = Tensor("a", (n, n)), Tensor("b", (n, n)), Tensor("c", (n, n))
+    return [Instruction(Opcode.MATMUL, (a.region(), b.region()),
+                        (c.region(),))]
+
+
+def _hsum_program(n=4096):
+    x, y = Tensor("x", (n,)), Tensor("y", (1,))
+    return [Instruction(Opcode.HSUM1D, (x.region(),), (y.region(),))]
+
+
+def _sort_program(n=4096):
+    x, y = Tensor("x", (n,)), Tensor("y", (n,))
+    return [Instruction(Opcode.SORT1D, (x.region(),), (y.region(),))]
+
+
+def _bind_inputs(program, store, rng):
+    """Bind every tensor that is read before it is written."""
+    written = set()
+    for inst in program:
+        for r in inst.inputs:
+            if r.tensor.uid not in written and not store.has(r.tensor):
+                store.bind(r.tensor, rng.normal(size=r.tensor.shape))
+        for r in inst.outputs:
+            written.add(r.tensor.uid)
+
+
+def _run(machine, program, rng_seed=7, plan=None):
+    """Execute ``program`` (optionally replaying ``plan``); returns outputs."""
+    rng = np.random.default_rng(rng_seed)
+    store = TensorStore()
+    _bind_inputs(program, store, rng)
+    FractalExecutor(machine, store).run_program(program, plan=plan)
+    return [store.read(r) for inst in program for r in inst.outputs]
+
+
+# -- compile / replay identity ------------------------------------------------
+
+class TestReplayIdentity:
+    @pytest.mark.parametrize("factory", [
+        _matmul_program, _hsum_program, _sort_program,
+    ])
+    @pytest.mark.parametrize("fanouts", [(2,), (3, 2), (2, 2, 2)])
+    def test_bit_identical(self, factory, fanouts):
+        machine = tiny_machine(fanouts=fanouts,
+                               mems=[64 * KB] + [8 * KB] * len(fanouts))
+        program = factory()
+        plan = compile_program(machine, program)
+        recursive = _run(machine, program)
+        replayed = _run(machine, program, plan=plan)
+        for got, want in zip(replayed, recursive):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("name", ["mm_fc", "matmul"])
+    def test_profile_benchmarks_on_f1(self, name):
+        machine = cambricon_f1()
+        w = profile_benchmark(name)
+        rng = np.random.default_rng(0)
+        bound = list(w.inputs.values()) + list(w.params.values())
+        arrays = {t.uid: rng.normal(size=t.shape) for t in bound}
+        plan = compile_program(machine, w.program)
+        results = []
+        for use_plan in (None, plan):
+            store = TensorStore()
+            for t in bound:
+                store.bind(t, arrays[t.uid])
+            FractalExecutor(machine, store).run_program(w.program,
+                                                        plan=use_plan)
+            results.append({n: store.read(t.region())
+                            for n, t in w.outputs.items()})
+        for out_name in results[0]:
+            np.testing.assert_array_equal(results[0][out_name],
+                                          results[1][out_name])
+
+    def test_plan_contains_lfu_steps(self):
+        plan = compile_program(tiny_machine(), _hsum_program())
+        kinds = {s.kind for s in plan.steps}
+        assert kinds == {"kernel", "lfu"}
+        assert plan.stats.lfu_calls > 0
+
+    def test_replay_stats_match_recursion(self):
+        machine = tiny_machine()
+        program = _hsum_program()
+        plan = compile_program(machine, program)
+
+        rec, rep = FractalExecutor(machine), FractalExecutor(machine)
+        rng = np.random.default_rng(1)
+        _bind_inputs(program, rec.store, rng)
+        _bind_inputs(program, rep.store, np.random.default_rng(1))
+        rec.run_program(program)
+        rep.run_program(program, plan=plan)
+        assert rep.stats.kernel_calls == rec.stats.kernel_calls
+        assert rep.stats.lfu_calls == rec.stats.lfu_calls
+        assert rep.stats.leaf_ops == rec.stats.leaf_ops
+        assert rep.stats.bytes_read == rec.stats.bytes_read
+        assert rep.stats.bytes_written == rec.stats.bytes_written
+        assert (rep.stats.instructions_per_level
+                == rec.stats.instructions_per_level)
+
+    def test_executor_compile_entry_point(self):
+        machine = tiny_machine()
+        program = _matmul_program()
+        executor = FractalExecutor(machine)
+        plan = executor.compile(program, use_cache=False)
+        assert plan.n_steps == plan.stats.kernel_calls + plan.stats.lfu_calls
+
+
+# -- structural signatures ----------------------------------------------------
+
+class TestProgramSignature:
+    def test_same_structure_same_signature(self):
+        assert program_signature(_matmul_program()) \
+            == program_signature(_matmul_program())
+        assert program_digest(_matmul_program()) \
+            == program_digest(_matmul_program())
+
+    def test_shape_change_changes_signature(self):
+        assert program_digest(_matmul_program(96)) \
+            != program_digest(_matmul_program(64))
+
+    def test_sharing_pattern_is_part_of_signature(self):
+        # a@a (shared operand) vs a@b (distinct operands of equal shape)
+        a, b, c = Tensor("a", (8, 8)), Tensor("b", (8, 8)), Tensor("c", (8, 8))
+        shared = [Instruction(Opcode.MATMUL, (a.region(), a.region()),
+                              (c.region(),))]
+        distinct = [Instruction(Opcode.MATMUL, (a.region(), b.region()),
+                                (c.region(),))]
+        assert program_digest(shared) != program_digest(distinct)
+
+
+# -- in-memory cache ----------------------------------------------------------
+
+class TestMemoryCache:
+    def test_hit_returns_same_plan(self):
+        cache = PlanCache()
+        machine = tiny_machine()
+        program = _matmul_program()
+        first = compile_cached(machine, program, memory_cache=cache)
+        second = compile_cached(machine, program, memory_cache=cache)
+        assert second is first
+
+    def test_rebind_on_structurally_identical_program(self):
+        cache = PlanCache()
+        machine = tiny_machine()
+        first = compile_cached(machine, _matmul_program(), memory_cache=cache)
+        fresh = _matmul_program()  # same structure, new tensor uids
+        rebound = compile_cached(machine, fresh, memory_cache=cache)
+        assert rebound is not first
+        assert rebound.signature_digest == first.signature_digest
+        # ... and the rebound plan replays correctly over the new tensors.
+        recursive = _run(machine, fresh)
+        replayed = _run(machine, fresh, plan=rebound)
+        for got, want in zip(replayed, recursive):
+            np.testing.assert_array_equal(got, want)
+
+    def test_machine_fingerprint_invalidates(self):
+        program = _matmul_program()
+        narrow = tiny_machine(fanouts=(2,), mems=(64 * KB, 8 * KB))
+        wide = tiny_machine(fanouts=(4,), mems=(64 * KB, 8 * KB))
+        assert plan_key(narrow, program) != plan_key(wide, program)
+        cache = PlanCache()
+        p1 = compile_cached(narrow, program, memory_cache=cache)
+        p2 = compile_cached(wide, program, memory_cache=cache)
+        assert p1 is not p2
+        assert len(cache) == 2
+
+    def test_program_change_invalidates(self):
+        cache = PlanCache()
+        machine = tiny_machine()
+        compile_cached(machine, _matmul_program(96), memory_cache=cache)
+        compile_cached(machine, _matmul_program(64), memory_cache=cache)
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        machine = tiny_machine()
+        for n in (32, 48, 64):
+            compile_cached(machine, _matmul_program(n), memory_cache=cache)
+        assert len(cache) == 2
+
+    def test_counters_published(self):
+        reset_plan_cache()
+        machine = tiny_machine()
+        program = _matmul_program()
+        with telemetry.enabled_scope() as (registry, _tracer):
+            telemetry.reset()
+            compile_cached(machine, program)
+            compile_cached(machine, program)
+            misses = registry.value("plan.compile_misses")
+            hits = registry.value("plan.compile_hits", {"tier": "memory"})
+        reset_plan_cache()
+        assert misses == 1
+        assert hits == 1
+
+
+# -- disk cache ---------------------------------------------------------------
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        machine = tiny_machine()
+        program = _hsum_program()
+        cold = compile_cached(machine, program, disk_dir=tmp_path,
+                              memory_cache=PlanCache())
+        assert list(tmp_path.glob("plan-v*.json"))
+        # A fresh memory cache forces the disk tier.
+        warm = compile_cached(machine, program, disk_dir=tmp_path,
+                              memory_cache=PlanCache())
+        assert warm.n_steps == cold.n_steps
+        assert warm.signature_digest == cold.signature_digest
+        recursive = _run(machine, program)
+        replayed = _run(machine, program, plan=warm)
+        for got, want in zip(replayed, recursive):
+            np.testing.assert_array_equal(got, want)
+
+    def test_doc_round_trip_preserves_steps(self):
+        machine = tiny_machine()
+        program = _sort_program()
+        plan = compile_program(machine, program)
+        doc = json.loads(json.dumps(plan.to_doc()))
+        back = plan_from_doc(doc, plan.externals,
+                             machine_fingerprint=plan.machine_fingerprint)
+        assert back.n_steps == plan.n_steps
+        assert [s.kind for s in back.steps] == [s.kind for s in plan.steps]
+        assert back.stats.to_doc() == plan.stats.to_doc()
+
+    @pytest.mark.parametrize("payload", [
+        "{ truncated",                     # invalid JSON
+        "[]",                              # wrong top-level type
+        json.dumps({"schema": "other", "version": 1}),
+        json.dumps({"schema": "repro.plan", "version": 999}),
+    ])
+    def test_corrupt_entries_warn_and_recompile(self, tmp_path, payload):
+        machine = tiny_machine()
+        program = _matmul_program()
+        disk = DiskPlanCache(tmp_path)
+        fp = machine_fingerprint(machine)
+        digest = program_digest(program)
+        # Poison the exact cache slot, then compile through it.
+        tmp_path.mkdir(exist_ok=True)
+        disk._path(fp, digest).parent.mkdir(parents=True, exist_ok=True)
+        disk._path(fp, digest).write_text(payload, encoding="utf-8")
+        with pytest.warns(RuntimeWarning):
+            plan = compile_cached(machine, program, disk_dir=tmp_path,
+                                  memory_cache=PlanCache())
+        assert plan.n_steps > 0  # recompiled, not crashed
+        recursive = _run(machine, program)
+        replayed = _run(machine, program, plan=plan)
+        for got, want in zip(replayed, recursive):
+            np.testing.assert_array_equal(got, want)
+
+    def test_truncated_valid_prefix_is_rejected(self, tmp_path):
+        machine = tiny_machine()
+        program = _hsum_program()
+        plan = compile_program(machine, program)
+        disk = DiskPlanCache(tmp_path)
+        fp = machine_fingerprint(machine)
+        digest = program_digest(program)
+        disk.store(fp, digest, plan)
+        path = disk._path(fp, digest)
+        path.write_text(path.read_text(encoding="utf-8")[:64],
+                        encoding="utf-8")
+        with pytest.warns(RuntimeWarning):
+            assert disk.load(fp, digest, plan.externals) is None
+
+    def test_plan_from_doc_rejects_external_mismatch(self):
+        machine = tiny_machine()
+        program = _matmul_program()
+        plan = compile_program(machine, program)
+        doc = plan.to_doc()
+        with pytest.raises(PlanFormatError):
+            plan_from_doc(doc, plan.externals[:-1])  # wrong arity
+        wrong = [Tensor(t.name, (t.shape[0] + 1,) + t.shape[1:], t.dtype)
+                 for t in plan.externals]
+        with pytest.raises(PlanFormatError):
+            plan_from_doc(doc, wrong)  # wrong shapes
+
+    def test_unwritable_directory_is_soft(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file in the way", encoding="utf-8")
+        machine = tiny_machine()
+        program = _matmul_program()
+        with pytest.warns(RuntimeWarning):
+            plan = compile_cached(machine, program, disk_dir=target,
+                                  memory_cache=PlanCache())
+        assert plan.n_steps > 0
+
+
+# -- zero-copy store reads ----------------------------------------------------
+
+class TestZeroCopyReads:
+    def test_view_is_read_only(self):
+        store = TensorStore()
+        t = Tensor("x", (8,))
+        store.bind(t, np.arange(8.0))
+        view = store.read(t.region(), copy=False)
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+        assert store.read(t.region())[0] == 0.0
+        assert store.zero_copy_reads == 1
+
+    def test_default_read_still_copies(self):
+        store = TensorStore()
+        t = Tensor("x", (8,))
+        store.bind(t, np.zeros(8))
+        arr = store.read(t.region())
+        arr[:] = 42.0  # caller-side mutation must not leak into the store
+        assert store.read(t.region()).sum() == 0.0
+        assert store.copied_reads >= 1
+
+    def test_mutating_kernel_cannot_corrupt_store(self, monkeypatch):
+        """An in-place kernel trips numpy's writeable guard, loudly."""
+        def evil_add(ins, _attrs):
+            ins[0] += 1.0  # in-place mutation of a zero-copy operand
+            return ins[0]
+
+        monkeypatch.setitem(dispatch._KERNELS, Opcode.ADD1D, evil_add)
+        a, b, c = Tensor("a", (16,)), Tensor("b", (16,)), Tensor("c", (16,))
+        inst = Instruction(Opcode.ADD1D, (a.region(), b.region()),
+                           (c.region(),))
+        store = TensorStore()
+        store.bind(a, np.zeros(16))
+        store.bind(b, np.ones(16))
+        executor = FractalExecutor(tiny_machine(), store)
+        with pytest.raises(ValueError, match="read-only"):
+            executor.run(inst)
+        # The backing array is untouched despite the attempted mutation.
+        assert store.read(a.region()).sum() == 0.0
+
+    def test_executor_counts_zero_copy_reads(self):
+        machine = tiny_machine()
+        program = _matmul_program()
+        store = TensorStore()
+        _bind_inputs(program, store, np.random.default_rng(3))
+        FractalExecutor(machine, store).run_program(program)
+        assert store.zero_copy_reads > 0
+
+    def test_aliasing_input_takes_copy_path(self):
+        """In-place ACT1D (output region == input region) must copy."""
+        t = Tensor("x", (64,))
+        inst = Instruction(Opcode.ACT1D, (t.region(),), (t.region(),),
+                           {"func": "relu"})
+        store = TensorStore()
+        store.bind(t, np.linspace(-1, 1, 64))
+        executor = FractalExecutor(tiny_machine(), store)
+        executor.run(inst)
+        np.testing.assert_array_equal(
+            store.read(t.region()),
+            np.maximum(np.linspace(-1, 1, 64), 0.0))
+        assert store.copied_reads > 0
+
+    def test_zero_copy_counter_published(self):
+        machine = tiny_machine()
+        program = _matmul_program()
+        with telemetry.enabled_scope() as (registry, _tracer):
+            telemetry.reset()
+            store = TensorStore()
+            _bind_inputs(program, store, np.random.default_rng(5))
+            FractalExecutor(machine, store).run_program(program)
+            published = registry.value("store.zero_copy_reads")
+        assert published > 0
+        assert published == store.zero_copy_reads
+
+
+# -- session integration ------------------------------------------------------
+
+class TestSessionCompile:
+    def _session(self):
+        from repro.runtime.session import InferenceSession
+        from repro.workloads import profile_benchmark
+
+        w = profile_benchmark("mm_fc")
+        return InferenceSession(w, machine=custom_machine(
+            "sess", [2], [256 * KB, 64 * KB], [1e9, 1e9]))
+
+    def test_compiled_call_matches_uncompiled(self):
+        plain, compiled = self._session(), self._session()
+        for s in (plain, compiled):
+            s.initialize_parameters(seed=3)
+        compiled.compile()
+        assert compiled.plan is not None
+        rng = np.random.default_rng(11)
+        inputs = {short: rng.normal(size=t.shape)
+                  for short, t in
+                  ((f.split(".")[-1], t)
+                   for f, t in plain.workload.inputs.items())}
+        want = plain(**inputs)
+        got = compiled(**inputs)
+        assert sorted(got) == sorted(want)
+        for name in want:
+            np.testing.assert_array_equal(got[name], want[name])

@@ -63,6 +63,30 @@ class TestRunSweep:
         assert FEATURE_VARIANTS["no-optimizations"]["use_ttt"] is False
 
 
+class TestParallelSweep:
+    def test_workers_match_serial_byte_identical(self):
+        variants = {"baseline": {}, "no-ttt": {"use_ttt": False}}
+        serial = run_sweep(_machines(), _workloads(), variants)
+        parallel = run_sweep(_machines(), _workloads(), variants, workers=2)
+        assert parallel == serial  # same records, same grid order
+        assert to_csv(parallel) == to_csv(serial)
+
+    def test_workers_progress_fires_per_cell_in_grid_order(self):
+        seen = []
+        run_sweep({"small": _machines()["small"]}, _workloads(),
+                  {"baseline": {}, "no-ttt": {"use_ttt": False}},
+                  progress=seen.append, workers=2)
+        assert seen == [
+            "small/baseline/mm64", "small/baseline/mm128",
+            "small/no-ttt/mm64", "small/no-ttt/mm128",
+        ]
+
+    def test_workers_one_falls_back_to_serial(self):
+        records = run_sweep({"small": _machines()["small"]}, _workloads(),
+                            workers=1)
+        assert len(records) == 2
+
+
 class TestExport:
     def test_csv_round_trip(self):
         records = run_sweep({"small": _machines()["small"]}, _workloads())

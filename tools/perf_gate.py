@@ -77,6 +77,12 @@ def main(argv=None) -> int:
                              "and exit 0")
     parser.add_argument("--json", action="store_true",
                         help="emit the machine-readable diff")
+    parser.add_argument("--min-replay-speedup", type=float, default=1.0,
+                        metavar="X",
+                        help="floor for the warm-replay speedup recorded in "
+                             "notes.plan_microbench (cold recursive s / warm "
+                             "replay s); exit 3 below it.  Default 1.0 = "
+                             "replay must never be slower; CI may demand 2.0")
     args = parser.parse_args(argv)
 
     from repro.perf import DiffConfig, diff_documents
@@ -121,6 +127,22 @@ def main(argv=None) -> int:
         print(json.dumps(result.to_json_obj(), indent=2))
     else:
         print(result.format_table())
+
+    # Plan-replay gate: wall-clock on this host (not diffed against the
+    # baseline document, which may come from different hardware) -- the
+    # candidate's own cold-recursive / warm-replay ratio must clear the
+    # floor.  Reports predating the plan compiler simply skip the gate.
+    micro = (candidate.get("notes") or {}).get("plan_microbench") or {}
+    speedup = micro.get("speedup")
+    if speedup is not None:
+        verdict = "ok" if speedup >= args.min_replay_speedup else "REGRESSED"
+        print(f"plan replay speedup: {speedup:.2f}x "
+              f"(cold {micro.get('cold_recursive_s', 0) * 1e3:.1f} ms -> warm "
+              f"{micro.get('warm_replay_s', 0) * 1e3:.1f} ms on "
+              f"{micro.get('benchmark', '?')}; floor "
+              f"{args.min_replay_speedup:.2f}x) {verdict}")
+        if speedup < args.min_replay_speedup:
+            return 3
     return result.exit_code
 
 
