@@ -23,10 +23,16 @@ these.  See ``docs/ANALYSIS.md`` for the full code table.
 from .defuse import check_defuse
 from .diagnostics import (
     CODES,
+    DIAG_SCHEMA,
+    DIAG_SCHEMA_VERSION,
     AnalysisError,
     AnalysisResult,
     Diagnostic,
     Severity,
+    diagnostic_from_doc,
+    diagnostics_document,
+    result_from_doc,
+    results_from_document,
 )
 from .hazards import check_hazards
 from .pipeline import analyze, analyze_workload
@@ -39,6 +45,8 @@ from .signatures import (
 
 __all__ = [
     "CODES",
+    "DIAG_SCHEMA",
+    "DIAG_SCHEMA_VERSION",
     "AnalysisError",
     "AnalysisResult",
     "Diagnostic",
@@ -48,7 +56,11 @@ __all__ = [
     "check_defuse",
     "check_hazards",
     "check_types",
+    "diagnostic_from_doc",
+    "diagnostics_document",
     "external_tensors",
     "program_digest",
     "program_signature",
+    "result_from_doc",
+    "results_from_document",
 ]

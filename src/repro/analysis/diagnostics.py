@@ -37,6 +37,9 @@ class Severity(enum.Enum):
 #: F00x  shape/dtype type-checker      (per-opcode operand signatures)
 #: F02x  def-use / liveness            (write-before-read discipline)
 #: F03x  decomposition hazard detector (Region overlap races)
+#: P1xx  compiled-plan dataflow analyzer (repro.plan.analysis) -- findings
+#:       over *flattened* plan steps, where ``index`` is the step index in
+#:       ``FractalPlan.steps``, not a program instruction index.
 CODES: Dict[str, Tuple[Severity, str]] = {
     # -- type checker ------------------------------------------------------
     "F001": (Severity.ERROR, "wrong operand count for opcode"),
@@ -57,7 +60,23 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "F031": (Severity.ERROR, "overlapping writes never read in between"),
     "F032": (Severity.WARNING, "write-after-write with intervening read"),
     "F033": (Severity.WARNING, "write-after-read of an overlapping region"),
+    # -- plan dataflow analyzer -------------------------------------------
+    "P100": (Severity.ERROR,
+             "write-write race between unordered isomorphic plan steps"),
+    "P110": (Severity.WARNING,
+             "operand aliases an output of its own step (runtime copy forced)"),
+    "P120": (Severity.WARNING,
+             "dead plan step (outputs never consumed, not externally visible)"),
+    "P130": (Severity.ERROR,
+             "read of a partially-accumulated region (accumulate-ordering "
+             "hazard)"),
 }
+
+#: Schema stamp of the machine-readable diagnostic record emitted by
+#: ``repro lint --json`` / ``repro plan-lint --json`` and stored inside
+#: serialized plan documents.  Bump on any layout change.
+DIAG_SCHEMA = "repro.diag"
+DIAG_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -88,6 +107,40 @@ class Diagnostic:
 
     def __str__(self) -> str:
         return self.format()
+
+    def to_doc(self) -> dict:
+        """JSON-serializable record (the ``repro.diag`` schema's item)."""
+        doc = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "index": self.index,
+            "message": self.message,
+        }
+        if self.opcode:
+            doc["opcode"] = self.opcode
+        if self.loc is not None:
+            doc["loc"] = {"file": self.loc.file, "line": self.loc.line,
+                          "column": self.loc.column}
+        return doc
+
+
+def diagnostic_from_doc(doc: dict) -> Diagnostic:
+    """Rebuild a :class:`Diagnostic` from its :meth:`Diagnostic.to_doc`
+    record.  Raises :class:`ValueError`/:class:`KeyError` on malformed
+    input (callers treat that as a corrupt document)."""
+    loc = None
+    if "loc" in doc and doc["loc"] is not None:
+        raw = doc["loc"]
+        loc = SourceLoc(file=str(raw["file"]), line=int(raw["line"]),
+                        column=int(raw["column"]))
+    return Diagnostic(
+        code=str(doc["code"]),
+        message=str(doc["message"]),
+        severity=Severity(str(doc["severity"])),
+        index=int(doc["index"]),
+        loc=loc,
+        opcode=str(doc.get("opcode", "")),
+    )
 
 
 def diag(
@@ -153,6 +206,55 @@ class AnalysisResult:
     def raise_if_errors(self) -> None:
         if not self.ok:
             raise AnalysisError(self)
+
+    def to_doc(self) -> dict:
+        """One result entry of the ``repro.diag`` JSON record."""
+        return {
+            "name": self.program_name,
+            "instructions": self.instructions,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_doc() for d in self.diagnostics],
+        }
+
+
+def result_from_doc(doc: dict) -> AnalysisResult:
+    """Rebuild an :class:`AnalysisResult` from :meth:`AnalysisResult.to_doc`."""
+    return AnalysisResult(
+        program_name=str(doc["name"]),
+        diagnostics=[diagnostic_from_doc(d) for d in doc["diagnostics"]],
+        instructions=int(doc["instructions"]),
+    )
+
+
+def diagnostics_document(results: "list[AnalysisResult]",
+                         tool: str = "lint") -> dict:
+    """The stable, schema-versioned record ``repro lint --json`` and
+    ``repro plan-lint --json`` print: a header plus one entry per analyzed
+    artifact.  Consumers should check ``schema``/``version`` before
+    trusting the layout; :func:`results_from_document` is the inverse."""
+    return {
+        "schema": DIAG_SCHEMA,
+        "version": DIAG_SCHEMA_VERSION,
+        "tool": tool,
+        "results": [r.to_doc() for r in results],
+    }
+
+
+def results_from_document(doc: dict) -> "list[AnalysisResult]":
+    """Parse a :func:`diagnostics_document` record back into results.
+
+    Raises :class:`ValueError` when the schema stamp is missing or the
+    version is unknown, so consumers fail loudly on incompatible input.
+    """
+    if doc.get("schema") != DIAG_SCHEMA:
+        raise ValueError(
+            f"not a {DIAG_SCHEMA} document: schema={doc.get('schema')!r}")
+    if doc.get("version") != DIAG_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported {DIAG_SCHEMA} version {doc.get('version')!r} "
+            f"(expected {DIAG_SCHEMA_VERSION})")
+    return [result_from_doc(r) for r in doc["results"]]
 
 
 class AnalysisError(ValueError):

@@ -16,11 +16,15 @@ Commands::
     disasm    prog.bin              disassemble a FISA binary
     lint      prog.fisa             static analysis (shape/def-use/hazards)
     compile   mm_fc                 compile a fractal plan; print its stats
+    plan-lint mm_fc                 dataflow-analyze a compiled plan (P1xx)
     run       prog.fisa             assemble + execute with random inputs
 
 ``simulate``, ``timeline`` and ``profile`` accept ``--json`` to emit the
 schema-versioned RunReport document instead of human text (see
-docs/TELEMETRY.md).  ``diff`` implements the perf-gate exit-code
+docs/TELEMETRY.md).  ``lint`` and ``plan-lint`` accept ``--json`` to emit
+the shared schema-versioned ``repro.diag`` diagnostics document and use
+the same exit-code contract: 0 = clean, 1 = findings gate, 2 = the input
+could not be parsed.  ``diff`` implements the perf-gate exit-code
 contract: 0 = pass, 2 = usage/IO error, 3 = gated regression.
 
 ``profile`` and ``simulate`` take the observability flags ``--serve PORT``
@@ -337,33 +341,47 @@ def cmd_lint(args) -> int:
     """Statically analyze FISA programs; CI-friendly exit codes.
 
     0 = clean (warnings allowed unless --strict), 1 = analyzer errors,
-    2 = parse failure.
+    2 = parse failure.  With ``--json``, emits the schema-versioned
+    ``repro.diag`` diagnostics document (shared with ``plan-lint``)
+    instead of human text; parse failures go to stderr.
     """
-    from .analysis import analyze_workload
+    import json
+
+    from .analysis import analyze_workload, diagnostics_document
     from .frontend import AssemblyError, assemble
 
+    as_json = getattr(args, "json", False)
+    results = []
     worst = 0
     for source in args.sources:
         try:
             with open(source, encoding="utf-8") as f:
                 w = assemble(f.read(), name=source, lint=False)
         except AssemblyError as err:
-            print(f"{source}: parse error: {err}")
+            print(f"{source}: parse error: {err}",
+                  file=sys.stderr if as_json else sys.stdout)
             worst = max(worst, 2)
             continue
         except OSError as err:
-            print(f"{source}: {err}")
+            print(f"{source}: {err}",
+                  file=sys.stderr if as_json else sys.stdout)
             worst = max(worst, 2)
             continue
         result = analyze_workload(w)
+        result.program_name = source
+        results.append(result)
         gating = result.errors if not args.strict else result.diagnostics
-        for d in result.diagnostics:
-            print(d.format())
-        print(f"{source}: {len(result.errors)} error(s), "
-              f"{len(result.warnings)} warning(s), "
-              f"{result.instructions} instruction(s)")
+        if not as_json:
+            for d in result.diagnostics:
+                print(d.format())
+            print(f"{source}: {len(result.errors)} error(s), "
+                  f"{len(result.warnings)} warning(s), "
+                  f"{result.instructions} instruction(s)")
         if gating:
             worst = max(worst, 1)
+    if as_json:
+        print(json.dumps(diagnostics_document(results, tool="lint"),
+                         indent=2))
     return worst
 
 
@@ -679,6 +697,112 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _plan_externals_from_doc(doc: dict) -> list:
+    """Reconstruct a plan document's external tensors from its tensor
+    table (entries with ``external >= 0``, in external order)."""
+    from .core.tensor import DType, Tensor
+    from .plan import PlanFormatError
+
+    n = int(doc["n_externals"])
+    externals: list = [None] * n
+    for entry in doc["tensors"]:
+        ext = int(entry["external"])
+        if ext < 0:
+            continue
+        if ext >= n or externals[ext] is not None:
+            raise PlanFormatError(f"bad external index {ext}")
+        externals[ext] = Tensor(
+            name=str(entry["name"]),
+            shape=tuple(int(d) for d in entry["shape"]),
+            dtype=DType.from_name(str(entry["dtype"])),
+            space=str(entry["space"]))
+    if any(t is None for t in externals):
+        raise PlanFormatError("tensor table is missing external entries")
+    return externals
+
+
+def cmd_plan_lint(args) -> int:
+    """Dataflow-analyze a compiled fractal plan; CI-friendly exit codes.
+
+    The target is either a profiling benchmark name (compiled for
+    ``--machine``, through the optional ``--plan-cache``) or a path to a
+    serialized plan JSON document.  Exit codes match ``repro lint``:
+    **0** clean (warnings allowed unless ``--strict``), **1** P1xx errors
+    (any finding with ``--strict``), **2** unknown benchmark or a corrupt
+    plan document (including one whose stored analysis products fail
+    re-verification).
+    """
+    import json
+
+    from .analysis import diagnostics_document
+    from .plan import (PlanFormatError, analyze_plan, compile_cached,
+                       plan_from_doc, verify_plan)
+
+    target = args.target
+    path = Path(target)
+    if target.endswith(".json") or path.exists():
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"plan-lint: cannot read {target}: {err}", file=sys.stderr)
+            return 2
+        try:
+            if not isinstance(doc, dict):
+                raise PlanFormatError(
+                    f"plan document is {type(doc).__name__}, expected object")
+            plan = plan_from_doc(doc, _plan_externals_from_doc(doc))
+            # Stored products must match a fresh analysis of the stored
+            # steps -- a mismatch means the file was tampered with or
+            # written by an incompatible analyzer: corrupt, exit 2.
+            verify_plan(plan)
+        except (PlanFormatError, ValueError, KeyError, TypeError) as err:
+            print(f"plan-lint: corrupt plan {target}: {err}", file=sys.stderr)
+            return 2
+        name = target
+    else:
+        machine = _machine(args)
+        from .workloads import profile_benchmark, resolve_profile_benchmark
+
+        try:
+            target = resolve_profile_benchmark(target)
+        except KeyError as err:
+            print(f"plan-lint: {err.args[0]}", file=sys.stderr)
+            return 2
+        w = profile_benchmark(target)
+        plan = compile_cached(machine, w.program, disk_dir=args.plan_cache)
+        name = f"{target}@{machine.name}"
+
+    analysis = analyze_plan(plan)
+    result = analysis.result
+    result.program_name = name
+    gating = result.diagnostics if args.strict else result.errors
+
+    if getattr(args, "json", False):
+        doc = diagnostics_document([result], tool="plan-lint")
+        doc["plan"] = {
+            "steps": plan.n_steps,
+            "signature_digest": plan.signature_digest,
+            "fusion_groups": len(analysis.fusion_groups),
+            "fused_steps": analysis.fused_steps,
+            "safe_zero_copy_steps": analysis.n_safe_zero_copy,
+            "peak_live_bytes": analysis.peak_live_bytes,
+        }
+        print(json.dumps(doc, indent=2))
+        return 1 if gating else 0
+
+    for d in result.diagnostics:
+        print(d.format())
+    print(f"{name}: {len(result.errors)} error(s), "
+          f"{len(result.warnings)} warning(s) in {plan.n_steps} step(s)")
+    print(f"  fusion groups       {len(analysis.fusion_groups):12d} "
+          f"covering {analysis.fused_steps}/{plan.n_steps} steps")
+    print(f"  safe zero-copy      {analysis.n_safe_zero_copy:12d}"
+          f"/{plan.n_steps} steps")
+    print(f"  peak live bytes     {analysis.peak_live_bytes:12d}")
+    return 1 if gating else 0
+
+
 def cmd_run(args) -> int:
     from .core.executor import FractalExecutor
     from .core.store import TensorStore
@@ -776,7 +900,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="one or more .fisa source files")
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as errors for the exit code")
+    p.add_argument("--json", action="store_true",
+                   help="emit the schema-versioned repro.diag diagnostics "
+                        "document instead of human text")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("plan-lint",
+                       help="dataflow-analyze a compiled fractal plan "
+                            "(P1xx races, dead steps, fusion legality)")
+    _add_machine_args(p)
+    p.add_argument("target",
+                   help="profiling benchmark name (e.g. mm_fc, same names "
+                        "as `repro profile`) or a serialized plan JSON file")
+    p.add_argument("--plan-cache", metavar="DIR",
+                   help="compile through the on-disk plan cache under DIR")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors for the exit code")
+    p.add_argument("--json", action="store_true",
+                   help="emit the schema-versioned repro.diag diagnostics "
+                        "document (plus a plan summary section)")
+    p.set_defaults(fn=cmd_plan_lint)
 
     p = sub.add_parser("profile", help="run + simulate a benchmark with "
                                        "telemetry; write a RunReport JSON")

@@ -221,8 +221,16 @@ class FractalExecutor:
                 obs.beat()
                 inst = step.inst
                 try:
-                    outputs = execute(inst.opcode,
-                                      self._read_operands(inst), step.run_attrs)
+                    if step.safe_zero_copy:
+                        # Statically proven alias-free by the plan analyzer
+                        # (repro.plan.analysis): skip the runtime overlap
+                        # scan and hand the kernel read-only views directly.
+                        operands = [store.read(r, copy=False)
+                                    for r in inst.inputs]
+                        store.static_zero_copy += len(operands)
+                    else:
+                        operands = self._read_operands(inst)
+                    outputs = execute(inst.opcode, operands, step.run_attrs)
                 except Exception as err:
                     log.error("replay.fail", opcode=inst.opcode.value,
                               level=step.level,
@@ -239,6 +247,10 @@ class FractalExecutor:
                     for region, value in zip(inst.outputs, outputs):
                         store.write(region, value)
             log.info("replay.end", kernel_calls=self.stats.kernel_calls)
+        registry = telemetry.get_registry()
+        if registry.enabled and plan.stats.peak_live_bytes:
+            registry.gauge("plan.peak_live_bytes").set_max(
+                plan.stats.peak_live_bytes)
         self._publish_counters()
         return self.store
 
@@ -250,6 +262,7 @@ class FractalExecutor:
         current = self.stats.counter_series()
         current[("store.zero_copy_reads", ())] = self.store.zero_copy_reads
         current[("store.copied_reads", ())] = self.store.copied_reads
+        current[("store.static_zero_copy", ())] = self.store.static_zero_copy
         for (name, labels), value in current.items():
             delta = value - self._published.get((name, labels), 0)
             if delta:

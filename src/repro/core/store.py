@@ -22,7 +22,11 @@ class TensorStore:
     :meth:`read` fast and slow paths (mirrored into the telemetry registry
     as ``store.zero_copy_reads`` / ``store.copied_reads`` by the executor;
     kept as bare attributes because ``read`` is the hottest line of
-    functional execution).
+    functional execution).  ``static_zero_copy`` counts operand reads whose
+    runtime aliasing-guard scan was skipped entirely because the plan
+    analyzer proved the step alias-free (``PlanStep.safe_zero_copy``);
+    the executor bumps it, the store just hosts the tally next to its
+    siblings.
     """
 
     def __init__(self):
@@ -30,6 +34,7 @@ class TensorStore:
         self._tensors: Dict[int, Tensor] = {}
         self.zero_copy_reads: int = 0
         self.copied_reads: int = 0
+        self.static_zero_copy: int = 0
 
     def bind(self, tensor: Tensor, array: np.ndarray) -> None:
         """Attach a concrete array (copied) as the tensor's contents."""

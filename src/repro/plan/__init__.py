@@ -26,6 +26,15 @@ See docs/PERFORMANCE.md for the lifecycle, cache keys and invalidation
 rules, and the recorded warm-replay speedups.
 """
 
+from .analysis import (
+    ANALYSIS_VERSION,
+    InterferenceEdge,
+    InterferenceGraph,
+    PlanAnalysis,
+    analyze_plan,
+    annotate_plan,
+    verify_plan,
+)
 from .cache import (
     DiskPlanCache,
     PlanCache,
@@ -47,14 +56,20 @@ from .plan import (
 )
 
 __all__ = [
+    "ANALYSIS_VERSION",
     "PLAN_SCHEMA",
     "PLAN_SCHEMA_VERSION",
     "DiskPlanCache",
     "FractalPlan",
+    "InterferenceEdge",
+    "InterferenceGraph",
+    "PlanAnalysis",
     "PlanCache",
     "PlanFormatError",
     "PlanStats",
     "PlanStep",
+    "analyze_plan",
+    "annotate_plan",
     "compile_cached",
     "compile_program",
     "default_cache_dir",

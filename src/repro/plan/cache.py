@@ -31,6 +31,7 @@ from .. import obs, telemetry
 from ..analysis.signatures import external_tensors, program_digest
 from ..core.isa import Instruction
 from ..core.machine import Machine
+from .analysis import verify_plan
 from .compiler import compile_program, fingerprint_digest, machine_fingerprint
 from .plan import FractalPlan, PlanFormatError, plan_from_doc
 
@@ -123,8 +124,17 @@ class DiskPlanCache:
                     f"plan document is {type(doc).__name__}, expected object")
             if doc.get("signature_digest") != digest:
                 raise PlanFormatError("signature digest mismatch")
-            return plan_from_doc(doc, externals,
+            plan = plan_from_doc(doc, externals,
                                  machine_fingerprint=machine_fp)
+            # Re-verify the stored analysis products against a fresh
+            # analysis of the loaded steps: a tampered safe_zero_copy
+            # flag or stale fusion group must never steer the executor.
+            try:
+                verify_plan(plan)
+            except ValueError as err:
+                raise PlanFormatError(f"analysis re-verification failed: "
+                                      f"{err}") from err
+            return plan
         except PlanFormatError as err:
             warnings.warn(f"ignoring invalid plan cache entry {path}: {err}",
                           RuntimeWarning, stacklevel=2)

@@ -22,6 +22,7 @@ from ..analysis.signatures import external_tensors, program_digest
 from ..core.decomposition import decompose_parallel, shrink_sequential
 from ..core.isa import Instruction
 from ..core.machine import Machine
+from .analysis import annotate_plan
 from .plan import FractalPlan, PlanStats, PlanStep
 
 
@@ -103,16 +104,20 @@ def compile_program(
              instructions=len(program))
     for inst in program:
         walk(inst, level=0)
-    elapsed = time.perf_counter() - t0
     plan = FractalPlan(
         machine_fingerprint=machine_fingerprint(machine, apply_sequential),
         signature_digest=program_digest(program),
         steps=steps,
         stats=stats,
         externals=external_tensors(program),
-        compile_seconds=elapsed,
     )
+    # Analyze-on-compile: every plan that reaches the executor or a cache
+    # tier carries zero-copy proofs, fusion groups and the live-byte peak.
+    analysis = annotate_plan(plan)
+    plan.compile_seconds = time.perf_counter() - t0
     log.info("compile.end", steps=len(steps),
              kernel_calls=stats.kernel_calls, lfu_calls=stats.lfu_calls,
-             seconds=round(elapsed, 6))
+             diagnostics=len(analysis.result.diagnostics),
+             fusion_groups=len(plan.fusion_groups),
+             seconds=round(plan.compile_seconds, 6))
     return plan

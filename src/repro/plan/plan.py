@@ -17,7 +17,7 @@ tripped through a versioned JSON document (:meth:`FractalPlan.to_doc` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.isa import Instruction, Opcode
@@ -26,7 +26,7 @@ from ..core.tensor import DType, Region, Tensor
 #: version stamp of the serialized plan document; bump on any layout change
 #: (old entries then simply miss and are recompiled).
 PLAN_SCHEMA = "repro.plan"
-PLAN_SCHEMA_VERSION = 1
+PLAN_SCHEMA_VERSION = 2
 
 #: instruction attributes that steer the executor's write-back, not the
 #: kernel itself; precomputed out of every step's ``run_attrs``.
@@ -43,7 +43,10 @@ class PlanStep:
 
     ``run_attrs`` is ``inst.attrs`` with the executor-internal write-back
     flags stripped (precomputed so replay does no per-step dict work), and
-    ``accumulate`` is the write-back mode.
+    ``accumulate`` is the write-back mode.  ``safe_zero_copy`` is a static
+    proof stamped by :mod:`repro.plan.analysis`: no operand of this step
+    aliases any of its outputs, so replay may hand the kernel read-only
+    views without the runtime ``_read_operands`` overlap scan.
     """
 
     kind: str  # "kernel" | "lfu"
@@ -51,6 +54,7 @@ class PlanStep:
     level: int
     run_attrs: Dict[str, object]
     accumulate: bool
+    safe_zero_copy: bool = False
 
     @staticmethod
     def from_instruction(kind: str, inst: Instruction, level: int) -> "PlanStep":
@@ -84,6 +88,10 @@ class PlanStats:
     leaf_ops: Dict[str, int] = field(default_factory=dict)
     bytes_read: int = 0
     bytes_written: int = 0
+    #: exact live-byte high-water mark over the replay order (externals
+    #: resident throughout, partials live first-touch..last-touch);
+    #: computed by :func:`repro.plan.analysis.analyze_plan`.
+    peak_live_bytes: int = 0
 
     def count(self, level: int) -> None:
         self.instructions_per_level[level] = (
@@ -104,6 +112,7 @@ class PlanStats:
             "leaf_ops": dict(self.leaf_ops),
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "peak_live_bytes": self.peak_live_bytes,
         }
 
     @staticmethod
@@ -121,6 +130,7 @@ class PlanStats:
             leaf_ops={str(k): int(v) for k, v in doc["leaf_ops"].items()},
             bytes_read=int(doc["bytes_read"]),
             bytes_written=int(doc["bytes_written"]),
+            peak_live_bytes=int(doc.get("peak_live_bytes", 0)),
         )
 
 
@@ -140,6 +150,15 @@ class FractalPlan:
     stats: PlanStats
     externals: List[Tensor]
     compile_seconds: float = 0.0
+    #: maximal batched-execution-legal runs of consecutive isomorphic
+    #: steps, as half-open ``(start, stop)`` step-index ranges; stamped by
+    #: :func:`repro.plan.analysis.annotate_plan` for the ROADMAP-2
+    #: BatchedStep pass.
+    fusion_groups: List[Tuple[int, int]] = field(default_factory=list)
+    #: serialized :meth:`repro.plan.analysis.PlanAnalysis.to_doc` summary
+    #: (diagnostics + product counts + re-verification digest); ``None``
+    #: only for plans that bypassed the compiler's annotate stage.
+    analysis: Optional[dict] = None
 
     @property
     def n_steps(self) -> int:
@@ -191,8 +210,11 @@ class FractalPlan:
                 tuple(map_region(r) for r in inst.outputs),
                 dict(inst.attrs),
             )
-            steps.append(PlanStep.from_instruction(step.kind, new_inst,
-                                                   step.level))
+            # Analysis products are region-structural, so the zero-copy
+            # proof survives rebinding verbatim.
+            steps.append(replace(
+                PlanStep.from_instruction(step.kind, new_inst, step.level),
+                safe_zero_copy=step.safe_zero_copy))
         return FractalPlan(
             machine_fingerprint=self.machine_fingerprint,
             signature_digest=self.signature_digest,
@@ -200,6 +222,8 @@ class FractalPlan:
             stats=self.stats,
             externals=list(externals),
             compile_seconds=self.compile_seconds,
+            fusion_groups=list(self.fusion_groups),
+            analysis=self.analysis,
         )
 
     # -- serialization -------------------------------------------------------
@@ -240,6 +264,7 @@ class FractalPlan:
                            for r in inst.inputs],
                 "outputs": [[tid(r.tensor), [list(b) for b in r.bounds]]
                             for r in inst.outputs],
+                "safe": step.safe_zero_copy,
             })
         return {
             "schema": PLAN_SCHEMA,
@@ -251,6 +276,8 @@ class FractalPlan:
             "steps": steps,
             "stats": self.stats.to_doc(),
             "compile_seconds": self.compile_seconds,
+            "fusion_groups": [list(g) for g in self.fusion_groups],
+            "analysis": self.analysis,
         }
 
 
@@ -313,8 +340,14 @@ def plan_from_doc(doc: dict, externals: Sequence[Tensor],
                 tuple(region(s) for s in raw["outputs"]),
                 dict(raw["attrs"]),
             )
-            steps.append(PlanStep.from_instruction(kind, inst,
-                                                   int(raw["level"])))
+            steps.append(replace(
+                PlanStep.from_instruction(kind, inst, int(raw["level"])),
+                safe_zero_copy=bool(raw.get("safe", False))))
+        fusion_groups = [(int(a), int(b))
+                         for a, b in doc.get("fusion_groups", [])]
+        analysis = doc.get("analysis")
+        if analysis is not None and not isinstance(analysis, dict):
+            raise PlanFormatError("plan analysis section must be a mapping")
         return FractalPlan(
             machine_fingerprint=(machine_fingerprint
                                  if machine_fingerprint is not None
@@ -324,6 +357,8 @@ def plan_from_doc(doc: dict, externals: Sequence[Tensor],
             stats=PlanStats.from_doc(doc["stats"]),
             externals=list(externals),
             compile_seconds=float(doc.get("compile_seconds", 0.0)),
+            fusion_groups=fusion_groups,
+            analysis=analysis,
         )
     except PlanFormatError:
         raise

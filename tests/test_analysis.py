@@ -45,9 +45,11 @@ def mk(opcode, inputs, outputs, attrs=None):
 
 class TestDiagnostics:
     def test_registry_is_complete_and_stable(self):
-        # every registered code has severity + title, and codes are F0xx
+        # every registered code has severity + title; F0xx are program
+        # codes, P1xx are plan-analyzer codes (repro.plan.analysis)
         for code, (sev, title) in CODES.items():
-            assert code.startswith("F0") and len(code) == 4
+            assert (code.startswith("F0") or code.startswith("P1")) \
+                and len(code) == 4
             assert isinstance(sev, Severity) and title
 
     def test_unregistered_code_rejected(self):

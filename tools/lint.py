@@ -6,10 +6,10 @@ Run as ``python tools/lint.py`` from the repository root.  Two stages:
 1. **ruff** (config in ``pyproject.toml``) over ``src/`` and ``tests/``.
    ruff is optional tooling -- offline environments may not have it, so
    its absence is reported as a skip, not a failure.
-2. **ruff, strict profile** over the instrumentation packages
-   (``repro.telemetry`` + ``repro.perf`` + ``repro.obs``; paths and select
-   set in ``[tool.repro.lint]`` of pyproject.toml): new instrumentation
-   code is held to a tighter bar than the legacy tree.
+2. **ruff, strict profile** over the entire ``src/repro`` tree (paths and
+   select set in ``[tool.repro.lint]`` of pyproject.toml; the historic
+   per-package allowlist is gone -- every package is held to the
+   comprehension/simplify/return bar the instrumentation code pioneered).
 3. **FISA static analysis smoke**: ``python -m repro lint`` over every
    ``examples/programs/*.fisa`` (must exit 0) and over the negative
    fixtures in ``tests/fixtures/`` (must exit non-zero -- they exist to
@@ -46,8 +46,8 @@ def stage_ruff() -> bool:
 
 
 def _telemetry_lint_config() -> tuple:
-    """(paths, select) for the strict telemetry stage from pyproject.toml."""
-    paths = ["src/repro/telemetry", "src/repro/obs"]
+    """(paths, select) for the strict stage from pyproject.toml."""
+    paths = ["src/repro"]
     select = "E,W,F,I,B,C4,SIM,RET"
     try:  # tomllib is py311+; fall back to the defaults above without it
         import tomllib
@@ -65,14 +65,14 @@ def _telemetry_lint_config() -> tuple:
 
 
 def stage_ruff_telemetry() -> bool:
-    """Strict ruff profile over repro.telemetry (skip if ruff is absent)."""
+    """Strict ruff profile over src/repro (skip if ruff is absent)."""
     if importlib.util.find_spec("ruff") is None:
-        print("[lint] ruff not installed -- skipping strict telemetry stage")
+        print("[lint] ruff not installed -- skipping strict stage")
         return True
     paths, select = _telemetry_lint_config()
     existing = [p for p in paths if (ROOT / p).exists()]
     if not existing:
-        print("[lint] FAIL: telemetry package paths missing: " + ", ".join(paths))
+        print("[lint] FAIL: strict lint paths missing: " + ", ".join(paths))
         return False
     print(f"[lint] ruff check --select {select} {' '.join(existing)}")
     return _run([sys.executable, "-m", "ruff", "check",
