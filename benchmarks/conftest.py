@@ -30,6 +30,14 @@ import pytest
 sys.stdout.reconfigure(line_buffering=True)
 
 from repro import cambricon_f1, cambricon_f100, obs, telemetry
+
+# Keep the suite's run-ledger rows next to its other artifacts unless the
+# caller routed them elsewhere (or disabled the ledger outright).
+os.environ.setdefault(
+    "REPRO_LEDGER",
+    str(Path(os.environ.get("REPRO_BENCH_REPORT_DIR",
+                            str(Path(__file__).resolve().parent / "reports")))
+        / "ledger"))
 from repro.perf import attribute_report
 from repro.sim import FractalSimulator
 from repro.workloads import PAPER_BENCHMARKS, paper_benchmark
@@ -142,7 +150,9 @@ def _write_suite_report(machine, results: Dict[str, BenchResult],
     try:
         out_dir.mkdir(parents=True, exist_ok=True)
         slug = machine.name.lower().replace(" ", "_").replace("-", "_")
-        report.write(str(out_dir / f"BENCH_{slug}.json"))
+        out_path = out_dir / f"BENCH_{slug}.json"
+        report.write(str(out_path))
+        obs.record_report(report, kind="bench-suite", out=str(out_path))
     except OSError as err:  # report writing must never fail the harness
         print(f"[bench] could not write suite RunReport: {err}")
 
@@ -171,6 +181,7 @@ def _simulate_suite(machine) -> Dict[str, BenchResult]:
                                     "machine": machine.name})
     try:
         with telemetry.enabled_scope() as (registry, tracer), \
+                obs.ensure_trace(suite="paper-suite"), \
                 obs.event_context(suite="paper-suite", machine=machine.name), \
                 obs.crash_scope(_crash_dir(),
                                 reason=f"bench-suite-{machine.name}",

@@ -10,6 +10,10 @@ Commands::
     diff      base.json cand.json   compare two RunReports; exit 3 on regression
     serve-metrics mm_fc --port 8000 run a workload under a live /metrics server
     events tail events.jsonl        filter/pretty-print a structured event log
+    events tail --follow            same, but keep polling for appended events
+    trace ls                        list recorded traces from the run ledger
+    trace show <trace_id>           joined ledger rows/spans/events for a trace
+    top                             live /metrics dashboard (curses-free)
     figures   -o figures/           render every paper figure as SVG
     dse                             Table-4 hierarchy sweep (costs only)
     assemble  prog.fisa -o prog.bin assemble FISA text to the binary format
@@ -88,6 +92,11 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--stall-after", type=float, default=30.0, metavar="S",
                    help="seconds without a progress beat before /healthz "
                         "reports stalled (default 30)")
+    p.add_argument("--events-max-bytes", type=int, default=None,
+                   metavar="N",
+                   help="size-bound the --events JSONL sink: roll to "
+                        "PATH.1 when the file would exceed N bytes "
+                        "(default unbounded)")
 
 
 def _writable_error(path: str) -> Optional[str]:
@@ -134,7 +143,9 @@ def _observability(args, benchmark: str, machine_name: str, command: str):
     event_log.reset()
     event_log.enable()
     if getattr(args, "events", None):
-        event_log.attach_jsonl(args.events)
+        event_log.attach_jsonl(args.events,
+                               max_bytes=getattr(args, "events_max_bytes",
+                                                 None))
     watchdog = obs.install_watchdog(
         obs.Watchdog(stall_after_s=getattr(args, "stall_after", 30.0)))
     recorder = obs.FlightRecorder(event_log=event_log,
@@ -215,6 +226,7 @@ def cmd_simulate(args) -> int:
     if code is not None:
         return code
     w = paper_benchmark(args.benchmark)
+    from .obs import record_run
     if _wants_obs(args):
         from . import telemetry
 
@@ -223,12 +235,16 @@ def cmd_simulate(args) -> int:
                                 "simulate") as handle:
                 rep = FractalSimulator(
                     machine, collect_profiles=False).simulate(w.program)
+            record_run("simulate", benchmark=args.benchmark,
+                       machine=machine.name, makespan_s=rep.total_time)
             if getattr(args, "json", False):
                 print(_sim_run_report(args, machine, rep, handle).to_json())
                 return 0
     else:
         rep = FractalSimulator(machine,
                                collect_profiles=False).simulate(w.program)
+        record_run("simulate", benchmark=args.benchmark, machine=machine.name,
+                   makespan_s=rep.total_time)
     if getattr(args, "json", False):
         print(_sim_run_report(args, machine, rep).to_json())
         return 0
@@ -283,6 +299,10 @@ def cmd_trace(args) -> int:
     from .sim import FractalSimulator, write_chrome_trace
     from .workloads import paper_benchmark
 
+    if not args.benchmark:
+        print("trace: -b/--benchmark is required (or use `repro trace ls` / "
+              "`repro trace show <trace_id>`)", file=sys.stderr)
+        return 2
     machine = _machine(args)
     w = paper_benchmark(args.benchmark)
     rep = FractalSimulator(machine, collect_profiles=True).simulate(w.program)
@@ -450,6 +470,13 @@ def cmd_profile(args) -> int:
         except OSError as err:
             print(f"profile: cannot write {out}: {err}")
             return 2
+        from .analysis.signatures import program_digest
+        from .obs import record_report
+        from .plan import fingerprint_digest, machine_fingerprint
+        record_report(
+            report, kind="profile", out=out,
+            fingerprint=fingerprint_digest(machine_fingerprint(machine))[:16],
+            program_digest=program_digest(w.program)[:16])
 
         if args.trace:
             names = [lv.name for lv in machine.levels]
@@ -586,6 +613,9 @@ def cmd_serve_metrics(args) -> int:
                 FractalSimulator(machine,
                                  collect_profiles=False).simulate(w.program)
                 handle.recorder.mark(f"iteration.{i}")
+            from .obs import record_run
+            record_run("serve-metrics", benchmark=args.benchmark,
+                       machine=machine.name, iterations=args.iterations)
             print(f"served {args.iterations} iteration(s) of "
                   f"{args.benchmark} on {machine.name} at "
                   f"{handle.server.url}/metrics")
@@ -612,9 +642,11 @@ def cmd_events_tail(args) -> int:
     try:
         events, bad = obs.load_events(args.target)
     except OSError as err:
-        print(f"events tail: cannot read {args.target}: {err}",
-              file=sys.stderr)
-        return 2
+        if not args.follow:
+            print(f"events tail: cannot read {args.target}: {err}",
+                  file=sys.stderr)
+            return 2
+        events, bad = [], 0  # --follow waits for the file to appear
     picked = obs.filter_events(
         events,
         subsystem=args.subsystem,
@@ -627,10 +659,211 @@ def cmd_events_tail(args) -> int:
             print(json.dumps(record, default=repr))
     elif picked:
         print(obs.format_events(picked))
-    footer = (f"{len(picked)} of {len(events)} event(s) shown"
+    shown = len(picked)
+    total = len(events)
+    if args.follow:
+        # Poll-append mode: keep printing matching events as the writer
+        # flushes them; Ctrl-C exits cleanly with the summary footer.
+        base_ts = None
+        for record in events:
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)):
+                base_ts = ts
+                break
+        sys.stdout.flush()
+        limit = getattr(args, "follow_max", None)
+        try:
+            for record in obs.follow_events(args.target,
+                                            poll_interval=args.poll,
+                                            start_at_end=True):
+                total += 1
+                if not obs.filter_events([record],
+                                         subsystem=args.subsystem,
+                                         min_severity=args.severity,
+                                         event_glob=args.event):
+                    continue
+                if base_ts is None:
+                    ts = record.get("ts")
+                    if isinstance(ts, (int, float)):
+                        base_ts = ts
+                if args.json:
+                    print(json.dumps(record, default=repr), flush=True)
+                else:
+                    print(obs.format_event(record, base_ts=base_ts),
+                          flush=True)
+                shown += 1
+                if limit is not None and shown >= limit:
+                    break
+        except KeyboardInterrupt:
+            pass
+    footer = (f"{shown} of {total} event(s) shown"
               + (f"; {bad} corrupt line(s) skipped" if bad else ""))
     print(footer, file=sys.stderr)
     return 0
+
+
+TRACE_LIST_SCHEMA = "repro.obs.trace_list"
+TRACE_SHOW_SCHEMA = "repro.obs.trace"
+TRACE_DOC_VERSION = 1
+
+
+def _open_ledger(command: str, directory):
+    """Shared `trace ls`/`trace show` ledger resolution (None + msg on 2)."""
+    from . import obs
+
+    ledger = obs.get_ledger(directory)
+    if ledger is None:
+        print(f"{command}: the run ledger is disabled "
+              f"(REPRO_LEDGER={os.environ.get('REPRO_LEDGER')!r})",
+              file=sys.stderr)
+    return ledger
+
+
+def _age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.0f}h"
+    return f"{seconds / 86400:.0f}d"
+
+
+def cmd_trace_ls(args) -> int:
+    """List recorded traces, newest last-activity first.
+
+    Exit codes: **0** listed (possibly zero traces), **2** the ledger is
+    disabled.  With ``--json``, emits a schema-versioned
+    ``repro.obs.trace_list`` document.
+    """
+    import json
+    import time as _time
+
+    ledger = _open_ledger("trace ls", args.ledger)
+    if ledger is None:
+        return 2
+    traces = ledger.traces()
+    items = sorted(
+        ({"trace_id": trace_id, **summary}
+         for trace_id, summary in traces.items()),
+        key=lambda item: -float(item.get("last_ts", 0.0)))
+    if args.last is not None and args.last >= 0:
+        items = items[:args.last]
+    if args.json:
+        print(json.dumps({
+            "schema": TRACE_LIST_SCHEMA,
+            "v": TRACE_DOC_VERSION,
+            "ledger": str(ledger.directory),
+            "traces": items,
+        }, indent=2, default=repr))
+        return 0
+    if not items:
+        print(f"no traces recorded under {ledger.directory}")
+        return 0
+    now = _time.time()
+    print(f"{'trace':16s} {'rows':>5s} {'age':>5s}  kinds / benchmarks / machines")
+    for item in items:
+        kinds = ",".join(item.get("kinds") or []) or "-"
+        benchmarks = ",".join(item.get("benchmarks") or []) or "-"
+        machines = ",".join(item.get("machines") or []) or "-"
+        age = _age(max(0.0, now - float(item.get("last_ts", now))))
+        print(f"{str(item['trace_id'])[:16]:16s} {item.get('rows', 0):5d} "
+              f"{age:>5s}  {kinds} / {benchmarks} / {machines}")
+    return 0
+
+
+def cmd_trace_show(args) -> int:
+    """Show one trace: its ledger rows joined with shipped spans/events.
+
+    ``trace_id`` may be a unique prefix.  Exit codes: **0** shown, **1**
+    unknown (or ambiguous) trace id, **2** the ledger is disabled.
+    """
+    import json
+
+    ledger = _open_ledger("trace show", args.ledger)
+    if ledger is None:
+        return 2
+    traces = ledger.traces()
+    matches = [tid for tid in traces if tid.startswith(args.trace_id)]
+    if not matches:
+        print(f"trace show: no trace {args.trace_id!r} in "
+              f"{ledger.directory}", file=sys.stderr)
+        return 1
+    if len(matches) > 1:
+        print(f"trace show: {args.trace_id!r} is ambiguous "
+              f"({len(matches)} traces match)", file=sys.stderr)
+        return 1
+    trace_id = matches[0]
+    rows = ledger.rows(trace_id=trace_id)
+
+    # Join: merge per-worker span rollups and counters shipped in rows.
+    spans: dict = {}
+    counters: dict = {}
+    events: list = []
+    for row in rows:
+        worker = row.get("worker")
+        tag = f"worker={worker}" if worker is not None else "parent"
+        for name, agg in (row.get("spans") or {}).items():
+            spans.setdefault(tag, {})[name] = agg
+        for series, value in (row.get("counters") or {}).items():
+            counters.setdefault(tag, {})[series] = value
+        row_events = row.get("events")
+        if isinstance(row_events, list):
+            events.extend(row_events)
+    events.sort(key=lambda e: (e.get("ts") or 0.0))
+
+    if args.json:
+        print(json.dumps({
+            "schema": TRACE_SHOW_SCHEMA,
+            "v": TRACE_DOC_VERSION,
+            "trace_id": trace_id,
+            "ledger": str(ledger.directory),
+            "summary": traces[trace_id],
+            "rows": rows,
+            "spans": spans,
+            "counters": counters,
+            "events": events,
+        }, indent=2, default=repr))
+        return 0
+
+    from . import obs
+
+    summary = traces[trace_id]
+    print(f"trace {trace_id}")
+    print(f"  rows       {summary.get('rows', len(rows))}")
+    print(f"  kinds      {', '.join(summary.get('kinds') or []) or '-'}")
+    print(f"  benchmarks {', '.join(summary.get('benchmarks') or []) or '-'}")
+    print(f"  machines   {', '.join(summary.get('machines') or []) or '-'}")
+    for row in rows:
+        worker = row.get("worker")
+        who = f" worker={worker}" if worker is not None else ""
+        extras = []
+        for key in ("benchmark", "machine", "variant", "classification",
+                    "status", "crash_bundle"):
+            if row.get(key):
+                extras.append(f"{key}={row[key]}")
+        makespan = row.get("makespan_s")
+        if isinstance(makespan, (int, float)):
+            extras.append(f"makespan={makespan * 1e3:.2f}ms")
+        print(f"  [{row.get('kind', '?')}]{who} " + " ".join(extras))
+    for tag in sorted(spans):
+        print(f"  spans ({tag}):")
+        for name, agg in sorted(spans[tag].items()):
+            print(f"    {name:32s} x{agg.get('count', 0):<6d} "
+                  f"{float(agg.get('total_s', 0.0)) * 1e3:10.3f} ms")
+    if events:
+        print(f"  events ({len(events)} shipped):")
+        shown = obs.format_events(events[-args.events:])
+        print("    " + shown.replace("\n", "\n    "))
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live, curses-free dashboard over a running /metrics endpoint."""
+    from .obs import run_top
+
+    return run_top(args.url, interval=args.interval,
+                   iterations=args.iterations, clear=not args.no_clear)
 
 
 def cmd_compile(args) -> int:
@@ -656,6 +889,11 @@ def cmd_compile(args) -> int:
     w = profile_benchmark(args.benchmark)
     plan = compile_cached(machine, w.program, disk_dir=args.plan_cache)
     stats = plan.stats
+    from .obs import record_run
+    record_run("compile", benchmark=args.benchmark, machine=machine.name,
+               fingerprint=fingerprint_digest(machine_fingerprint(machine))[:16],
+               program_digest=plan.signature_digest[:16],
+               steps=plan.n_steps, compile_s=plan.compile_seconds)
     print(f"compiled {args.benchmark} on {machine.name}:")
     print(f"  steps               {plan.n_steps:12d} "
           f"({stats.kernel_calls} kernel, {stats.lfu_calls} LFU)")
@@ -825,6 +1063,12 @@ def cmd_run(args) -> int:
             store.bind(t, rng.normal(size=t.shape))
         executor = FractalExecutor(machine, store)
         executor.run_program(w.program, plan=plan)
+    from .analysis.signatures import program_digest
+    from .obs import record_run
+    record_run("run", benchmark=args.source, machine=machine.name,
+               program_digest=program_digest(w.program)[:16],
+               repeats=repeats, kernel_calls=executor.stats.kernel_calls,
+               replayed=plan is not None)
     print(f"ran {len(w.program)} instructions on {machine.name} "
           f"({executor.stats.kernel_calls} leaf kernels"
           + (f", {repeats} repeats, replayed plan" if plan is not None else "")
@@ -871,12 +1115,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(p)
     p.set_defaults(fn=cmd_cost)
 
-    p = sub.add_parser("trace", help="write a Chrome/Perfetto trace")
+    p = sub.add_parser("trace", help="write a Chrome/Perfetto trace, or "
+                                     "query the run ledger (trace ls/show)")
     _add_machine_args(p)
-    p.add_argument("-b", "--benchmark", required=True)
+    p.add_argument("-b", "--benchmark")
     p.add_argument("-o", "--out", default="trace.json")
     p.add_argument("--depth", type=int, default=2)
     p.set_defaults(fn=cmd_trace)
+    trace_sub = p.add_subparsers(dest="trace_command")
+    p = trace_sub.add_parser("ls", help="list recorded traces from the run "
+                                        "ledger, newest first")
+    p.add_argument("--ledger", metavar="DIR",
+                   help="ledger directory (default $REPRO_LEDGER or "
+                        "~/.cache/repro/ledger)")
+    p.add_argument("-n", "--last", type=int,
+                   help="only the newest N traces")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.obs.trace_list JSON document")
+    p.set_defaults(fn=cmd_trace_ls)
+    p = trace_sub.add_parser("show", help="show one trace: ledger rows "
+                                          "joined with shipped spans/events")
+    p.add_argument("trace_id", help="full trace id or a unique prefix")
+    p.add_argument("--ledger", metavar="DIR",
+                   help="ledger directory (default $REPRO_LEDGER or "
+                        "~/.cache/repro/ledger)")
+    p.add_argument("--events", type=int, default=20, metavar="N",
+                   help="newest shipped events to print (default 20)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.obs.trace JSON document")
+    p.set_defaults(fn=cmd_trace_show)
 
     p = sub.add_parser("figures", help="render every figure as SVG")
     p.add_argument("-o", "--out", default="figures")
@@ -955,6 +1222,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--events", metavar="PATH",
                    help="stream the structured event log to PATH as JSONL")
+    p.add_argument("--events-max-bytes", type=int, default=16 * 2**20,
+                   metavar="N",
+                   help="roll the --events sink to PATH.1 past N bytes "
+                        "(default 16 MiB; 0 = unbounded)")
     p.add_argument("--crash-dir", metavar="DIR",
                    help="dump a crash bundle under DIR on an uncaught "
                         "exception")
@@ -981,7 +1252,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="re-emit matching records as JSONL instead of "
                         "pretty text")
+    p.add_argument("-f", "--follow", action="store_true",
+                   help="after the initial tail, keep polling the file and "
+                        "print records as they are appended (Ctrl-C exits)")
+    p.add_argument("--poll", type=float, default=0.5, metavar="S",
+                   help="--follow poll interval in seconds (default 0.5)")
+    p.add_argument("--follow-max", type=int, help=argparse.SUPPRESS)
     p.set_defaults(fn=cmd_events_tail)
+
+    p = sub.add_parser("top", help="live terminal dashboard over a running "
+                                   "/metrics endpoint (see serve-metrics)")
+    p.add_argument("url", nargs="?", default="127.0.0.1:8000",
+                   help="metrics endpoint, host:port or full URL "
+                        "(default 127.0.0.1:8000)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="refresh interval in seconds (default 2)")
+    p.add_argument("--iterations", type=int, metavar="N",
+                   help="exit after N refreshes (default: run until Ctrl-C)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of clearing the screen "
+                        "(useful for piping)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("diff", help="compare two RunReport JSON documents; "
                                     "exit 3 on gated regression")
@@ -1031,7 +1322,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from .obs.trace import ensure_trace
+    with ensure_trace(command=args.command):
+        return args.fn(args)
 
 
 if __name__ == "__main__":

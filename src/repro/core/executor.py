@@ -98,6 +98,11 @@ class ExecutionStats:
         return out
 
 
+#: replay emits one ``replay.progress`` debug event per this many steps,
+#: so a tailed live run shows motion without flooding the ring.
+REPLAY_PROGRESS_STRIDE = 1024
+
+
 class FractalExecutor:
     """Executes FISA programs through recursive fractal decomposition."""
 
@@ -217,8 +222,11 @@ class FractalExecutor:
                          machine=self.machine.name, steps=plan.n_steps):
             log.info("replay.start", machine=self.machine.name,
                      steps=plan.n_steps)
-            for step in plan.steps:
+            for index, step in enumerate(plan.steps):
                 obs.beat()
+                if index and index % REPLAY_PROGRESS_STRIDE == 0:
+                    log.debug("replay.progress", step=index,
+                              steps=plan.n_steps)
                 inst = step.inst
                 try:
                     if step.safe_zero_copy:
@@ -233,7 +241,7 @@ class FractalExecutor:
                     outputs = execute(inst.opcode, operands, step.run_attrs)
                 except Exception as err:
                     log.error("replay.fail", opcode=inst.opcode.value,
-                              level=step.level,
+                              level=step.level, step=index,
                               error=f"{type(err).__name__}: {err}")
                     raise
                 if len(outputs) != len(inst.outputs):

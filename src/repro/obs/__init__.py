@@ -48,6 +48,16 @@ from .flight import (
     crash_scope,
     read_bundle_manifest,
 )
+from .ledger import (
+    LEDGER_SCHEMA,
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    default_ledger_dir,
+    get_ledger,
+    ledger_enabled,
+    record_report,
+    record_run,
+)
 from .openmetrics import (
     METRIC_PREFIX,
     check_openmetrics,
@@ -62,7 +72,29 @@ from .server import (
     get_watchdog,
     install_watchdog,
 )
-from .tail import filter_events, format_event, format_events, load_events
+from .tail import (
+    filter_events,
+    follow_events,
+    format_event,
+    format_events,
+    load_events,
+)
+from .top import fetch_metrics, format_top, parse_exposition, run_top
+from .trace import (
+    TraceContext,
+    current_trace,
+    current_trace_id,
+    ensure_trace,
+    new_span_id,
+    new_trace_id,
+    trace_scope,
+)
+from .worker import (
+    WorkerTelemetry,
+    build_wire,
+    merge_worker_telemetry,
+    worker_capture,
+)
 
 __all__ = [
     "EVENT_SCHEMA",
@@ -83,6 +115,25 @@ __all__ = [
     "FlightRecorder",
     "crash_scope",
     "read_bundle_manifest",
+    "LEDGER_SCHEMA",
+    "LEDGER_SCHEMA_VERSION",
+    "RunLedger",
+    "default_ledger_dir",
+    "get_ledger",
+    "ledger_enabled",
+    "record_report",
+    "record_run",
+    "TraceContext",
+    "current_trace",
+    "current_trace_id",
+    "ensure_trace",
+    "new_span_id",
+    "new_trace_id",
+    "trace_scope",
+    "WorkerTelemetry",
+    "build_wire",
+    "merge_worker_telemetry",
+    "worker_capture",
     "METRIC_PREFIX",
     "check_openmetrics",
     "escape_label_value",
@@ -94,9 +145,14 @@ __all__ = [
     "get_watchdog",
     "install_watchdog",
     "filter_events",
+    "follow_events",
     "format_event",
     "format_events",
     "load_events",
+    "fetch_metrics",
+    "format_top",
+    "parse_exposition",
+    "run_top",
     "observed_run",
 ]
 

@@ -227,6 +227,12 @@ def crash_scope(
             bundle = rec.dump(directory, reason=reason, exc=err, config=config)
             print(f"[obs] crash bundle written -> {bundle}",
                   file=stream or sys.stderr)
+            # The run ledger remembers the crash (with the bundle path) so
+            # `repro trace show` surfaces failures next to successes.
+            from .ledger import record_run
+            record_run("crash", status="crash", reason=reason,
+                       crash_bundle=str(bundle),
+                       exception=f"{type(err).__name__}: {err}")
         except Exception as dump_err:  # noqa: BLE001 - never mask the crash
             print(f"[obs] crash bundle could not be written: {dump_err}",
                   file=stream or sys.stderr)

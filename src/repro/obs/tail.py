@@ -9,9 +9,10 @@ mid-crash -- are counted, not fatal.
 
 from __future__ import annotations
 
+import time
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .events import SEVERITY_RANK, iter_jsonl
 
@@ -63,6 +64,63 @@ def filter_events(
     if last is not None and last >= 0:
         out = out[-last:] if last else []
     return out
+
+
+def follow_events(
+    target: str,
+    poll_interval: float = 0.5,
+    stop: Optional[Callable[[], bool]] = None,
+    start_at_end: bool = False,
+    _sleep: Callable[[float], None] = time.sleep,
+) -> Iterable[Dict[str, object]]:
+    """Yield events from ``target`` as they are appended (``tail -f``).
+
+    Polls the file every ``poll_interval`` seconds, yielding each decoded
+    record exactly once.  Robust to the writer's failure modes:
+
+    * a **torn final line** (the sink flushes whole lines, but a reader
+      can still race a partial write) is buffered until its newline lands;
+    * **truncation or rotation** (the sink's ``.1`` rollover replaces the
+      file) resets the read offset to the new file's start;
+    * a **missing file** is simply waited on -- the run may not have
+      attached its sink yet.
+
+    ``stop`` is an optional callable checked once per poll; returning
+    True ends the stream (the CLI maps Ctrl-C onto the same exit).  With
+    ``start_at_end`` the existing contents are skipped, mirroring
+    ``tail -n0 -f``.
+    """
+    path = resolve_events_path(target) if Path(target).is_dir() else Path(target)
+    pos = 0
+    if start_at_end:
+        try:
+            pos = path.stat().st_size
+        except OSError:
+            pos = 0
+    pending = ""
+    while True:
+        if stop is not None and stop():
+            return
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = None
+        if size is not None:
+            if size < pos:  # truncated or rotated underneath us
+                pos = 0
+                pending = ""
+            if size > pos:
+                with open(path, encoding="utf-8") as f:
+                    f.seek(pos)
+                    chunk = f.read()
+                    pos = f.tell()
+                pending += chunk
+                *lines, pending = pending.split("\n")
+                for record, _bad in iter_jsonl(lines):
+                    if record is not None:
+                        yield record
+                continue  # drain before sleeping again
+        _sleep(poll_interval)
 
 
 _RESERVED = ("schema", "v", "seq", "ts", "subsystem", "event", "severity",

@@ -1,0 +1,224 @@
+"""``repro top``: a curses-free live view over the ``/metrics`` endpoint.
+
+Polls a running :class:`repro.obs.MetricsServer`'s exposition text on an
+interval and renders a compact, in-place-refreshing dashboard (plain
+ANSI clear-home; no curses, no dependencies): server health, per-level
+busy/idle breakdowns (the Cambricon-F pipeline-stage and stall-cause
+taxonomies already exported as ``sim.busy_seconds{level,stage}`` and
+``sim.idle_seconds{level,cause}``), per-worker series merged back from
+sweep pool children, and whichever counters moved since the previous
+sample.
+
+Everything here is pure-functional over exposition text so tests can
+feed canned scrapes: :func:`parse_exposition` -> samples,
+:func:`format_top` -> the rendered frame, with the tiny
+:func:`run_top` loop on top.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+from .openmetrics import _LABEL_PAIR_RE, _SAMPLE_RE
+
+#: clear screen + cursor home (the whole "in-place refresh" machinery).
+ANSI_CLEAR = "\x1b[H\x1b[J"
+
+#: {(name, ((k, v), ...)): value} -- one scrape's worth of samples.
+Samples = Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]
+
+
+def parse_exposition(text: str) -> Samples:
+    """Parse exposition text into ``{(name, labels): value}`` samples.
+
+    Comment lines and unparsable lines are skipped -- ``repro top`` is a
+    viewer, not a validator (that's :func:`check_openmetrics`).
+    """
+    out: Samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            continue
+        labels: List[Tuple[str, str]] = []
+        raw = m.group("labels")
+        if raw:
+            labels = [(p.group("name"), p.group("value"))
+                      for p in _LABEL_PAIR_RE.finditer(raw)]
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            continue
+        out[(m.group("name"), tuple(labels))] = value
+    return out
+
+
+def fetch_metrics(url: str, timeout: float = 2.0) -> str:
+    """One scrape of the exposition endpoint (raises URLError on failure)."""
+    if "://" not in url:
+        url = "http://" + url
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:  # noqa: S310 - local scrape
+        return resp.read().decode("utf-8", "replace")
+
+
+def _by_name(samples: Samples, name: str) -> List[Tuple[Dict[str, str], float]]:
+    return [(dict(labels), value) for (n, labels), value in samples.items()
+            if n == name]
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def format_top(samples: Samples, prev: Optional[Samples] = None,
+               interval: Optional[float] = None) -> str:
+    """Render one dashboard frame from a scrape (and optionally the last).
+
+    Sections degrade gracefully: a scrape with no simulator counters
+    still shows health and whatever series exist.
+    """
+    lines: List[str] = []
+
+    # -- health strip -------------------------------------------------------
+    uptime = samples.get(("repro_obs_uptime_seconds", ()))
+    healthy = samples.get(("repro_obs_healthy", ()))
+    beat_age = samples.get(("repro_obs_heartbeat_age_seconds", ()))
+    events = samples.get(("repro_obs_events", ()))
+    strip = []
+    if healthy is not None:
+        strip.append("health=OK" if healthy else "health=STALLED")
+    if beat_age is not None:
+        strip.append(f"beat_age={beat_age:.1f}s")
+    if uptime is not None:
+        strip.append(f"uptime={uptime:.0f}s")
+    if events is not None:
+        strip.append(f"events={int(events)}")
+    lines.append("repro top -- " + (" ".join(strip) if strip else "no health gauges"))
+    lines.append("")
+
+    # -- per-level utilization (busy stages + idle causes) ------------------
+    busy = _by_name(samples, "repro_sim_busy_seconds_total")
+    idle = _by_name(samples, "repro_sim_idle_seconds_total")
+    levels = sorted({lab.get("level", "?") for lab, _ in busy + idle},
+                    key=str)
+    if levels:
+        lines.append(f"{'level':>5s}  {'utilization':<22s} {'busy_s':>10s}  "
+                     f"stall causes")
+        for level in levels:
+            busy_here = [(lab, v) for lab, v in busy
+                         if lab.get("level") == level and "worker" not in lab]
+            idle_here = [(lab, v) for lab, v in idle
+                         if lab.get("level") == level and "worker" not in lab]
+            busy_s = sum(v for _, v in busy_here)
+            idle_s = sum(v for _, v in idle_here)
+            wall = busy_s + idle_s
+            util = busy_s / wall if wall > 0 else 0.0
+            causes = sorted(idle_here, key=lambda item: -item[1])[:3]
+            cause_str = " ".join(
+                f"{lab.get('cause', '?')}={v:.3g}s" for lab, v in causes
+                if v > 0)
+            lines.append(f"{level:>5s}  [{_bar(util)}] {busy_s:10.4f}  "
+                         f"{cause_str or '-'}")
+        lines.append("")
+
+    # -- per-worker series (merged back from sweep pool children) -----------
+    worker_rows: Dict[str, Dict[str, float]] = {}
+    for (name, labels), value in samples.items():
+        lab = dict(labels)
+        worker = lab.get("worker")
+        if worker is None:
+            continue
+        row = worker_rows.setdefault(worker, {})
+        if name == "repro_worker_wall_seconds_total":
+            row["wall_s"] = row.get("wall_s", 0.0) + value
+        elif name == "repro_worker_events_total":
+            row["events"] = row.get("events", 0.0) + value
+        elif name == "repro_executor_instructions_total":
+            row["instructions"] = row.get("instructions", 0.0) + value
+        else:
+            row["series"] = row.get("series", 0.0) + 1
+    if worker_rows:
+        lines.append(f"{'worker':>6s} {'wall_s':>10s} {'instructions':>13s} "
+                     f"{'events':>8s} {'series':>7s}")
+        for worker in sorted(worker_rows, key=str):
+            row = worker_rows[worker]
+            lines.append(
+                f"{worker:>6s} {row.get('wall_s', 0.0):10.4f} "
+                f"{int(row.get('instructions', 0)):13d} "
+                f"{int(row.get('events', 0)):8d} "
+                f"{int(row.get('series', 0)):7d}")
+        lines.append("")
+
+    # -- movers: counters that changed since the previous frame -------------
+    if prev is not None:
+        movers = []
+        for key, value in samples.items():
+            delta = value - prev.get(key, 0.0)
+            if delta > 0 and key[0].endswith("_total"):
+                movers.append((delta, key))
+        movers.sort(key=lambda item: -item[0])
+        if movers:
+            per = f"/{interval:.0f}s" if interval else ""
+            lines.append(f"top movers{per}:")
+            for delta, (name, labels) in movers[:8]:
+                lab = ",".join(f"{k}={v}" for k, v in labels)
+                series = f"{name}{{{lab}}}" if lab else name
+                lines.append(f"  +{_fmt(delta):>10s}  {series}")
+        else:
+            lines.append("top movers: (idle)")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(url: str, interval: float = 2.0,
+            iterations: Optional[int] = None, clear: bool = True,
+            out=None, _sleep=time.sleep) -> int:
+    """The ``repro top`` loop; returns a process exit code.
+
+    ``iterations`` bounds the frame count (tests use 1); None runs until
+    Ctrl-C.  The first failed scrape exits 2 with a diagnostic -- after a
+    first success, transient failures are shown in-frame and retried.
+    """
+    import sys
+    out = out or sys.stdout
+    prev: Optional[Samples] = None
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            try:
+                text = fetch_metrics(url)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                if prev is None:
+                    out.write(f"repro top: cannot scrape {url}: {exc}\n")
+                    return 2
+                out.write(f"[scrape failed: {exc}; retrying]\n")
+                _sleep(interval)
+                continue
+            samples = parse_exposition(text)
+            frame = format_top(samples, prev=prev,
+                               interval=interval if prev is not None else None)
+            if clear:
+                out.write(ANSI_CLEAR)
+            out.write(frame)
+            out.flush()
+            prev = samples
+            frames += 1
+            if iterations is None or frames < iterations:
+                _sleep(interval)
+    except KeyboardInterrupt:
+        out.write("\n")
+    return 0

@@ -1,0 +1,138 @@
+"""Cross-process trace context: one ``trace_id`` per logical run.
+
+Cambricon-F's fractal isomorphism gives every run a natural hierarchical
+trace -- one context decomposed across levels -- and, with
+``run_sweep(workers=N)``, across *processes*.  A :class:`TraceContext`
+is the correlation key that survives both boundaries:
+
+* ``trace_id`` names the whole logical run (a sweep, a profile, a
+  serving request); every span, event, counter bundle and ledger row it
+  produces -- in any process -- carries the same id;
+* ``span_id`` names the unit of work that *spawned* the current one, so
+  a worker's telemetry can be re-attached under its parent;
+* ``worker`` is set in pool children (the cell index), ``None`` in the
+  parent.
+
+Like the event log's run context the current trace is contextvars-backed
+(:func:`trace_scope` / :func:`current_trace`), and :func:`trace_scope`
+also pushes ``trace_id`` (plus ``worker`` when set) onto the structured
+event context, so every event emitted inside the scope is joinable on
+the trace id with zero extra plumbing.  ``to_wire()`` / ``from_wire()``
+serialize a context into the plain-dict payload ``run_sweep`` ships to
+each ``ProcessPoolExecutor`` worker.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .events import event_context
+
+#: hex length of a trace id (uuid4) and of a span id (its prefix).
+TRACE_ID_HEX = 32
+SPAN_ID_HEX = 16
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex trace id (uuid4, no dashes)."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex span id."""
+    return uuid.uuid4().hex[:SPAN_ID_HEX]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable correlation key for one logical run (see module doc)."""
+
+    trace_id: str
+    span_id: str
+    worker: Optional[int] = None
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context (new trace id, new root span id)."""
+        return cls(trace_id=new_trace_id(), span_id=new_span_id())
+
+    def child(self, worker: Optional[int] = None) -> "TraceContext":
+        """A child context: same trace, fresh span id, optional worker."""
+        return TraceContext(trace_id=self.trace_id, span_id=new_span_id(),
+                            worker=worker)
+
+    # -- wire format (ships across process boundaries) ----------------------
+
+    def to_wire(self) -> Dict[str, object]:
+        wire: Dict[str, object] = {"trace_id": self.trace_id,
+                                   "span_id": self.span_id}
+        if self.worker is not None:
+            wire["worker"] = int(self.worker)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "TraceContext":
+        worker = wire.get("worker")
+        return cls(
+            trace_id=str(wire.get("trace_id") or new_trace_id()),
+            span_id=str(wire.get("span_id") or new_span_id()),
+            worker=int(worker) if worker is not None else None,
+        )
+
+
+#: the trace context active in this task/thread (None outside any scope).
+_TRACE: contextvars.ContextVar[Optional[TraceContext]] = \
+    contextvars.ContextVar("repro_obs_trace", default=None)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The trace context active right now, or None."""
+    return _TRACE.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """Shorthand for ``current_trace().trace_id`` (None outside a scope)."""
+    ctx = _TRACE.get()
+    return ctx.trace_id if ctx is not None else None
+
+
+@contextmanager
+def trace_scope(ctx: Optional[TraceContext] = None, **event_fields):
+    """Install ``ctx`` (a fresh root context by default) for the block.
+
+    Also pushes ``trace_id`` -- and ``worker`` when the context carries
+    one -- onto the structured event context, so every event emitted
+    inside the scope is joinable on the trace id.  Extra ``event_fields``
+    ride along on the same event-context frame.
+    """
+    if ctx is None:
+        ctx = TraceContext.new()
+    token = _TRACE.set(ctx)
+    fields: Dict[str, object] = {"trace_id": ctx.trace_id, **event_fields}
+    if ctx.worker is not None:
+        fields["worker"] = ctx.worker
+    try:
+        with event_context(**fields):
+            yield ctx
+    finally:
+        _TRACE.reset(token)
+
+
+@contextmanager
+def ensure_trace(**event_fields):
+    """Yield the current trace context, entering a fresh root one if none.
+
+    The common entry-point idiom: commands and sweeps correlate under an
+    enclosing trace when one is active (e.g. a serving tier wrapping many
+    runs), and mint their own otherwise.
+    """
+    ctx = _TRACE.get()
+    if ctx is not None:
+        yield ctx
+        return
+    with trace_scope(**event_fields) as fresh:
+        yield fresh

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import csv
 import io
+import time
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -47,7 +48,7 @@ class SweepRecord:
     preassign_fraction: float
 
 
-def _simulate_cell(
+def _run_cell(
     m_name: str,
     machine: Machine,
     v_name: str,
@@ -57,8 +58,7 @@ def _simulate_cell(
     """Simulate every workload of one (machine, variant) grid cell.
 
     One :class:`FractalSimulator` per cell (its signature memo warms across
-    the cell's workloads, as in the serial path).  Module-level so the
-    ``workers=N`` process pool can pickle it.
+    the cell's workloads, as in the serial path).
     """
     variant_machine = machine.with_features(**flags) if flags else machine
     sim = FractalSimulator(variant_machine, collect_profiles=False)
@@ -80,6 +80,32 @@ def _simulate_cell(
     return records
 
 
+def _simulate_cell(
+    m_name: str,
+    machine: Machine,
+    v_name: str,
+    flags: Dict[str, bool],
+    workloads: Sequence[Tuple[str, Sequence[Instruction]]],
+    obs_wire: Optional[Dict[str, object]] = None,
+):
+    """Pool entry point for one grid cell; module-level so it pickles.
+
+    Returns ``(records, telemetry)``: with ``obs_wire`` (the parent's
+    trace + enable flags, see :func:`repro.obs.worker.build_wire`) the
+    cell runs inside a :func:`repro.obs.worker.worker_capture` scope and
+    ships back a ``WorkerTelemetry`` bundle; without it (legacy callers)
+    telemetry is None.
+    """
+    if obs_wire is None:
+        return _run_cell(m_name, machine, v_name, flags, workloads), None
+    from ..obs.events import event_context
+    from ..obs.worker import worker_capture
+    with worker_capture(obs_wire) as capture, \
+            event_context(machine=m_name, variant=v_name):
+        records = _run_cell(m_name, machine, v_name, flags, workloads)
+    return records, capture.telemetry
+
+
 def run_sweep(
     machines: Mapping[str, Machine],
     workloads: Mapping[str, Sequence[Instruction]],
@@ -97,7 +123,22 @@ def run_sweep(
     tables, committed benchmark artifacts) -- is byte-identical regardless
     of worker count or completion order.  ``progress`` callbacks fire in
     the parent as each cell's results are collected.
+
+    Observability: the whole sweep runs under one trace context (reusing
+    an enclosing :func:`repro.obs.trace.trace_scope` when the caller has
+    one, minting a fresh trace otherwise).  Pool children re-attach their
+    telemetry under that trace and ship :class:`WorkerTelemetry` bundles
+    back; the parent merges them into its registries with ``worker=<n>``
+    labels (visible on a live ``/metrics``) and appends one run-ledger
+    row per cell plus a parent ``sweep`` row -- all fail-soft and
+    cost-free when telemetry, the event log, and the ledger are off.
     """
+    from ..obs.events import event_context
+    from ..obs.ledger import record_run
+    from ..obs.trace import ensure_trace
+    from ..obs.worker import build_wire, ledger_fields, merge_worker_telemetry
+    from ..telemetry import get_registry
+
     variants = dict(variants) if variants is not None else {"baseline": {}}
     cells = [
         (m_name, machine, v_name, flags)
@@ -105,47 +146,72 @@ def run_sweep(
         for v_name, flags in variants.items()
     ]
     workload_items = list(workloads.items())
+    registry = get_registry()
+    t0 = time.perf_counter()
 
-    if workers is not None and workers > 1 and len(cells) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    with ensure_trace(sweep=True) as ctx:
+        parallel = workers is not None and workers > 1 and len(cells) > 1
+        if parallel:
+            from concurrent.futures import ProcessPoolExecutor
 
-        records: List[SweepRecord] = []
-        with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-            futures = [
-                pool.submit(_simulate_cell, m_name, machine, v_name, flags,
-                            workload_items)
-                for m_name, machine, v_name, flags in cells
-            ]
-            # Collect in submission (= grid) order; completion order is
-            # irrelevant to the merged output.
-            for (m_name, _machine, v_name, _flags), future in zip(cells, futures):
-                cell_records = future.result()
-                if progress:
-                    for w_name, _ in workload_items:
-                        progress(f"{m_name}/{v_name}/{w_name}")
-                records.extend(cell_records)
-        return records
-
-    records = []
-    for m_name, machine, v_name, flags in cells:
-        variant_machine = machine.with_features(**flags) if flags else machine
-        sim = FractalSimulator(variant_machine, collect_profiles=False)
-        for w_name, program in workload_items:
-            if progress:
-                progress(f"{m_name}/{v_name}/{w_name}")
-            rep = sim.simulate(list(program))
-            records.append(SweepRecord(
-                machine=m_name,
-                variant=v_name,
-                workload=w_name,
-                total_time=rep.total_time,
-                attained_ops=rep.attained_ops,
-                peak_fraction=rep.peak_fraction(variant_machine.peak_ops),
-                operational_intensity=rep.operational_intensity,
-                root_traffic=rep.root_traffic,
-                ttt_elided_bytes=rep.stats.elided_bytes,
-                preassign_fraction=rep.stats.preassign_fraction,
-            ))
+            records: List[SweepRecord] = []
+            with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+                futures = [
+                    pool.submit(_simulate_cell, m_name, machine, v_name,
+                                flags, workload_items, build_wire(ctx, i))
+                    for i, (m_name, machine, v_name, flags) in enumerate(cells)
+                ]
+                # Collect in submission (= grid) order; completion order is
+                # irrelevant to the merged output.
+                for (m_name, _machine, v_name, _flags), future in zip(cells,
+                                                                      futures):
+                    cell_records, wt = future.result()
+                    if wt is not None:
+                        merge_worker_telemetry(wt)
+                        record_run("sweep-cell", machine=m_name,
+                                   variant=v_name,
+                                   trace_id=wt.trace_id, span_id=wt.span_id,
+                                   workloads=len(workload_items),
+                                   **ledger_fields(wt))
+                    if progress:
+                        for w_name, _ in workload_items:
+                            progress(f"{m_name}/{v_name}/{w_name}")
+                    records.extend(cell_records)
+        else:
+            records = []
+            for m_name, machine, v_name, flags in cells:
+                cell_t0 = time.perf_counter()
+                with event_context(machine=m_name, variant=v_name):
+                    variant_machine = (machine.with_features(**flags)
+                                       if flags else machine)
+                    sim = FractalSimulator(variant_machine,
+                                           collect_profiles=False)
+                    for w_name, program in workload_items:
+                        if progress:
+                            progress(f"{m_name}/{v_name}/{w_name}")
+                        rep = sim.simulate(list(program))
+                        records.append(SweepRecord(
+                            machine=m_name,
+                            variant=v_name,
+                            workload=w_name,
+                            total_time=rep.total_time,
+                            attained_ops=rep.attained_ops,
+                            peak_fraction=rep.peak_fraction(
+                                variant_machine.peak_ops),
+                            operational_intensity=rep.operational_intensity,
+                            root_traffic=rep.root_traffic,
+                            ttt_elided_bytes=rep.stats.elided_bytes,
+                            preassign_fraction=rep.stats.preassign_fraction,
+                        ))
+                record_run("sweep-cell", machine=m_name, variant=v_name,
+                           makespan_s=time.perf_counter() - cell_t0,
+                           workloads=len(workload_items))
+        if registry.enabled:
+            registry.count("sweep.cells", len(cells))
+        record_run("sweep", cells=len(cells),
+                   workers=workers if parallel else None,
+                   workloads=len(workload_items),
+                   makespan_s=time.perf_counter() - t0)
     return records
 
 

@@ -306,6 +306,19 @@ def build_run_report(
             watchdog = get_watchdog()
             if watchdog is not None:
                 health = watchdog.health_section()
+    notes = dict(notes or {})
+    if "trace_id" not in notes:
+        # Stamp the active trace so the run ledger and `repro trace show`
+        # can join this report to its spans/events/counters.
+        try:
+            from ..obs.trace import current_trace
+        except ImportError:  # pragma: no cover - obs ships with repro
+            current_trace = None
+        if current_trace is not None:
+            ctx = current_trace()
+            if ctx is not None:
+                notes["trace_id"] = ctx.trace_id
+                notes["span_id"] = ctx.span_id
     return RunReport(
         benchmark=benchmark,
         machine=machine,
@@ -317,5 +330,5 @@ def build_run_report(
         spans_dropped=int(getattr(tracer, "dropped", 0)) if tracer is not None else 0,
         events=event_log.summary() if event_log is not None else None,
         health=health,
-        notes=dict(notes or {}),
+        notes=notes,
     )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,18 @@ from repro import FractalExecutor, Instruction, Tensor, TensorStore, custom_mach
 from repro.core.executor import run_reference
 
 KB = 1 << 10
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_run_ledger(tmp_path_factory):
+    """Keep the suite out of ``~/.cache``: point the run ledger at a tmp dir.
+
+    Respects an explicit ``$REPRO_LEDGER`` (CI sets one to collect the
+    test-run ledger as an artifact); only the unset case is redirected.
+    """
+    if "REPRO_LEDGER" not in os.environ:
+        os.environ["REPRO_LEDGER"] = str(tmp_path_factory.mktemp("ledger"))
+    yield
 
 
 @pytest.fixture

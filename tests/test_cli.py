@@ -379,6 +379,83 @@ class TestObservabilityCLI:
         assert code == 0
         assert not crash.exists() or list(crash.iterdir()) == []
 
+    def test_events_tail_follow_picks_up_appends(self, capsys, tmp_path,
+                                                 monkeypatch):
+        import json
+        events = tmp_path / "e.jsonl"
+
+        def rec(seq, name):
+            return json.dumps({"schema": "repro.obs.event", "v": 1,
+                               "seq": seq, "ts": float(seq),
+                               "subsystem": "sim", "event": name,
+                               "severity": "info"}) + "\n"
+
+        events.write_text(rec(1, "first"))
+
+        from repro import obs
+        real_follow = obs.follow_events
+
+        def append_second(_s):
+            # fires on the first idle poll, like a live writer flushing
+            with open(events, "a", encoding="utf-8") as fh:
+                fh.write(rec(2, "second"))
+
+        def follow_with_append(target, **kwargs):
+            kwargs["_sleep"] = append_second
+            return real_follow(target, **kwargs)
+
+        monkeypatch.setattr(obs, "follow_events", follow_with_append)
+        code, out = run_cli(capsys, "events", "tail", str(events),
+                            "--follow", "--poll", "0.01", "--follow-max", "1")
+        assert code == 0
+        assert "first" in out and "second" in out
+
+    def test_events_tail_follow_waits_for_missing_file(self, capsys,
+                                                       tmp_path, monkeypatch):
+        import json
+        events = tmp_path / "late.jsonl"
+
+        from repro import obs
+        real_follow = obs.follow_events
+
+        def follow_with_create(target, **kwargs):
+            events.write_text(json.dumps(
+                {"schema": "repro.obs.event", "v": 1, "seq": 1, "ts": 0.0,
+                 "subsystem": "sim", "event": "born",
+                 "severity": "info"}) + "\n")
+            kwargs["_sleep"] = lambda _s: None
+            kwargs["start_at_end"] = False
+            return real_follow(target, **kwargs)
+
+        monkeypatch.setattr(obs, "follow_events", follow_with_create)
+        code, out = run_cli(capsys, "events", "tail", str(events),
+                            "--follow", "--follow-max", "1")
+        assert code == 0
+        assert "born" in out
+
+    def test_top_renders_one_frame_against_live_server(self, capsys):
+        from repro import obs, telemetry
+        telemetry.enable()
+        try:
+            reg = telemetry.get_registry()
+            reg.count("sim.busy_seconds", 1.0, {"level": "0",
+                                                "stage": "compute"})
+            with obs.MetricsServer(registry=reg, port=0) as server:
+                code, out = run_cli(capsys, "top",
+                                    f"127.0.0.1:{server.port}",
+                                    "--iterations", "1", "--no-clear")
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert code == 0
+        assert "repro top" in out
+        assert "level" in out and "utilization" in out
+
+    def test_top_unreachable_endpoint_exits_2(self, capsys):
+        code, out = run_cli(capsys, "top", "127.0.0.1:9",  # discard port
+                            "--iterations", "1", "--no-clear")
+        assert code == 2
+
 
 class TestLintJson:
     """`repro lint --json` emits a schema-versioned repro.diag document

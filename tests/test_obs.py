@@ -418,6 +418,38 @@ class TestWatchdog:
         run_functional(mm_fc_workload())
         assert wd.beats >= 3  # one per top-level instruction
 
+    def test_plan_replay_beats_and_reports_progress(self):
+        """The replay fast path stays observable: per-step watchdog beats
+        plus strided ``replay.progress`` debug events with step indexes."""
+        import repro.core.executor as executor_mod
+        from repro.core.store import TensorStore
+        from repro.plan import compile_program
+
+        w = mm_fc_workload()
+        machine = tiny_machine()
+        plan = compile_program(machine, w.program)
+        rng = np.random.default_rng(0)
+        store = TensorStore()
+        for t in list(w.inputs.values()) + list(w.params.values()):
+            store.bind(t, rng.normal(size=t.shape))
+
+        wd = obs.install_watchdog(Watchdog())
+        log = obs.get_event_log()
+        log.enable()
+        old_stride = executor_mod.REPLAY_PROGRESS_STRIDE
+        executor_mod.REPLAY_PROGRESS_STRIDE = 2
+        try:
+            FractalExecutor(machine, store).run_program(w.program, plan=plan)
+        finally:
+            executor_mod.REPLAY_PROGRESS_STRIDE = old_stride
+        assert wd.beats >= plan.n_steps
+        names = [e["event"] for e in log.events()]
+        assert "replay.start" in names and "replay.end" in names
+        progress = [e for e in log.events() if e["event"] == "replay.progress"]
+        assert progress
+        assert all(e["steps"] == plan.n_steps for e in progress)
+        assert progress[0]["step"] == 2
+
 
 class TestMetricsServer:
     def test_scrape_during_simulation_is_valid_openmetrics(self):

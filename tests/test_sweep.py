@@ -87,6 +87,94 @@ class TestParallelSweep:
         assert len(records) == 2
 
 
+class TestSweepObservability:
+    """Trace propagation, worker telemetry shipping, and the run ledger."""
+
+    @pytest.fixture(autouse=True)
+    def clean_obs(self, tmp_path, monkeypatch):
+        from repro import obs, telemetry
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "ledger"))
+        log = obs.get_event_log()
+        log.disable()
+        log.reset()
+        telemetry.disable()
+        telemetry.reset()
+        yield
+        log = obs.get_event_log()
+        log.disable()
+        log.reset()
+        telemetry.disable()
+        telemetry.reset()
+
+    def test_parallel_sweep_ships_worker_telemetry(self):
+        from urllib.request import urlopen
+
+        from repro import obs, telemetry
+
+        telemetry.enable()
+        obs.get_event_log().enable()
+        server = obs.MetricsServer(port=0)
+        server.start()
+        scraped = {}
+
+        def scrape(_msg):
+            # fires in the parent as each cell's telemetry is merged
+            with urlopen(f"http://127.0.0.1:{server.port}/metrics",
+                         timeout=5) as resp:
+                scraped["text"] = resp.read().decode()
+
+        try:
+            run_sweep({"small": _machines()["small"]}, _workloads(),
+                      {"baseline": {}, "no-ttt": {"use_ttt": False}},
+                      progress=scrape, workers=2)
+            with urlopen(f"http://127.0.0.1:{server.port}/metrics",
+                         timeout=5) as resp:
+                final = resp.read().decode()
+        finally:
+            server.stop()
+        # mid-sweep scrape (after the first merge) already shows worker series
+        assert 'worker="0"' in scraped["text"]
+        assert 'worker="0"' in final and 'worker="1"' in final
+        assert "repro_worker_wall_seconds_total" in final
+        assert obs.check_openmetrics(final) == []
+
+    def test_parallel_sweep_writes_one_trace(self):
+        from repro import obs, telemetry
+
+        telemetry.enable()
+        run_sweep({"small": _machines()["small"]}, _workloads(),
+                  {"baseline": {}, "no-ttt": {"use_ttt": False}},
+                  workers=2)
+        ledger = obs.get_ledger()
+        rows = ledger.rows()
+        # one row per cell plus the parent sweep row, all one trace
+        assert [r["kind"] for r in rows] == ["sweep-cell", "sweep-cell",
+                                             "sweep"]
+        assert len({r["trace_id"] for r in rows}) == 1
+        assert [r.get("worker") for r in rows] == [0, 1, None]
+        cell = rows[0]
+        assert cell["machine"] == "small" and cell["variant"] == "baseline"
+        assert cell["makespan_s"] > 0
+        [trace_id] = ledger.traces()
+        assert trace_id == rows[0]["trace_id"]
+
+    def test_serial_sweep_also_lands_in_ledger(self):
+        from repro import obs
+
+        run_sweep({"small": _machines()["small"]}, _workloads())
+        rows = obs.get_ledger().rows()
+        assert [r["kind"] for r in rows] == ["sweep-cell", "sweep"]
+        assert len({r["trace_id"] for r in rows}) == 1
+
+    def test_sweep_respects_disabled_ledger(self, monkeypatch, tmp_path):
+        from repro import obs
+        monkeypatch.setenv("REPRO_LEDGER", "off")
+        records = run_sweep({"small": _machines()["small"]}, _workloads(),
+                            workers=2)
+        assert len(records) == 2
+        assert obs.get_ledger() is None
+
+
 class TestExport:
     def test_csv_round_trip(self):
         records = run_sweep({"small": _machines()["small"]}, _workloads())
