@@ -162,6 +162,50 @@ def _crash_dir() -> str:
                           str(_report_dir() / "crash_bundles"))
 
 
+def _profile_hz() -> float:
+    """Sampling rate requested via ``$REPRO_BENCH_PROFILE`` (0 = off).
+
+    ``1``/``true`` arm the profiler at the default 200 Hz; any other
+    number is taken as the rate itself (``REPRO_BENCH_PROFILE=500``).
+    """
+    raw = os.environ.get("REPRO_BENCH_PROFILE", "").strip().lower()
+    if raw in ("", "0", "false", "off", "no"):
+        return 0.0
+    if raw in ("1", "true", "on", "yes"):
+        return 200.0
+    try:
+        hz = float(raw)
+    except ValueError:
+        print(f"[bench] ignoring REPRO_BENCH_PROFILE={raw!r} (not a number)")
+        return 0.0
+    return hz if hz > 0 else 0.0
+
+
+def _write_suite_profile(machine, profiler) -> None:
+    """Profile JSON + flamegraph HTML next to the BENCH report (fail-soft)."""
+    from repro.obs.flame import render_flamegraph_html
+    from repro.obs.prof import record_profile
+
+    slug = machine.name.lower().replace(" ", "_").replace("-", "_")
+    doc = profiler.to_doc(benchmark="paper-suite", machine=machine.name,
+                          meta={"command": "benchmarks/conftest"})
+    out_dir = _report_dir()
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        json_path = out_dir / f"profile_{slug}.json"
+        with open(json_path, "w", encoding="utf-8") as f:
+            import json
+
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        with open(out_dir / f"flame_{slug}.html", "w", encoding="utf-8") as f:
+            f.write(render_flamegraph_html(doc))
+        record_profile(doc, path=json_path, command="benchmarks/conftest")
+        print(f"[bench] wrote {json_path} ({doc['samples']} samples)")
+    except OSError as err:  # profiling must never fail the harness
+        print(f"[bench] could not write suite profile: {err}")
+
+
 def _simulate_suite(machine) -> Dict[str, BenchResult]:
     out: Dict[str, BenchResult] = {}
     # Measure the compile/replay microbenchmark *before* arming telemetry:
@@ -187,13 +231,31 @@ def _simulate_suite(machine) -> Dict[str, BenchResult]:
                                 reason=f"bench-suite-{machine.name}",
                                 recorder=recorder):
             telemetry.reset()
-            recorder.mark("suite.start")
-            for name in PAPER_BENCHMARKS:
-                _simulate_one(machine, name, out, recorder)
-            recorder.mark("suite.end")
-            _write_suite_report(machine, out, registry, tracer,
-                                event_log=event_log,
-                                plan_microbench=microbench)
+            # Opt-in suite profiling ($REPRO_BENCH_PROFILE): sample the
+            # whole simulation pass and drop profile_<machine>.json plus a
+            # flamegraph next to the BENCH report.
+            profiler = None
+            hz = _profile_hz()
+            if hz and obs.get_profiler() is None:
+                profiler = obs.SamplingProfiler(hz=hz, tracer=tracer,
+                                                registry=registry)
+                profiler.start()
+            try:
+                recorder.mark("suite.start")
+                for name in PAPER_BENCHMARKS:
+                    _simulate_one(machine, name, out, recorder)
+                recorder.mark("suite.end")
+                # Write the report while the profiler is still live so
+                # build_run_report embeds its summary as notes.profile
+                # (diff-exempt; see repro.perf.diff._SKIPPED_PREFIXES).
+                _write_suite_report(machine, out, registry, tracer,
+                                    event_log=event_log,
+                                    plan_microbench=microbench)
+            finally:
+                if profiler is not None and profiler.running:
+                    profiler.stop()
+            if profiler is not None:
+                _write_suite_profile(machine, profiler)
     finally:
         event_log.enabled = prior_events
     return out

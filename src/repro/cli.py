@@ -7,6 +7,8 @@ Commands::
     timeline  -m f100 -b K-NN       ASCII execution timeline (Fig 13)
     trace     -b K-NN -o t.json     Chrome/Perfetto trace of a simulation
     profile   mm_fc                 run + simulate with telemetry; RunReport
+    flame     mm_fc --html f.html   sampling-profile the hot path; flamegraph
+    flame-diff base.json cand.json  diff two profiles; exit 3 on regression
     diff      base.json cand.json   compare two RunReports; exit 3 on regression
     serve-metrics mm_fc --port 8000 run a workload under a live /metrics server
     events tail events.jsonl        filter/pretty-print a structured event log
@@ -569,6 +571,137 @@ def cmd_diff(args) -> int:
     return result.exit_code
 
 
+def cmd_flame(args) -> int:
+    """Sampling-profile a benchmark's hot path; write a profile doc.
+
+    Runs the compile-once/replay-many loop under the statistical sampling
+    profiler (``repro.obs.prof``), writes the schema-versioned
+    ``repro.obs.profile`` JSON and -- with ``--html`` -- a self-contained
+    flamegraph.  Exit codes: **0** profile written, **2** unknown
+    benchmark or an output path is unwritable.
+    """
+    import json
+    import time as _time
+
+    from . import telemetry
+    from .core.executor import FractalExecutor
+    from .core.store import TensorStore
+    from .obs.flame import format_top_table, render_flamegraph_html
+    from .obs.prof import SamplingProfiler, record_profile
+    from .workloads import profile_benchmark, resolve_profile_benchmark
+
+    machine = _machine(args)
+    try:
+        args.benchmark = resolve_profile_benchmark(args.benchmark)
+    except KeyError as err:
+        print(f"flame: {err.args[0]}", file=sys.stderr)
+        return 2
+    if args.hz <= 0:
+        print(f"flame: --hz must be positive (got {args.hz})",
+              file=sys.stderr)
+        return 2
+    out = args.out or f"profile_{args.benchmark}.json"
+    code = _check_outputs("flame", out=out, html=args.html)
+    if code is not None:
+        return code
+    w = profile_benchmark(args.benchmark)
+
+    with telemetry.enabled_scope() as (registry, tracer):
+        telemetry.reset()
+        rng = np.random.default_rng(args.seed)
+        runs = 0
+        profiler = SamplingProfiler(hz=args.hz, tracer=tracer,
+                                    registry=registry)
+        with profiler, tracer.span("host.flame", cat="host",
+                                   benchmark=args.benchmark,
+                                   machine=machine.name):
+            deadline = _time.perf_counter() + args.duration
+            while True:
+                store = TensorStore()
+                for t in list(w.inputs.values()) + list(w.params.values()):
+                    store.bind(t, rng.normal(size=t.shape))
+                executor = FractalExecutor(machine, store)
+                # Compile + replay: samples attribute to "plan.compile" on
+                # the cold pass and to step opcodes/levels on every replay.
+                plan = executor.compile(w.program)
+                executor.run_plan(plan)
+                runs += 1
+                if args.iterations and runs >= args.iterations:
+                    break
+                if not args.iterations and _time.perf_counter() >= deadline:
+                    break
+        doc = profiler.to_doc(
+            benchmark=args.benchmark, machine=machine.name,
+            meta={"command": "flame", "seed": args.seed, "runs": runs})
+
+    try:
+        with open(out, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+    except OSError as err:
+        print(f"flame: cannot write {out}: {err}", file=sys.stderr)
+        return 2
+    if args.html:
+        try:
+            with open(args.html, "w", encoding="utf-8") as f:
+                f.write(render_flamegraph_html(doc))
+        except OSError as err:
+            print(f"flame: cannot write {args.html}: {err}", file=sys.stderr)
+            return 2
+    record_profile(doc, path=out, command="flame", runs=runs)
+
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(f"sampled {args.benchmark} on {machine.name}: "
+          f"{doc['samples']} samples @ {args.hz:g} Hz over {runs} run(s), "
+          f"{doc['duration_s']:.2f}s")
+    print(format_top_table(doc, limit=args.limit))
+    print(f"wrote {out}")
+    if args.html:
+        print(f"wrote {args.html} (self-contained flamegraph)")
+    return 0
+
+
+def cmd_flame_diff(args) -> int:
+    """Diff two recorded profiles; gate on attribution-share growth.
+
+    Exit codes (the ``repro diff`` contract): **0** -- no share grew past
+    the threshold, **2** -- a document could not be read or is not a valid
+    ``repro.obs.profile``, **3** -- gated regression.
+    """
+    import json
+
+    from .obs.flame import diff_profiles
+    from .obs.prof import validate_profile
+
+    docs = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"flame-diff: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+        problems = validate_profile(doc)
+        if problems:
+            print(f"flame-diff: {path} is not a valid profile:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 2
+        docs.append(doc)
+
+    result = diff_profiles(docs[0], docs[1], threshold=args.threshold,
+                           baseline_name=args.baseline,
+                           candidate_name=args.candidate)
+    if args.json:
+        print(json.dumps(result.to_json_obj(), indent=2))
+    else:
+        print(result.format_table(limit=args.limit))
+    return result.exit_code
+
+
 def cmd_serve_metrics(args) -> int:
     """Run a workload in a loop under a live observability endpoint.
 
@@ -647,12 +780,23 @@ def cmd_events_tail(args) -> int:
                   file=sys.stderr)
             return 2
         events, bad = [], 0  # --follow waits for the file to appear
+    pattern = None
+    if getattr(args, "grep", None):
+        import re
+
+        try:
+            pattern = re.compile(args.grep)
+        except re.error as err:
+            print(f"events tail: bad --grep pattern {args.grep!r}: {err}",
+                  file=sys.stderr)
+            return 2
     picked = obs.filter_events(
         events,
         subsystem=args.subsystem,
         min_severity=args.severity,
         event_glob=args.event,
         last=args.last,
+        pattern=pattern,
     )
     if args.json:
         for record in picked:
@@ -680,7 +824,8 @@ def cmd_events_tail(args) -> int:
                 if not obs.filter_events([record],
                                          subsystem=args.subsystem,
                                          min_severity=args.severity,
-                                         event_glob=args.event):
+                                         event_glob=args.event,
+                                         pattern=pattern):
                     continue
                 if base_ts is None:
                     ts = record.get("ts")
@@ -849,8 +994,11 @@ def cmd_trace_show(args) -> int:
     for tag in sorted(spans):
         print(f"  spans ({tag}):")
         for name, agg in sorted(spans[tag].items()):
-            print(f"    {name:32s} x{agg.get('count', 0):<6d} "
-                  f"{float(agg.get('total_s', 0.0)) * 1e3:10.3f} ms")
+            line = (f"    {name:32s} x{agg.get('count', 0):<6d} "
+                    f"{float(agg.get('total_s', 0.0)) * 1e3:10.3f} ms")
+            if "self_total_s" in agg:
+                line += f"  self {float(agg['self_total_s']) * 1e3:10.3f} ms"
+            print(line)
     if events:
         print(f"  events ({len(events)} shipped):")
         shown = obs.format_events(events[-args.events:])
@@ -863,7 +1011,8 @@ def cmd_top(args) -> int:
     from .obs import run_top
 
     return run_top(args.url, interval=args.interval,
-                   iterations=args.iterations, clear=not args.no_clear)
+                   iterations=args.iterations, clear=not args.no_clear,
+                   json_mode=args.json)
 
 
 def cmd_compile(args) -> int:
@@ -1258,6 +1407,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--poll", type=float, default=0.5, metavar="S",
                    help="--follow poll interval in seconds (default 0.5)")
     p.add_argument("--follow-max", type=int, help=argparse.SUPPRESS)
+    p.add_argument("-g", "--grep", metavar="PATTERN",
+                   help="regex filter over the event name and rendered "
+                        "fields (composes with --severity/--follow)")
     p.set_defaults(fn=cmd_events_tail)
 
     p = sub.add_parser("top", help="live terminal dashboard over a running "
@@ -1272,6 +1424,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-clear", action="store_true",
                    help="append frames instead of clearing the screen "
                         "(useful for piping)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one repro.obs.top JSON object per frame "
+                        "instead of the ANSI dashboard "
+                        "(--json --iterations 1 for a one-shot scrape)")
     p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("diff", help="compare two RunReport JSON documents; "
@@ -1289,6 +1445,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable diff instead of the table")
     p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("flame", help="sampling-profile a benchmark; write "
+                                     "a profile JSON and flamegraph")
+    _add_machine_args(p)
+    p.add_argument("benchmark",
+                   help="profiling subject (e.g. mm_fc) -- same names as "
+                        "`repro profile`")
+    p.add_argument("--hz", type=float, default=200.0,
+                   help="sampling rate in Hz (default 200)")
+    p.add_argument("-o", "--out",
+                   help="profile doc path (default profile_<benchmark>.json)")
+    p.add_argument("--html", metavar="OUT",
+                   help="also write a self-contained HTML flamegraph")
+    p.add_argument("--duration", type=float, default=1.0, metavar="S",
+                   help="keep re-running the benchmark for about S seconds "
+                        "(default 1.0)")
+    p.add_argument("--iterations", type=int, default=0, metavar="N",
+                   help="run exactly N passes instead of --duration")
+    p.add_argument("--limit", type=int, default=15,
+                   help="rows in the printed top table (default 15)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="print the repro.obs.profile document instead of "
+                        "the summary")
+    p.set_defaults(fn=cmd_flame)
+
+    p = sub.add_parser("flame-diff", help="diff two recorded profiles; "
+                                          "exit 3 on attribution regression")
+    p.add_argument("baseline", help="baseline repro.obs.profile JSON")
+    p.add_argument("candidate", help="candidate repro.obs.profile JSON")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="absolute share growth that gates, in fractions "
+                        "of total samples (default 0.05 = 5 points)")
+    p.add_argument("--limit", type=int, default=20,
+                   help="rows in the printed table (default 20)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.obs.profile_diff document instead "
+                        "of the table")
+    p.set_defaults(fn=cmd_flame_diff)
 
     p = sub.add_parser("compile", help="compile a benchmark into a "
                                        "replayable fractal plan")

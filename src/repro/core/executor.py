@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from .. import obs, ops, telemetry
+from ..obs import prof as _prof
 from .decomposition import decompose_parallel, shrink_sequential
 from .isa import Instruction, Opcode
 from .machine import Machine
@@ -193,6 +194,7 @@ class FractalExecutor:
                         raise
             log.info("program.end", kernel_calls=self.stats.kernel_calls,
                      max_depth=self.stats.max_depth_reached)
+        _prof.clear_step()
         self._publish_counters()
         return self.store
 
@@ -200,6 +202,7 @@ class FractalExecutor:
         with telemetry.get_tracer().span(f"inst:{inst.opcode.value}",
                                          cat="instruction"):
             self._run(inst, level=0)
+        _prof.clear_step()
         self._publish_counters()
         return self.store
 
@@ -222,12 +225,17 @@ class FractalExecutor:
                          machine=self.machine.name, steps=plan.n_steps):
             log.info("replay.start", machine=self.machine.name,
                      steps=plan.n_steps)
+            # Hoisted profiler check: replay pays one global None-test per
+            # run, not per step, when no sampling profiler is active.
+            set_step = _prof.set_step if _prof.profiling() else None
             for index, step in enumerate(plan.steps):
                 obs.beat()
                 if index and index % REPLAY_PROGRESS_STRIDE == 0:
                     log.debug("replay.progress", step=index,
                               steps=plan.n_steps)
                 inst = step.inst
+                if set_step is not None:
+                    set_step(inst.opcode.value, step.level)
                 try:
                     if step.safe_zero_copy:
                         # Statically proven alias-free by the plan analyzer
@@ -255,6 +263,7 @@ class FractalExecutor:
                     for region, value in zip(inst.outputs, outputs):
                         store.write(region, value)
             log.info("replay.end", kernel_calls=self.stats.kernel_calls)
+        _prof.clear_step()
         registry = telemetry.get_registry()
         if registry.enabled and plan.stats.peak_live_bytes:
             registry.gauge("plan.peak_live_bytes").set_max(
@@ -312,7 +321,7 @@ class FractalExecutor:
             for part in split.parts:
                 self._run(part, level + 1)
             for red in split.reduction:
-                self._execute_lfu(red)
+                self._execute_lfu(red, level)
 
     # -- execution units ------------------------------------------------------
 
@@ -320,6 +329,7 @@ class FractalExecutor:
         self.stats.kernel_calls += 1
         mnemonic = inst.opcode.value
         self.stats.leaf_ops[mnemonic] = self.stats.leaf_ops.get(mnemonic, 0) + 1
+        _prof.set_step(mnemonic, level)
         try:
             self._apply(inst)
         except Exception as err:
@@ -328,8 +338,9 @@ class FractalExecutor:
                           error=f"{type(err).__name__}: {err}")
             raise
 
-    def _execute_lfu(self, inst: Instruction) -> None:
+    def _execute_lfu(self, inst: Instruction, level: int = 0) -> None:
         self.stats.lfu_calls += 1
+        _prof.set_step(inst.opcode.value, level)
         self._apply(inst)
 
     def _read_operands(self, inst: Instruction) -> List:

@@ -58,6 +58,17 @@ from .ledger import (
     record_report,
     record_run,
 )
+from .flame import (
+    DEFAULT_DIFF_THRESHOLD,
+    FLAME_DIFF_SCHEMA,
+    FLAME_DIFF_SCHEMA_VERSION,
+    FlameDiffEntry,
+    FlameDiffResult,
+    diff_profiles,
+    format_top_table,
+    render_flamegraph_html,
+    top_table,
+)
 from .openmetrics import (
     METRIC_PREFIX,
     check_openmetrics,
@@ -72,6 +83,22 @@ from .server import (
     get_watchdog,
     install_watchdog,
 )
+from .prof import (
+    PROFILE_SCHEMA,
+    PROFILE_SCHEMA_VERSION,
+    SamplingProfiler,
+    active_profile_summary,
+    clear_step,
+    collapsed_lines,
+    get_profiler,
+    merge_profiles,
+    profile_summary,
+    profiling,
+    record_profile,
+    set_step,
+    step_scope,
+    validate_profile,
+)
 from .tail import (
     filter_events,
     follow_events,
@@ -79,7 +106,7 @@ from .tail import (
     format_events,
     load_events,
 )
-from .top import fetch_metrics, format_top, parse_exposition, run_top
+from .top import fetch_metrics, format_top, frame_doc, parse_exposition, run_top
 from .trace import (
     TraceContext,
     current_trace,
@@ -134,6 +161,30 @@ __all__ = [
     "build_wire",
     "merge_worker_telemetry",
     "worker_capture",
+    "PROFILE_SCHEMA",
+    "PROFILE_SCHEMA_VERSION",
+    "SamplingProfiler",
+    "active_profile_summary",
+    "clear_step",
+    "collapsed_lines",
+    "get_profiler",
+    "merge_profiles",
+    "profile_summary",
+    "profiling",
+    "record_profile",
+    "set_step",
+    "step_scope",
+    "validate_profile",
+    "DEFAULT_DIFF_THRESHOLD",
+    "FLAME_DIFF_SCHEMA",
+    "FLAME_DIFF_SCHEMA_VERSION",
+    "FlameDiffEntry",
+    "FlameDiffResult",
+    "diff_profiles",
+    "format_top_table",
+    "render_flamegraph_html",
+    "top_table",
+    "frame_doc",
     "METRIC_PREFIX",
     "check_openmetrics",
     "escape_label_value",

@@ -1,0 +1,391 @@
+"""Flamegraph rendering and gated diffing over ``repro.obs.profile`` docs.
+
+Three consumers of the sampling profiler's document (:mod:`repro.obs.prof`):
+
+* :func:`render_flamegraph_html` -- a **self-contained** HTML flamegraph
+  (inline CSS, absolutely-positioned divs, hover tooltips; no JavaScript,
+  no external assets), so the artifact opens anywhere, including straight
+  from a CI artifact download;
+* :func:`top_table` / :func:`format_top_table` -- the classic top-N
+  self/cumulative frame table;
+* :func:`diff_profiles` -- an attribution-share delta between two
+  profiles with the same exit-code contract as ``repro diff`` /
+  ``tools/perf_gate.py``: **0** pass, **3** gated regression (2 is the
+  CLI's usage/IO/validation error).  Shares (fraction of total samples)
+  rather than raw counts are compared, so profiles of different lengths
+  diff meaningfully; a *regression* is any span/opcode/level/frame whose
+  share grew by more than ``threshold`` (absolute share points).
+"""
+
+from __future__ import annotations
+
+import html
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .prof import NONE_KEY
+
+FLAME_DIFF_SCHEMA = "repro.obs.profile_diff"
+FLAME_DIFF_SCHEMA_VERSION = 1
+
+#: default gate: a share moving more than 5 points fails the diff.
+DEFAULT_DIFF_THRESHOLD = 0.05
+
+#: frames narrower than this fraction of the root are omitted from the
+#: rendered flamegraph (they would be sub-pixel anyway).
+MIN_RENDER_FRACTION = 0.0005
+
+_ROW_PX = 17
+
+
+# ---------------------------------------------------------------------------
+# flamegraph tree + HTML rendering
+# ---------------------------------------------------------------------------
+
+
+class _Node:
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.children: Dict[str, _Node] = {}
+
+
+def _build_tree(doc: Dict[str, object]) -> _Node:
+    root = _Node("all")
+    for stack in doc.get("stacks") or []:
+        count = int(stack.get("count", 0))
+        root.value += count
+        node = root
+        for frame in stack.get("frames") or []:
+            name = str(frame)
+            child = node.children.get(name)
+            if child is None:
+                child = node.children[name] = _Node(name)
+            child.value += count
+            node = child
+    return root
+
+
+def _color(name: str) -> str:
+    """Deterministic warm color per frame name (classic flamegraph look)."""
+    hue = zlib.crc32(name.encode("utf-8")) % 55  # red..yellow band
+    return f"hsl({hue},78%,62%)"
+
+
+def render_flamegraph_html(doc: Dict[str, object],
+                           title: Optional[str] = None) -> str:
+    """One self-contained HTML page: header, flamegraph, top table."""
+    root = _build_tree(doc)
+    total = max(root.value, 1)
+    cells: List[Tuple[int, float, float, str, int]] = []
+    max_depth = 0
+    omitted = 0
+
+    def walk(node: _Node, depth: int, x: float) -> None:
+        nonlocal max_depth, omitted
+        for name in sorted(node.children):
+            child = node.children[name]
+            frac = child.value / total
+            if frac < MIN_RENDER_FRACTION:
+                omitted += child.value
+                x += frac
+                continue
+            cells.append((depth, x, frac, name, child.value))
+            max_depth = max(max_depth, depth)
+            walk(child, depth + 1, x)
+            x += frac
+
+    walk(root, 0, 0.0)
+
+    subject = " / ".join(str(doc[k]) for k in ("benchmark", "machine")
+                         if doc.get(k))
+    heading = html.escape(title or (f"repro flame -- {subject}" if subject
+                                    else "repro flame"))
+    hz = doc.get("hz", "?")
+    samples = int(doc.get("samples", 0))
+    duration = doc.get("duration_s")
+    duration_str = (f"{duration:.2f}s" if isinstance(duration, (int, float))
+                    else "?")
+    meta_bits = [f"{samples} samples", f"{hz} Hz", duration_str]
+    if doc.get("trace_id"):
+        meta_bits.append(f"trace {str(doc['trace_id'])[:16]}")
+    if omitted:
+        meta_bits.append(f"{omitted} samples in frames &lt;"
+                         f"{MIN_RENDER_FRACTION:.2%} omitted")
+
+    divs: List[str] = []
+    for depth, x, frac, name, value in cells:
+        pct = 100.0 * value / total
+        tip = html.escape(f"{name} — {value} samples ({pct:.2f}%)", quote=True)
+        label = html.escape(name) if frac > 0.03 else ""
+        divs.append(
+            f'<div class="f" title="{tip}" style="left:{x * 100:.4f}%;'
+            f'width:{frac * 100:.4f}%;top:{depth * _ROW_PX}px;'
+            f'background:{_color(name)}">{label}</div>')
+
+    rows = format_top_table(doc, limit=25)
+    attribution = doc.get("attribution") or {}
+    attr_rows: List[str] = []
+    for key in ("spans", "opcodes", "levels", "workers"):
+        table = attribution.get(key)
+        if not isinstance(table, dict) or not table:
+            continue
+        top = sorted(table.items(), key=lambda kv: (-int(kv[1]), kv[0]))[:6]
+        cellstr = ", ".join(
+            f"{html.escape(str(k))} {100.0 * int(v) / max(samples, 1):.1f}%"
+            for k, v in top)
+        attr_rows.append(f"<tr><th>{key}</th><td>{cellstr}</td></tr>")
+
+    height = (max_depth + 1) * _ROW_PX
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{heading}</title>
+<style>
+body {{ font: 13px/1.4 -apple-system, 'Segoe UI', sans-serif; margin: 16px; }}
+h1 {{ font-size: 16px; margin: 0 0 4px; }}
+.meta {{ color: #666; margin-bottom: 12px; }}
+.graph {{ position: relative; height: {height}px; border: 1px solid #ddd;
+          background: #fafafa; }}
+.f {{ position: absolute; height: {_ROW_PX - 1}px; overflow: hidden;
+      white-space: nowrap; font-size: 11px; box-sizing: border-box;
+      border-right: 1px solid rgba(255,255,255,.6); padding: 0 2px;
+      text-overflow: ellipsis; }}
+table {{ border-collapse: collapse; margin-top: 14px; }}
+th, td {{ text-align: left; padding: 2px 10px 2px 0; font-size: 12px; }}
+pre {{ font-size: 12px; }}
+</style></head><body>
+<h1>{heading}</h1>
+<div class="meta">{' &middot; '.join(meta_bits)}</div>
+<div class="graph">
+{''.join(divs)}
+</div>
+<table>{''.join(attr_rows)}</table>
+<pre>{html.escape(rows)}</pre>
+</body></html>
+"""
+
+
+# ---------------------------------------------------------------------------
+# top-N self/cumulative table
+# ---------------------------------------------------------------------------
+
+
+def frame_shares(doc: Dict[str, object]) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """``(self_counts, cumulative_counts)`` per frame label.
+
+    Self = samples where the frame is the leaf; cumulative = samples where
+    it appears anywhere in the stack (counted once per stack, so recursion
+    does not overcount).
+    """
+    self_counts: Dict[str, int] = {}
+    cum_counts: Dict[str, int] = {}
+    for stack in doc.get("stacks") or []:
+        count = int(stack.get("count", 0))
+        frames = [str(f) for f in stack.get("frames") or []]
+        if not frames:
+            continue
+        leaf = frames[-1]
+        self_counts[leaf] = self_counts.get(leaf, 0) + count
+        for frame in set(frames):
+            cum_counts[frame] = cum_counts.get(frame, 0) + count
+    return self_counts, cum_counts
+
+
+def top_table(doc: Dict[str, object], limit: int = 25) -> List[Dict[str, object]]:
+    """Top-``limit`` frames by self samples, with cumulative columns."""
+    self_counts, cum_counts = frame_shares(doc)
+    total = max(int(doc.get("samples", 0)), 1)
+    ranked = sorted(cum_counts,
+                    key=lambda f: (-self_counts.get(f, 0), -cum_counts[f], f))
+    return [
+        {"frame": frame,
+         "self": self_counts.get(frame, 0),
+         "cum": cum_counts[frame],
+         "self_frac": self_counts.get(frame, 0) / total,
+         "cum_frac": cum_counts[frame] / total}
+        for frame in ranked[:limit]
+    ]
+
+
+def format_top_table(doc: Dict[str, object], limit: int = 25) -> str:
+    rows = top_table(doc, limit=limit)
+    out = [f"{'self':>6s} {'self%':>7s} {'cum':>6s} {'cum%':>7s}  frame"]
+    out += [
+        f"{r['self']:6d} {r['self_frac']:7.1%} {r['cum']:6d} "
+        f"{r['cum_frac']:7.1%}  {r['frame']}"
+        for r in rows
+    ]
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# profile diffing (repro flame-diff)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FlameDiffEntry:
+    """One attribution-share comparison between two profiles."""
+
+    path: str          # e.g. "spans.executor.replay" or "frames.ops:dispatch"
+    base_share: float
+    cand_share: float
+    status: str = ""   # "regression", "improvement" or ""
+
+    @property
+    def delta(self) -> float:
+        return self.cand_share - self.base_share
+
+    def to_json_obj(self) -> Dict[str, object]:
+        return {"path": self.path, "base_share": self.base_share,
+                "cand_share": self.cand_share, "delta": self.delta,
+                "status": self.status or "unchanged"}
+
+
+@dataclass
+class FlameDiffResult:
+    """Outcome of :func:`diff_profiles`; exit code 0 (pass) or 3 (gated)."""
+
+    baseline: str
+    candidate: str
+    threshold: float
+    base_samples: int
+    cand_samples: int
+    entries: List[FlameDiffEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[FlameDiffEntry]:
+        return [e for e in self.entries if e.status == "regression"]
+
+    @property
+    def improvements(self) -> List[FlameDiffEntry]:
+        return [e for e in self.entries if e.status == "improvement"]
+
+    @property
+    def exit_code(self) -> int:
+        return 3 if self.regressions else 0
+
+    def to_json_obj(self) -> Dict[str, object]:
+        return {
+            "schema": FLAME_DIFF_SCHEMA,
+            "v": FLAME_DIFF_SCHEMA_VERSION,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "threshold": self.threshold,
+            "samples": {"baseline": self.base_samples,
+                        "candidate": self.cand_samples},
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "exit_code": self.exit_code,
+            "entries": [e.to_json_obj() for e in self.entries],
+        }
+
+    def format_table(self, limit: int = 20) -> str:
+        lines = [
+            f"profile diff: {self.baseline} ({self.base_samples} samples) -> "
+            f"{self.candidate} ({self.cand_samples} samples), "
+            f"gate at {self.threshold * 100:.1f} share points"
+        ]
+        shown = [e for e in self.entries if abs(e.delta) > 1e-9][:limit]
+        for e in shown:
+            tag = {"regression": "REGRESSION ", "improvement": "improved   "
+                   }.get(e.status, "           ")
+            lines.append(
+                f"  {tag}{e.path:44s} {e.base_share:7.1%} -> "
+                f"{e.cand_share:7.1%}  ({e.delta * 100:+.1f}pp)")
+        if not shown:
+            lines.append("  (no attribution share moved)")
+        lines.append(
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s) -> "
+            f"{'FAIL (exit 3)' if self.regressions else 'pass'}")
+        return "\n".join(lines)
+
+
+def _share_table(table: Optional[Dict[str, object]], total: int) -> Dict[str, float]:
+    if not isinstance(table, dict) or total <= 0:
+        return {}
+    return {str(k): int(v) / total for k, v in table.items()
+            if isinstance(v, int) and not isinstance(v, bool)}
+
+
+def diff_profiles(
+    base: Dict[str, object],
+    cand: Dict[str, object],
+    threshold: float = DEFAULT_DIFF_THRESHOLD,
+    baseline_name: str = "baseline",
+    candidate_name: str = "candidate",
+    frame_limit: int = 40,
+) -> FlameDiffResult:
+    """Compare two profiles by attribution shares; gate on share growth.
+
+    Compared dimensions: the ``attribution`` rollups (spans, opcodes,
+    levels, workers) plus the top ``frame_limit`` frames by self-share in
+    either profile.  A dimension regresses when the candidate's share
+    exceeds the baseline's by more than ``threshold`` (absolute share
+    points); shrinking shares are reported as improvements and never gate.
+    Samples under the ``(none)`` attribution key are compared like any
+    other -- growing *unattributed* time is a regression too.
+    """
+    base_samples = int(base.get("samples", 0))
+    cand_samples = int(cand.get("samples", 0))
+    entries: List[FlameDiffEntry] = []
+
+    base_attr = base.get("attribution") or {}
+    cand_attr = cand.get("attribution") or {}
+    for key in ("spans", "opcodes", "levels", "workers"):
+        b = _share_table(base_attr.get(key), base_samples)
+        c = _share_table(cand_attr.get(key), cand_samples)
+        for name in sorted(set(b) | set(c)):
+            entries.append(FlameDiffEntry(
+                path=f"{key}.{name}",
+                base_share=b.get(name, 0.0),
+                cand_share=c.get(name, 0.0)))
+
+    base_self, _ = frame_shares(base)
+    cand_self, _ = frame_shares(cand)
+    b_shares = {f: n / base_samples for f, n in base_self.items()
+                if base_samples > 0}
+    c_shares = {f: n / cand_samples for f, n in cand_self.items()
+                if cand_samples > 0}
+    ranked = sorted(set(b_shares) | set(c_shares),
+                    key=lambda f: (-max(b_shares.get(f, 0.0),
+                                        c_shares.get(f, 0.0)), f))
+    entries.extend(
+        FlameDiffEntry(path=f"frames.{frame}",
+                       base_share=b_shares.get(frame, 0.0),
+                       cand_share=c_shares.get(frame, 0.0))
+        for frame in ranked[:frame_limit]
+    )
+
+    for entry in entries:
+        if entry.delta > threshold:
+            entry.status = "regression"
+        elif entry.delta < -threshold:
+            entry.status = "improvement"
+    entries.sort(key=lambda e: (-abs(e.delta), e.path))
+    return FlameDiffResult(
+        baseline=baseline_name,
+        candidate=candidate_name,
+        threshold=threshold,
+        base_samples=base_samples,
+        cand_samples=cand_samples,
+        entries=entries,
+    )
+
+
+__all__ = [
+    "FLAME_DIFF_SCHEMA",
+    "FLAME_DIFF_SCHEMA_VERSION",
+    "DEFAULT_DIFF_THRESHOLD",
+    "FlameDiffEntry",
+    "FlameDiffResult",
+    "diff_profiles",
+    "format_top_table",
+    "frame_shares",
+    "render_flamegraph_html",
+    "top_table",
+    "NONE_KEY",
+]

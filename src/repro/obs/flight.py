@@ -20,6 +20,7 @@ triage offline without the dying process.  Bundle layout::
         spans.jsonl       completed tracer spans (ring window)
         config.json       run configuration (benchmark, machine, argv...)
         report.json       partial RunReport (schema v3, notes.partial=true)
+        profile.json      in-flight sampling profile (when a profiler is live)
         traceback.txt     formatted traceback (crash dumps only)
 
 Every writer is fail-soft: a bundle that cannot be written must never mask
@@ -156,6 +157,16 @@ class FlightRecorder:
         if report is not None:
             doc = report.to_dict() if hasattr(report, "to_dict") else dict(report)
             _write_json("report.json", doc)
+
+        # In-flight sampling profile, if a profiler is live: a crash mid-run
+        # should not lose the samples explaining where the run was stuck.
+        try:
+            from .prof import get_profiler
+            profiler = get_profiler()
+            if profiler is not None:
+                _write_json("profile.json", profiler.to_doc())
+        except Exception:  # noqa: BLE001 - bundle writing is fail-soft
+            pass
 
         tb = None
         if exc is not None:

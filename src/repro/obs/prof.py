@@ -1,0 +1,605 @@
+"""Hot-path statistical sampling profiler with span/plan-step attribution.
+
+The span tracer (:mod:`repro.telemetry.tracer`) only sees code we
+remembered to instrument; the fractal hot loops (decomposition, plan
+replay, ``ops.dispatch``) spend most of their wall time in *uninstrumented*
+per-step host work.  A :class:`SamplingProfiler` closes that gap: a
+background thread samples the owning thread's Python stack via
+``sys._current_frames()`` at a fixed rate (default ~200 Hz) and aggregates
+the stacks in collapsed form.  Every sample is stamped with
+
+* the **active telemetry span name** (the tracer's open-span stack),
+* the current **plan-step opcode** and **fractal level** -- published by
+  the executor's replay loop / kernel dispatch through :func:`set_step`,
+* the ambient **trace_id / worker** (:mod:`repro.obs.trace`) at export.
+
+Attribution state is kept in a plain per-thread-ident map rather than a
+``contextvars.ContextVar``: the sampler runs on its *own* thread, and a
+contextvar set on the sampled thread is invisible from any other thread --
+the explicit map is the cross-thread-readable equivalent (``set_step`` has
+exactly the contextvar cost profile: one module-global check when no
+profiler is active, one dict store when one is).
+
+Like the counter registry, tracer and event log, everything here follows
+the null-object discipline: with no profiler started, ``set_step`` /
+``clear_step`` are a single flag check, so instrumented hot paths stay
+inside the <5% overhead budget of docs/TELEMETRY.md.
+
+Profiles serialize to a schema-versioned ``repro.obs.profile`` v1 JSON
+document (see docs/OBSERVABILITY.md): collapsed stacks with per-stack
+attribution plus rollup tables (``attribution.spans`` / ``.opcodes`` /
+``.levels`` / ``.workers``) whose sums equal the sample count by
+construction -- :func:`validate_profile` checks exactly that.  Rendering
+and diffing live in :mod:`repro.obs.flame`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Tuple
+
+PROFILE_SCHEMA = "repro.obs.profile"
+PROFILE_SCHEMA_VERSION = 1
+
+#: default sampling rate; ~200 Hz keeps sampler CPU well under 1%.
+DEFAULT_HZ = 200.0
+
+#: deepest stack walked per sample (frames below are dropped).
+MAX_STACK_DEPTH = 80
+
+#: attribution key for samples with no span/opcode/level in flight.
+NONE_KEY = "(none)"
+
+#: the one active profiler (at most one per process; see SamplingProfiler).
+_ACTIVE: Optional["SamplingProfiler"] = None
+
+#: per-thread-ident (opcode, level) set by the executor's hot loops.
+_STEP: Dict[int, Tuple[str, Optional[int]]] = {}
+
+
+def _after_fork_in_child() -> None:
+    """Drop profiler state inherited across ``fork()``.
+
+    A forked pool child copies ``_ACTIVE`` but not its sampler thread
+    (threads do not survive fork), so the stale object would both fail
+    to sample and make ``worker_capture`` think a profiler is already
+    running and skip starting the cell's own.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+    _STEP.clear()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; spawn starts clean
+    os.register_at_fork(after_in_child=_after_fork_in_child)
+
+#: internal sample key: (frames, span, opcode, level, worker).
+_SampleKey = Tuple[Tuple[str, ...], Optional[str], Optional[str],
+                   Optional[int], Optional[int]]
+
+
+def get_profiler() -> Optional["SamplingProfiler"]:
+    """The currently running profiler, or None."""
+    return _ACTIVE
+
+
+def profiling() -> bool:
+    """True while a profiler is running (the hot-path flag check)."""
+    return _ACTIVE is not None
+
+
+def set_step(opcode: str, level: Optional[int] = None) -> None:
+    """Publish the in-flight plan-step attribution for this thread.
+
+    Called by ``FractalExecutor.run_plan`` per replay step and by the
+    kernel/LFU dispatch on the recursive path.  No-op (one global check)
+    unless a profiler is running.
+    """
+    if _ACTIVE is None:
+        return
+    _STEP[threading.get_ident()] = (opcode, level)
+
+
+def clear_step() -> None:
+    """Drop this thread's plan-step attribution (end of program/replay)."""
+    if _ACTIVE is None:
+        return
+    _STEP.pop(threading.get_ident(), None)
+
+
+def current_step() -> Optional[Tuple[str, Optional[int]]]:
+    """This thread's published (opcode, level), or None (for tests)."""
+    return _STEP.get(threading.get_ident())
+
+
+@contextmanager
+def step_scope(opcode: str, level: Optional[int] = None):
+    """Scoped :func:`set_step` that restores the previous attribution.
+
+    Used by coarse phases (e.g. ``plan.compile``); the per-step hot loops
+    call :func:`set_step` directly to avoid context-manager overhead.
+    """
+    if _ACTIVE is None:
+        yield
+        return
+    ident = threading.get_ident()
+    prev = _STEP.get(ident)
+    _STEP[ident] = (opcode, level)
+    try:
+        yield
+    finally:
+        if prev is None:
+            _STEP.pop(ident, None)
+        else:
+            _STEP[ident] = prev
+
+
+def _frame_label(code) -> str:
+    """``file:qualname`` label for one frame's code object."""
+    name = getattr(code, "co_qualname", None) or code.co_name
+    stem = code.co_filename.rsplit("/", 1)[-1].rsplit("\\", 1)[-1]
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    return f"{stem}:{name}"
+
+
+class SamplingProfiler:
+    """Threading-based statistical stack sampler (start/stop or ``with``).
+
+    Samples the **owner thread** (the one that called :meth:`start`) --
+    hot-path profiling targets the thread running the workload; pool
+    children each start their own profiler via ``worker_capture``.  At
+    most one profiler runs per process (the attribution hooks publish to
+    it); a second concurrent :meth:`start` raises ``RuntimeError``.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, tracer=None, registry=None,
+                 max_stacks: int = 5000, max_depth: int = MAX_STACK_DEPTH):
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz!r}")
+        self.hz = float(hz)
+        self.interval_s = 1.0 / self.hz
+        self.max_stacks = max_stacks
+        self.max_depth = max_depth
+        self._tracer = tracer
+        self._registry = registry
+        self._samples: Dict[_SampleKey, int] = {}
+        self._label_cache: Dict[object, str] = {}
+        self.ticks = 0          # sampler wake-ups
+        self.samples = 0        # samples aggregated into stacks
+        self.samples_dropped = 0  # distinct-stack cap overflow
+        self.errors = 0         # swallowed sampling exceptions
+        self.duration_s = 0.0
+        self._t0: Optional[float] = None
+        self._owner: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop_evt = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "SamplingProfiler":
+        global _ACTIVE
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        if _ACTIVE is not None:
+            raise RuntimeError("another SamplingProfiler is already active "
+                               "in this process")
+        if self._tracer is None:
+            from .. import telemetry
+            self._tracer = telemetry.get_tracer()
+        self._owner = threading.get_ident()
+        self._t0 = time.perf_counter()
+        self._stop_evt.clear()
+        _ACTIVE = self
+        self._thread = threading.Thread(target=self._loop, name="repro-prof",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        global _ACTIVE
+        if self._thread is None:
+            return self
+        self._stop_evt.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        if self._t0 is not None:
+            self.duration_s += time.perf_counter() - self._t0
+            self._t0 = None
+        if _ACTIVE is self:
+            _ACTIVE = None
+            _STEP.clear()
+        self._publish_counters()
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    def _publish_counters(self) -> None:
+        registry = self._registry
+        if registry is None:
+            from .. import telemetry
+            registry = telemetry.get_registry()
+        if not registry.enabled:
+            return
+        registry.count("prof.profiles", 1)
+        if self.samples:
+            registry.count("prof.samples", self.samples)
+        if self.samples_dropped:
+            registry.count("prof.samples_dropped", self.samples_dropped)
+
+    # -- sampling -----------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop_evt.wait(self.interval_s):
+            try:
+                self._sample_once()
+            except Exception:  # noqa: BLE001 - the sampler must never die
+                self.errors += 1
+
+    def _sample_once(self) -> None:
+        self.ticks += 1
+        frame = sys._current_frames().get(self._owner)
+        if frame is None:
+            return
+        labels: List[str] = []
+        cache = self._label_cache
+        depth = 0
+        while frame is not None and depth < self.max_depth:
+            code = frame.f_code
+            label = cache.get(code)
+            if label is None:
+                label = cache[code] = _frame_label(code)
+            labels.append(label)
+            frame = frame.f_back
+            depth += 1
+        labels.reverse()  # root first, leaf last (collapsed-stack order)
+
+        span = None
+        tracer = self._tracer
+        if tracer is not None:
+            current = getattr(tracer, "current_span_name", None)
+            if current is not None:
+                span = current()
+        step = _STEP.get(self._owner)
+        opcode, level = step if step is not None else (None, None)
+        self._add((tuple(labels), span, opcode, level, None), 1)
+
+    def _add(self, key: _SampleKey, count: int) -> None:
+        existing = self._samples.get(key)
+        if existing is not None:
+            self._samples[key] = existing + count
+            self.samples += count
+        elif len(self._samples) < self.max_stacks:
+            self._samples[key] = count
+            self.samples += count
+        else:
+            self.samples_dropped += count
+
+    def ingest(self, doc: Dict[str, object], worker: Optional[int] = None) -> None:
+        """Fold a shipped ``repro.obs.profile`` document into this profiler.
+
+        Used by the parent-side worker-telemetry merge: each stack keeps
+        (or gains) its ``worker`` tag so merged flamegraphs attribute
+        per-worker subtrees.
+        """
+        if worker is None:
+            raw = doc.get("worker")
+            worker = int(raw) if isinstance(raw, (int, float)) else None
+        for stack in doc.get("stacks") or []:
+            level = stack.get("level")
+            tag = stack.get("worker", worker)
+            self._add((tuple(str(f) for f in stack.get("frames") or ()),
+                       stack.get("span"), stack.get("opcode"),
+                       int(level) if isinstance(level, (int, float)) else None,
+                       int(tag) if isinstance(tag, (int, float)) else None),
+                      int(stack.get("count", 0)))
+        dropped = doc.get("samples_dropped")
+        if isinstance(dropped, (int, float)):
+            self.samples_dropped += int(dropped)
+
+    # -- export -------------------------------------------------------------
+
+    def to_doc(self, benchmark: Optional[str] = None,
+               machine: Optional[str] = None,
+               meta: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """The schema-versioned ``repro.obs.profile`` v1 document.
+
+        Safe to call while running (crash bundles snapshot the in-flight
+        profile); ``duration_s`` then covers start-to-now.
+        """
+        duration = self.duration_s
+        if self._t0 is not None:
+            duration += time.perf_counter() - self._t0
+        # ``samples`` is derived from the stack table (not the running
+        # counter) so the document invariant samples == sum(stack counts)
+        # holds by construction even for in-flight snapshots.
+        stacks = [
+            {"frames": list(frames), "count": count,
+             **({"span": span} if span is not None else {}),
+             **({"opcode": opcode} if opcode is not None else {}),
+             **({"level": level} if level is not None else {}),
+             **({"worker": worker} if worker is not None else {})}
+            for (frames, span, opcode, level, worker), count
+            in sorted(self._samples.items(),
+                      key=lambda item: (-item[1], item[0][0], item[0][1] or "",
+                                        item[0][2] or "",
+                                        -1 if item[0][3] is None else item[0][3],
+                                        -1 if item[0][4] is None else item[0][4]))
+        ]
+        doc: Dict[str, object] = {
+            "schema": PROFILE_SCHEMA,
+            "v": PROFILE_SCHEMA_VERSION,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "hz": self.hz,
+            "duration_s": duration,
+            "ticks": self.ticks,
+            "samples": sum(s["count"] for s in stacks),
+            "samples_dropped": self.samples_dropped,
+            "stacks": stacks,
+            "attribution": attribution_tables(stacks),
+        }
+        if benchmark:
+            doc["benchmark"] = benchmark
+        if machine:
+            doc["machine"] = machine
+        if meta:
+            doc["meta"] = dict(meta)
+        try:
+            from .trace import current_trace
+            ctx = current_trace()
+        except ImportError:  # pragma: no cover - trace ships with obs
+            ctx = None
+        if ctx is not None:
+            doc["trace_id"] = ctx.trace_id
+            doc["span_id"] = ctx.span_id
+            doc["worker"] = ctx.worker
+        return doc
+
+
+def attribution_tables(stacks: Iterable[Dict[str, object]]) -> Dict[str, Dict[str, int]]:
+    """Rollup tables over stack entries; each table sums to the sample count.
+
+    ``workers`` is only emitted when at least one stack carries a worker
+    tag (merged multi-worker profiles).
+    """
+    spans: Dict[str, int] = {}
+    opcodes: Dict[str, int] = {}
+    levels: Dict[str, int] = {}
+    workers: Dict[str, int] = {}
+    any_worker = False
+    for stack in stacks:
+        count = int(stack.get("count", 0))
+        span = stack.get("span")
+        opcode = stack.get("opcode")
+        level = stack.get("level")
+        span_key = str(span) if span is not None else NONE_KEY
+        opcode_key = str(opcode) if opcode is not None else NONE_KEY
+        level_key = str(level) if level is not None else NONE_KEY
+        spans[span_key] = spans.get(span_key, 0) + count
+        opcodes[opcode_key] = opcodes.get(opcode_key, 0) + count
+        levels[level_key] = levels.get(level_key, 0) + count
+        worker = stack.get("worker")
+        worker_key = str(worker) if worker is not None else NONE_KEY
+        if worker is not None:
+            any_worker = True
+        workers[worker_key] = workers.get(worker_key, 0) + count
+    out = {
+        "spans": dict(sorted(spans.items())),
+        "opcodes": dict(sorted(opcodes.items())),
+        "levels": dict(sorted(levels.items())),
+    }
+    if any_worker:
+        out["workers"] = dict(sorted(workers.items()))
+    return out
+
+
+def validate_profile(doc: Dict[str, object]) -> List[str]:
+    """Structural validation of a profile document (empty list = valid).
+
+    Beyond shape checks, verifies the acceptance invariant: every
+    attribution table sums to the total stack sample count.
+    """
+    problems: List[str] = []
+    if doc.get("schema") != PROFILE_SCHEMA:
+        problems.append(f"unknown schema {doc.get('schema')!r}")
+    version = doc.get("v")
+    if not isinstance(version, int) or version < 1:
+        problems.append(f"bad version {version!r}")
+    elif version > PROFILE_SCHEMA_VERSION:
+        problems.append(f"document is from the future "
+                        f"(v{version} > v{PROFILE_SCHEMA_VERSION})")
+    stacks = doc.get("stacks")
+    if not isinstance(stacks, list):
+        return [*problems, "'stacks' must be a list"]
+    total = 0
+    for i, stack in enumerate(stacks):
+        if not isinstance(stack, dict):
+            problems.append(f"stacks[{i}] must be an object")
+            continue
+        frames = stack.get("frames")
+        if not isinstance(frames, list) or not all(
+                isinstance(f, str) for f in frames):
+            problems.append(f"stacks[{i}].frames must be a list of strings")
+        count = stack.get("count")
+        if not isinstance(count, int) or isinstance(count, bool) or count <= 0:
+            problems.append(f"stacks[{i}].count must be a positive int")
+            continue
+        total += count
+    samples = doc.get("samples")
+    if not isinstance(samples, int) or isinstance(samples, bool) or samples < 0:
+        problems.append(f"bad samples {samples!r}")
+    elif samples != total:
+        problems.append(f"samples ({samples}) != sum of stack counts ({total})")
+    attribution = doc.get("attribution")
+    if not isinstance(attribution, dict):
+        return [*problems, "'attribution' must be an object"]
+    for key in ("spans", "opcodes", "levels"):
+        table = attribution.get(key)
+        if not isinstance(table, dict):
+            problems.append(f"attribution.{key} must be an object")
+            continue
+        table_sum = sum(v for v in table.values()
+                        if isinstance(v, int) and not isinstance(v, bool))
+        if table_sum != total:
+            problems.append(f"attribution.{key} sums to {table_sum}, "
+                            f"expected {total} (the sample count)")
+    return problems
+
+
+def merge_profiles(docs: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Merge profile documents into one (deterministic, order-insensitive).
+
+    Stacks keep their ``worker`` tag, or inherit the source document's
+    top-level ``worker``, so a merged sweep profile attributes per-worker
+    subtrees.  ``hz`` comes from the first document, ``duration_s`` is the
+    max (workers run concurrently), sample counts add.
+    """
+    docs = list(docs)
+    merged: Dict[_SampleKey, int] = {}
+    hz = None
+    duration = 0.0
+    dropped = 0
+    ticks = 0
+    trace_id = span_id = None
+    for doc in docs:
+        if hz is None and isinstance(doc.get("hz"), (int, float)):
+            hz = float(doc["hz"])
+        if isinstance(doc.get("duration_s"), (int, float)):
+            duration = max(duration, float(doc["duration_s"]))
+        if isinstance(doc.get("samples_dropped"), (int, float)):
+            dropped += int(doc["samples_dropped"])
+        if isinstance(doc.get("ticks"), (int, float)):
+            ticks += int(doc["ticks"])
+        if trace_id is None and doc.get("trace_id"):
+            trace_id = doc.get("trace_id")
+            span_id = doc.get("span_id")
+        default_worker = doc.get("worker")
+        for stack in doc.get("stacks") or []:
+            level = stack.get("level")
+            worker = stack.get("worker", default_worker)
+            key = (tuple(str(f) for f in stack.get("frames") or ()),
+                   stack.get("span"), stack.get("opcode"),
+                   int(level) if isinstance(level, (int, float)) else None,
+                   int(worker) if isinstance(worker, (int, float)) else None)
+            merged[key] = merged.get(key, 0) + int(stack.get("count", 0))
+    stacks = [
+        {"frames": list(frames), "count": count,
+         **({"span": span} if span is not None else {}),
+         **({"opcode": opcode} if opcode is not None else {}),
+         **({"level": level} if level is not None else {}),
+         **({"worker": worker} if worker is not None else {})}
+        for (frames, span, opcode, level, worker), count
+        in sorted(merged.items(),
+                  key=lambda item: (-item[1], item[0][0], item[0][1] or "",
+                                    item[0][2] or "",
+                                    -1 if item[0][3] is None else item[0][3],
+                                    -1 if item[0][4] is None else item[0][4]))
+    ]
+    out: Dict[str, object] = {
+        "schema": PROFILE_SCHEMA,
+        "v": PROFILE_SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "hz": hz if hz is not None else DEFAULT_HZ,
+        "duration_s": duration,
+        "ticks": ticks,
+        "samples": sum(merged.values()),
+        "samples_dropped": dropped,
+        "merged_from": len(docs),
+        "stacks": stacks,
+        "attribution": attribution_tables(stacks),
+    }
+    if trace_id:
+        out["trace_id"] = trace_id
+        out["span_id"] = span_id
+    for key in ("benchmark", "machine"):
+        values = {doc.get(key) for doc in docs if doc.get(key)}
+        if len(values) == 1:
+            out[key] = values.pop()
+    return out
+
+
+def collapsed_lines(doc: Dict[str, object]) -> List[str]:
+    """Classic ``frame;frame;frame count`` collapsed-stack lines."""
+    return [
+        ";".join(str(f) for f in stack.get("frames") or ())
+        + f" {int(stack.get('count', 0))}"
+        for stack in doc.get("stacks") or []
+    ]
+
+
+def profile_summary(doc: Dict[str, object], top: int = 3) -> Dict[str, object]:
+    """A few-hundred-byte distillation for RunReport notes / ledger rows."""
+    stacks = doc.get("stacks") or []
+    self_counts: Dict[str, int] = {}
+    for stack in stacks:
+        frames = stack.get("frames") or []
+        if frames:
+            leaf = str(frames[-1])
+            self_counts[leaf] = self_counts.get(leaf, 0) + int(
+                stack.get("count", 0))
+    hottest = sorted(self_counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    attribution = doc.get("attribution") or {}
+    spans = attribution.get("spans") or {}
+    top_spans = sorted(((k, v) for k, v in spans.items() if k != NONE_KEY),
+                       key=lambda kv: (-kv[1], kv[0]))[:top]
+    return {
+        "hz": doc.get("hz"),
+        "samples": doc.get("samples", 0),
+        "samples_dropped": doc.get("samples_dropped", 0),
+        "duration_s": doc.get("duration_s"),
+        "stacks": len(stacks),
+        "top_self": [{"frame": name, "samples": count}
+                     for name, count in hottest],
+        "top_spans": [{"span": name, "samples": count}
+                      for name, count in top_spans],
+    }
+
+
+def active_profile_summary() -> Optional[Dict[str, object]]:
+    """In-flight profile summary from the running profiler, if any.
+
+    Fail-soft (returns None on any error): this feeds RunReport notes and
+    must never break report building.
+    """
+    profiler = _ACTIVE
+    if profiler is None:
+        return None
+    try:
+        return profile_summary(profiler.to_doc())
+    except Exception:  # noqa: BLE001 - summaries are best-effort
+        return None
+
+
+def record_profile(doc: Dict[str, object], path=None, **fields) -> None:
+    """Append a trace-joined ``profile`` row to the run ledger (fail-soft)."""
+    try:
+        from .ledger import record_run
+        summary = profile_summary(doc)
+        row: Dict[str, object] = {
+            "hz": doc.get("hz"),
+            "samples": doc.get("samples", 0),
+            "duration_s": doc.get("duration_s"),
+            "profile": summary,
+        }
+        if path:
+            row["artifact"] = str(path)
+        for key in ("benchmark", "machine"):
+            if doc.get(key):
+                row[key] = doc[key]
+        row.update({k: v for k, v in fields.items() if v is not None})
+        record_run("profile", **row)
+    except Exception:  # noqa: BLE001 - the ledger must never break a run
+        pass

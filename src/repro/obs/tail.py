@@ -9,10 +9,11 @@ mid-crash -- are counted, not fatal.
 
 from __future__ import annotations
 
+import re
 import time
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Pattern, Tuple, Union
 
 from .events import SEVERITY_RANK, iter_jsonl
 
@@ -44,14 +45,37 @@ def load_events(target: str) -> Tuple[List[Dict[str, object]], int]:
     return events, bad
 
 
+def grep_blob(record: Dict[str, object]) -> str:
+    """The text ``--grep`` matches against for one event.
+
+    Mirrors what :func:`format_event` renders: subsystem, event name,
+    the free-form ``k=v`` fields, and the propagated context values --
+    but not the reserved envelope keys (schema/seq/ts/severity), so a
+    pattern like ``3`` doesn't match every third sequence number.
+    """
+    parts = [str(record.get("subsystem", "")), str(record.get("event", ""))]
+    parts += [f"{k}={record[k]}" for k in record if k not in _RESERVED]
+    ctx = record.get("ctx")
+    if isinstance(ctx, dict):
+        parts += [f"{k}={v}" for k, v in ctx.items()]
+    return " ".join(parts)
+
+
 def filter_events(
     events: Iterable[Dict[str, object]],
     subsystem: Optional[str] = None,
     min_severity: Optional[str] = None,
     event_glob: Optional[str] = None,
     last: Optional[int] = None,
+    pattern: Optional[Union[str, Pattern[str]]] = None,
 ) -> List[Dict[str, object]]:
-    """Apply tail filters (all optional) preserving order."""
+    """Apply tail filters (all optional) preserving order.
+
+    ``pattern`` is an (uncompiled or precompiled) regex searched against
+    :func:`grep_blob` -- the ``--grep`` filter.  It composes with the
+    other filters and is applied before ``last`` so "the newest N
+    matching events" means what it says.
+    """
     out = list(events)
     if subsystem:
         out = [e for e in out if e.get("subsystem") == subsystem]
@@ -61,6 +85,9 @@ def filter_events(
                if SEVERITY_RANK.get(str(e.get("severity")), 1) >= floor]
     if event_glob:
         out = [e for e in out if fnmatch(str(e.get("event", "")), event_glob)]
+    if pattern is not None:
+        rx = re.compile(pattern) if isinstance(pattern, str) else pattern
+        out = [e for e in out if rx.search(grep_blob(e))]
     if last is not None and last >= 0:
         out = out[-last:] if last else []
     return out

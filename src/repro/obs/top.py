@@ -17,6 +17,7 @@ feed canned scrapes: :func:`parse_exposition` -> samples,
 
 from __future__ import annotations
 
+import json
 import time
 import urllib.error
 import urllib.request
@@ -26,6 +27,9 @@ from .openmetrics import _LABEL_PAIR_RE, _SAMPLE_RE
 
 #: clear screen + cursor home (the whole "in-place refresh" machinery).
 ANSI_CLEAR = "\x1b[H\x1b[J"
+
+TOP_SCHEMA = "repro.obs.top"
+TOP_SCHEMA_VERSION = 1
 
 #: {(name, ((k, v), ...)): value} -- one scrape's worth of samples.
 Samples = Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]
@@ -184,14 +188,50 @@ def format_top(samples: Samples, prev: Optional[Samples] = None,
     return "\n".join(lines) + "\n"
 
 
+def frame_doc(samples: Samples, prev: Optional[Samples] = None,
+              interval: Optional[float] = None,
+              url: Optional[str] = None) -> Dict[str, object]:
+    """One machine-readable frame (``repro top --json``).
+
+    The same scrape :func:`format_top` renders, as a schema-versioned JSON
+    object: every sample keyed by its flat ``name{k=v}`` series string,
+    plus the positive ``*_total`` deltas since ``prev`` under ``movers``.
+    Scripts and CI scrape this instead of parsing the ANSI dashboard.
+    """
+    from ..telemetry.counters import format_series
+    doc: Dict[str, object] = {
+        "schema": TOP_SCHEMA,
+        "v": TOP_SCHEMA_VERSION,
+        "samples": {
+            format_series(name, labels): value
+            for (name, labels), value in sorted(samples.items())
+        },
+    }
+    if url:
+        doc["url"] = url
+    if interval is not None:
+        doc["interval_s"] = interval
+    if prev is not None:
+        movers = {}
+        for (name, labels), value in sorted(samples.items()):
+            delta = value - prev.get((name, labels), 0.0)
+            if delta > 0 and name.endswith("_total"):
+                movers[format_series(name, labels)] = delta
+        doc["movers"] = movers
+    return doc
+
+
 def run_top(url: str, interval: float = 2.0,
             iterations: Optional[int] = None, clear: bool = True,
-            out=None, _sleep=time.sleep) -> int:
+            out=None, _sleep=time.sleep, json_mode: bool = False) -> int:
     """The ``repro top`` loop; returns a process exit code.
 
     ``iterations`` bounds the frame count (tests use 1); None runs until
     Ctrl-C.  The first failed scrape exits 2 with a diagnostic -- after a
     first success, transient failures are shown in-frame and retried.
+    With ``json_mode`` each frame is one :func:`frame_doc` JSON line (no
+    ANSI, no screen clearing) -- ``--json --iterations 1`` is the
+    scriptable one-shot.
     """
     import sys
     out = out or sys.stdout
@@ -209,10 +249,17 @@ def run_top(url: str, interval: float = 2.0,
                 _sleep(interval)
                 continue
             samples = parse_exposition(text)
-            frame = format_top(samples, prev=prev,
-                               interval=interval if prev is not None else None)
-            if clear:
-                out.write(ANSI_CLEAR)
+            if json_mode:
+                doc = frame_doc(samples, prev=prev,
+                                interval=interval if prev is not None else None,
+                                url=url)
+                frame = json.dumps(doc, sort_keys=True) + "\n"
+            else:
+                frame = format_top(
+                    samples, prev=prev,
+                    interval=interval if prev is not None else None)
+                if clear:
+                    out.write(ANSI_CLEAR)
             out.write(frame)
             out.flush()
             prev = samples

@@ -59,6 +59,9 @@ class WorkerTelemetry:
     #: headline plan-cache traffic: {"hits_memory", "hits_disk", "misses"}.
     plan_cache: Dict[str, int] = field(default_factory=dict)
     peak_live_bytes: int = 0
+    #: the cell's sampling profile (a ``repro.obs.profile`` doc), shipped
+    #: only when the parent had a profiler live at submit time.
+    profile: Optional[Dict[str, object]] = None
 
 
 def build_wire(ctx: TraceContext, worker: int) -> Dict[str, object]:
@@ -69,12 +72,17 @@ def build_wire(ctx: TraceContext, worker: int) -> Dict[str, object]:
     """
     from ..telemetry import get_registry, get_tracer
     from .events import get_event_log
+    from .prof import get_profiler
+    profiler = get_profiler()
     return {
         "trace": ctx.to_wire(),
         "worker": int(worker),
         "counters": get_registry().enabled,
         "tracing": get_tracer().enabled,
         "events": get_event_log().enabled,
+        # Parent profiling? Children sample themselves at the same rate and
+        # ship the profile back for merge_worker_telemetry to ingest.
+        "profile_hz": profiler.hz if profiler is not None else None,
     }
 
 
@@ -111,10 +119,13 @@ def _rollup_deltas(before: Dict[str, Dict], after: Dict[str, Dict]) -> Dict:
         if count_d <= 0:
             continue
         total_d = float(agg["total_s"]) - (float(prev["total_s"]) if prev else 0.0)
+        self_d = (float(agg.get("self_total_s", 0.0))
+                  - (float(prev.get("self_total_s", 0.0)) if prev else 0.0))
         out[name] = {
             "cat": agg.get("cat", ""),
             "count": count_d,
             "total_s": total_d,
+            "self_total_s": self_d,
             "max_s": float(agg.get("max_s", 0.0)),
         }
     return out
@@ -161,14 +172,35 @@ def worker_capture(wire: Dict[str, object]):
     rollups0 = tracer.rollups() if tracer.enabled else {}
     seq0 = log.total
 
+    prof_child = None
+    hz = wire.get("profile_hz")
+    if hz:
+        from .prof import SamplingProfiler, get_profiler
+        if get_profiler() is None:  # a pool child never has one, but be safe
+            prof_child = SamplingProfiler(hz=float(hz), tracer=tracer)
+            prof_child.start()
+
     class _Holder:
         telemetry: Optional[WorkerTelemetry] = None
 
     holder = _Holder()
     t0 = time.perf_counter()
-    with trace_scope(ctx):
-        yield holder
+    try:
+        with trace_scope(ctx):
+            yield holder
+    finally:
+        if prof_child is not None and prof_child.running:
+            prof_child.stop()
     wall = time.perf_counter() - t0
+
+    profile_doc = None
+    if prof_child is not None:
+        profile_doc = prof_child.to_doc()
+        # Stamp the cell's identity explicitly: to_doc reads the ambient
+        # trace, but the worker scope has already exited by now.
+        profile_doc["worker"] = worker
+        profile_doc["trace_id"] = ctx.trace_id
+        profile_doc["span_id"] = ctx.span_id
 
     counters = _series_deltas(counters0, _counter_state(registry))
     gauges = _series_deltas(gauges0, _gauge_state(registry), gauges=True)
@@ -187,6 +219,7 @@ def worker_capture(wire: Dict[str, object]):
         events_total=log.total - seq0,
         plan_cache=_plan_cache_headline(counters),
         peak_live_bytes=int(peak) if isinstance(peak, (int, float)) else 0,
+        profile=profile_doc,
     )
 
 
@@ -222,6 +255,9 @@ def ledger_fields(wt: WorkerTelemetry, max_series: int = 64,
         fields["cache"] = wt.plan_cache
     if wt.peak_live_bytes:
         fields["peak_live_bytes"] = wt.peak_live_bytes
+    if wt.profile:
+        from .prof import profile_summary
+        fields["profile"] = profile_summary(wt.profile)
     return fields
 
 
@@ -257,6 +293,14 @@ def merge_worker_telemetry(wt: WorkerTelemetry, registry=None,
         registry.count("worker.wall_seconds", wt.wall_s, {"worker": tag})
         if wt.events_total:
             registry.count("worker.events", wt.events_total, {"worker": tag})
+        if wt.profile:
+            registry.count("prof.samples", int(wt.profile.get("samples", 0)),
+                           {"worker": tag})
     if event_log.enabled:
         for record in wt.events:
             event_log.ingest(record, worker=wt.worker)
+    if wt.profile:
+        from .prof import get_profiler
+        parent_prof = get_profiler()
+        if parent_prof is not None:
+            parent_prof.ingest(wt.profile, worker=wt.worker)

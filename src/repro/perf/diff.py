@@ -53,7 +53,9 @@ _SKIPPED_PATHS: Tuple[str, ...] = ("schema_version", "spans_dropped")
 #: ``events``/``health`` sections vary run to run (event counts depend on
 #: sampling, heartbeat ages are wall clock) and must neither gate nor show
 #: up as "added" noise when diffing a v3 report against a v2 baseline.
-_SKIPPED_PREFIXES: Tuple[str, ...] = ("events.", "health.")
+#: ``notes.profile`` (the sampling profiler's summary) is sampled wall
+#: clock too -- profile deltas gate through ``repro flame-diff``, not here.
+_SKIPPED_PREFIXES: Tuple[str, ...] = ("events.", "health.", "notes.profile.")
 
 
 def _skipped(path: str) -> bool:

@@ -22,6 +22,7 @@ from ..analysis.signatures import external_tensors, program_digest
 from ..core.decomposition import decompose_parallel, shrink_sequential
 from ..core.isa import Instruction
 from ..core.machine import Machine
+from ..obs import prof as _prof
 from .analysis import annotate_plan
 from .plan import FractalPlan, PlanStats, PlanStep
 
@@ -102,8 +103,11 @@ def compile_program(
     log = obs.logger("plan")
     log.info("compile.start", machine=machine.name,
              instructions=len(program))
-    for inst in program:
-        walk(inst, level=0)
+    # Attribute compile-time samples to a synthetic "plan.compile" step so
+    # flamegraphs separate decomposition cost from replay cost.
+    with _prof.step_scope("plan.compile"):
+        for inst in program:
+            walk(inst, level=0)
     plan = FractalPlan(
         machine_fingerprint=machine_fingerprint(machine, apply_sequential),
         signature_digest=program_digest(program),

@@ -155,6 +155,7 @@ def run_sweep(
             from concurrent.futures import ProcessPoolExecutor
 
             records: List[SweepRecord] = []
+            profile_samples = 0
             with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
                 futures = [
                     pool.submit(_simulate_cell, m_name, machine, v_name,
@@ -168,6 +169,8 @@ def run_sweep(
                     cell_records, wt = future.result()
                     if wt is not None:
                         merge_worker_telemetry(wt)
+                        profile_samples += int(
+                            (wt.profile or {}).get("samples", 0))
                         record_run("sweep-cell", machine=m_name,
                                    variant=v_name,
                                    trace_id=wt.trace_id, span_id=wt.span_id,
@@ -208,10 +211,14 @@ def run_sweep(
                            workloads=len(workload_items))
         if registry.enabled:
             registry.count("sweep.cells", len(cells))
+        sweep_fields: Dict[str, object] = {}
+        if parallel and profile_samples:
+            sweep_fields["profile_samples"] = profile_samples
         record_run("sweep", cells=len(cells),
                    workers=workers if parallel else None,
                    workloads=len(workload_items),
-                   makespan_s=time.perf_counter() - t0)
+                   makespan_s=time.perf_counter() - t0,
+                   **sweep_fields)
     return records
 
 

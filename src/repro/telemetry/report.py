@@ -319,6 +319,17 @@ def build_run_report(
             if ctx is not None:
                 notes["trace_id"] = ctx.trace_id
                 notes["span_id"] = ctx.span_id
+    if "profile" not in notes:
+        # A live sampling profiler contributes its headline summary; the
+        # full profile doc stays an artifact, not a report section.
+        try:
+            from ..obs.prof import active_profile_summary
+        except ImportError:  # pragma: no cover - obs ships with repro
+            active_profile_summary = None
+        if active_profile_summary is not None:
+            summary = active_profile_summary()
+            if summary is not None:
+                notes["profile"] = summary
     return RunReport(
         benchmark=benchmark,
         machine=machine,

@@ -117,6 +117,7 @@ class _Span:
         self.parent = tr._stack[-1] if tr._stack else None
         self.depth = len(tr._stack)
         tr._stack.append(self.id)
+        tr._names.append(self.name)
         self._t0 = time.perf_counter()
         return self
 
@@ -125,6 +126,7 @@ class _Span:
         tr = self._tracer
         if tr._stack and tr._stack[-1] == self.id:
             tr._stack.pop()
+            tr._names.pop()
         tr._record(SpanRecord(
             id=self.id,
             name=self.name,
@@ -148,6 +150,7 @@ class Tracer:
         self._ring: List[SpanRecord] = []
         self._head = 0  # next overwrite position once the ring is full
         self._stack: List[int] = []
+        self._names: List[str] = []  # open-span names, parallel to _stack
         self._next_id = 1
         self.dropped = 0  # spans evicted by the ring
 
@@ -164,6 +167,7 @@ class Tracer:
         self._ring = []
         self._head = 0
         self._stack = []
+        self._names = []
         self._next_id = 1
         self.dropped = 0
 
@@ -185,6 +189,17 @@ class Tracer:
 
     # -- reading ---------------------------------------------------------------
 
+    def current_span_name(self) -> Optional[str]:
+        """Name of the innermost *open* span, or None.
+
+        Safe to call from another thread (the sampling profiler does): it
+        is a single racy read of the last element of a list the GIL keeps
+        internally consistent -- worst case it returns a just-closed or
+        just-opened span's name.
+        """
+        names = self._names
+        return names[-1] if names else None
+
     def spans(self) -> List[SpanRecord]:
         """Completed spans, oldest first (ring order restored)."""
         if len(self._ring) < self.capacity:
@@ -193,20 +208,32 @@ class Tracer:
                       key=lambda s: s.start)
 
     def rollups(self) -> Dict[str, Dict[str, object]]:
-        """Aggregate spans by name: count, total/max/mean duration.
+        """Aggregate spans by name: count, total/max/mean and *self* duration.
 
         This is the RunReport's ``spans`` section -- small and diffable even
-        when the raw span stream is huge.
+        when the raw span stream is huge.  ``total_s`` is inclusive (nested
+        spans are counted in every ancestor); ``self_total_s`` is exclusive
+        -- each span's duration minus its direct children's -- so summing
+        it across names does not double-count nesting.  If the ring evicted
+        a child but kept its parent, the parent's self time is overstated
+        by the evicted child's share (the rollup only sees surviving spans).
         """
+        spans = self.spans()
+        child_s: Dict[int, float] = {}
+        for s in spans:
+            if s.parent is not None:
+                child_s[s.parent] = child_s.get(s.parent, 0.0) + s.duration
         out: Dict[str, Dict[str, object]] = {}
-        for s in self.spans():
+        for s in spans:
             agg = out.get(s.name)
             if agg is None:
                 agg = out[s.name] = {
                     "cat": s.cat, "count": 0, "total_s": 0.0, "max_s": 0.0,
+                    "self_total_s": 0.0,
                 }
             agg["count"] += 1
             agg["total_s"] += s.duration
+            agg["self_total_s"] += max(0.0, s.duration - child_s.get(s.id, 0.0))
             if s.duration > agg["max_s"]:
                 agg["max_s"] = s.duration
         for agg in out.values():
