@@ -99,6 +99,12 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    help="size-bound the --events JSONL sink: roll to "
                         "PATH.1 when the file would exceed N bytes "
                         "(default unbounded)")
+    p.add_argument("--slo", action="append", metavar="RULE", default=None,
+                   help="arm a live SLO rule, e.g. "
+                        "'sim.sig_cache.hits > 100 for 5s as warm-cache' "
+                        "(repeatable; fires alert events, the "
+                        "repro_alerts_active gauge and /alerts; "
+                        "syntax in docs/OBSERVABILITY.md)")
 
 
 def _writable_error(path: str) -> Optional[str]:
@@ -136,9 +142,20 @@ def _check_outputs(command: str, **paths) -> Optional[int]:
 @contextmanager
 def _observability(args, benchmark: str, machine_name: str, command: str):
     """Arm the obs layer for one CLI run per the --serve/--events/--crash-dir
-    flags; yields a handle with the event log, watchdog, flight recorder
-    and (optional) metrics server.  Everything is restored on exit."""
+    /--slo flags; yields a handle with the event log, watchdog, flight
+    recorder, (optional) SLO engine and (optional) metrics server.
+    Everything is restored on exit."""
     from . import obs, telemetry
+
+    # Parse --slo rules before touching any state: a bad rule is a usage
+    # error (exit 2), not a mid-run surprise.
+    slo_rules = []
+    for text in getattr(args, "slo", None) or []:
+        try:
+            slo_rules.append(obs.parse_slo_rule(text))
+        except ValueError as err:
+            print(f"{command}: {err}", file=sys.stderr)
+            raise SystemExit(2)
 
     event_log = obs.get_event_log()
     prior_enabled = event_log.enabled
@@ -158,17 +175,22 @@ def _observability(args, benchmark: str, machine_name: str, command: str):
                             "argv": [str(a) for a in (sys.argv or [])]})
     recorder.report_context.update({"benchmark": benchmark,
                                     "machine": machine_name})
+    slo_engine = (obs.SLOEngine(slo_rules, telemetry.get_registry(),
+                                event_log=event_log)
+                  if slo_rules else None)
     server = None
     try:
         if getattr(args, "serve", None) is not None:
             server = obs.MetricsServer(registry=telemetry.get_registry(),
                                        event_log=event_log,
                                        watchdog=watchdog,
+                                       slo=slo_engine,
                                        port=int(args.serve)).start()
             print(f"[obs] serving {server.url}/metrics "
-                  f"(/healthz, /events)", file=sys.stderr)
+                  f"(/healthz, /events, /alerts)", file=sys.stderr)
         handle = SimpleNamespace(event_log=event_log, watchdog=watchdog,
-                                 recorder=recorder, server=server)
+                                 recorder=recorder, server=server,
+                                 slo=slo_engine)
         crash_dir = getattr(args, "crash_dir", None)
         with obs.event_context(benchmark=benchmark, machine=machine_name):
             if crash_dir:
@@ -182,6 +204,13 @@ def _observability(args, benchmark: str, machine_name: str, command: str):
                 yield handle
                 recorder.mark("run.end")
     finally:
+        if slo_engine is not None:
+            # Final pass so a run without a single /metrics scrape still
+            # fires (and logs) any end-state violations.
+            try:
+                slo_engine.evaluate()
+            except Exception:
+                pass
         if server is not None:
             server.stop()
         obs.install_watchdog(None)
@@ -790,6 +819,13 @@ def cmd_events_tail(args) -> int:
             print(f"events tail: bad --grep pattern {args.grep!r}: {err}",
                   file=sys.stderr)
             return 2
+    since = None
+    if getattr(args, "since", None):
+        try:
+            since = obs.parse_since(args.since)
+        except ValueError as err:
+            print(f"events tail: {err}", file=sys.stderr)
+            return 2
     picked = obs.filter_events(
         events,
         subsystem=args.subsystem,
@@ -797,6 +833,7 @@ def cmd_events_tail(args) -> int:
         event_glob=args.event,
         last=args.last,
         pattern=pattern,
+        since=since,
     )
     if args.json:
         for record in picked:
@@ -825,7 +862,8 @@ def cmd_events_tail(args) -> int:
                                          subsystem=args.subsystem,
                                          min_severity=args.severity,
                                          event_glob=args.event,
-                                         pattern=pattern):
+                                         pattern=pattern,
+                                         since=since):
                     continue
                 if base_ts is None:
                     ts = record.get("ts")
@@ -845,6 +883,75 @@ def cmd_events_tail(args) -> int:
               + (f"; {bad} corrupt line(s) skipped" if bad else ""))
     print(footer, file=sys.stderr)
     return 0
+
+
+def cmd_sentinel(args) -> int:
+    """Statistical perf-trend verdict over the run-history store.
+
+    Reads the ``history.jsonl`` time series (``repro.obs.history``),
+    runs the rolling median/MAD regression detector per
+    ``(benchmark, machine, metric)`` series, and prints a verdict table
+    (``--json`` for the ``repro.obs.sentinel`` document, ``--html`` for
+    the self-contained trend report).  Exit codes follow ``repro diff``:
+    **0** no regression, **2** usage error (disabled/missing history,
+    bad window/threshold, unwritable ``--html``), **3** at least one
+    series regressed past the threshold.
+    """
+    import json
+
+    from . import obs
+
+    if args.window < 2:
+        print(f"sentinel: --window must be at least 2 (got {args.window})",
+              file=sys.stderr)
+        return 2
+    if args.threshold <= 0:
+        print(f"sentinel: --threshold must be positive "
+              f"(got {args.threshold})", file=sys.stderr)
+        return 2
+    history = obs.get_history(args.history)
+    if history is None:
+        print(f"sentinel: the run-history store is disabled "
+              f"(REPRO_HISTORY={os.environ.get('REPRO_HISTORY')!r}, "
+              f"REPRO_LEDGER={os.environ.get('REPRO_LEDGER')!r})",
+              file=sys.stderr)
+        return 2
+    if not history.points_path.exists():
+        print(f"sentinel: no run history at {history.points_path} "
+              f"(runs record it automatically; see docs/OBSERVABILITY.md)",
+              file=sys.stderr)
+        return 2
+    if args.html:
+        code = _check_outputs("sentinel", html=args.html)
+        if code is not None:
+            return code
+    config = obs.SentinelConfig(window=args.window,
+                                threshold=args.threshold,
+                                min_points=args.min_points)
+    result = obs.analyze_history(history, config=config,
+                                 benchmark=args.benchmark,
+                                 machine=args.filter_machine,
+                                 metric_glob=args.metric)
+    doc = obs.sentinel_document(result)
+    if args.html:
+        try:
+            with open(args.html, "w", encoding="utf-8") as f:
+                f.write(obs.render_trend_html(result))
+        except OSError as err:
+            print(f"sentinel: cannot write --html {args.html}: {err}",
+                  file=sys.stderr)
+            return 2
+        if not args.json:
+            print(f"wrote {args.html}")
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(obs.format_table(result))
+    obs.record_run("sentinel", history=False,
+                   series=len(result.entries),
+                   regressions=len(result.regressions),
+                   exit_code=result.exit_code)
+    return result.exit_code
 
 
 TRACE_LIST_SCHEMA = "repro.obs.trace_list"
@@ -1380,6 +1487,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "exception")
     p.add_argument("--stall-after", type=float, default=30.0, metavar="S",
                    help="stall watchdog budget in seconds (default 30)")
+    p.add_argument("--slo", action="append", metavar="RULE", default=None,
+                   help="arm a live SLO rule, e.g. "
+                        "'sim.sig_cache.hits > 100 for 5s as warm-cache' "
+                        "(repeatable; fires alert events, the "
+                        "repro_alerts_active gauge and /alerts; "
+                        "syntax in docs/OBSERVABILITY.md)")
     p.set_defaults(fn=cmd_serve_metrics)
 
     p = sub.add_parser("events", help="structured event log tooling")
@@ -1410,6 +1523,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-g", "--grep", metavar="PATTERN",
                    help="regex filter over the event name and rendered "
                         "fields (composes with --severity/--follow)")
+    p.add_argument("--since", metavar="WHEN",
+                   help="only events at or after WHEN -- an ISO-8601 "
+                        "timestamp (2026-08-08T12:00:00) or epoch seconds; "
+                        "composes with every other filter (triaging alert "
+                        "windows)")
     p.set_defaults(fn=cmd_events_tail)
 
     p = sub.add_parser("top", help="live terminal dashboard over a running "
@@ -1445,6 +1563,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable diff instead of the table")
     p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("sentinel",
+                       help="statistical perf-trend verdict over the run "
+                            "history; exit 3 on regression")
+    p.add_argument("--history", metavar="DIR",
+                   help="run-history directory (default $REPRO_HISTORY, "
+                        "else the run-ledger directory)")
+    p.add_argument("--window", type=int, default=10, metavar="N",
+                   help="rolling baseline size in points (default 10)")
+    p.add_argument("--threshold", type=float, default=3.0, metavar="Z",
+                   help="robust z-score past which a bad-direction move "
+                        "is a regression (default 3.0)")
+    p.add_argument("--min-points", type=int, default=5, metavar="N",
+                   help="baseline points required before verdicts "
+                        "(shorter series report warmup; default 5)")
+    p.add_argument("-b", "--benchmark",
+                   help="only series of this benchmark")
+    p.add_argument("--filter-machine", metavar="MACHINE",
+                   help="only series of this machine name")
+    p.add_argument("--metric", metavar="GLOB",
+                   help="metric-name glob, e.g. 'makespan_s' or '*_rate'")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.obs.sentinel document instead of "
+                        "the table")
+    p.add_argument("--html", metavar="OUT",
+                   help="also write a self-contained HTML trend report "
+                        "with per-metric sparklines")
+    p.set_defaults(fn=cmd_sentinel)
 
     p = sub.add_parser("flame", help="sampling-profile a benchmark; write "
                                      "a profile JSON and flamegraph")
@@ -1519,7 +1665,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     from .obs.trace import ensure_trace
     with ensure_trace(command=args.command):
-        return args.fn(args)
+        try:
+            return args.fn(args)
+        except SystemExit as exc:  # usage errors raised mid-command
+            return exc.code if isinstance(exc.code, int) else 2
 
 
 if __name__ == "__main__":

@@ -180,7 +180,7 @@ class FractalExecutor:
             log.info("program.start", machine=self.machine.name,
                      instructions=len(program))
             for index, inst in enumerate(program):
-                obs.beat()
+                obs.beat("executor")
                 with obs.event_context(instruction=index,
                                        opcode=inst.opcode.value), \
                         tracer.span(f"inst:{inst.opcode.value}",
@@ -229,7 +229,7 @@ class FractalExecutor:
             # run, not per step, when no sampling profiler is active.
             set_step = _prof.set_step if _prof.profiling() else None
             for index, step in enumerate(plan.steps):
-                obs.beat()
+                obs.beat("executor")
                 if index and index % REPLAY_PROGRESS_STRIDE == 0:
                     log.debug("replay.progress", step=index,
                               steps=plan.n_steps)

@@ -3,8 +3,11 @@
 The telemetry layer (:mod:`repro.telemetry`) counts and times; this layer
 makes a run **operable**: a schema-versioned structured event log with
 propagated run context, a flight recorder that dumps crash bundles when a
-run dies, and a live ``/metrics`` + ``/healthz`` + ``/events`` HTTP
-endpoint with a stall watchdog.  See docs/OBSERVABILITY.md for the event
+run dies, a live ``/metrics`` + ``/healthz`` + ``/events`` + ``/alerts``
+HTTP endpoint with a stall watchdog and SLO rule engine, and a
+longitudinal layer -- the run ledger, the run-history store and the
+perf-trend sentinel -- that remembers runs and flags statistical
+regressions across them.  See docs/OBSERVABILITY.md for the event
 schema, the crash-bundle layout and the watchdog semantics.
 
 Like the registry and the tracer, everything here is **disabled by
@@ -48,6 +51,19 @@ from .flight import (
     crash_scope,
     read_bundle_manifest,
 )
+from .history import (
+    HISTORY_SCHEMA,
+    HISTORY_SCHEMA_VERSION,
+    RunHistory,
+    default_history_dir,
+    get_history,
+    history_enabled,
+    points_from_report,
+    points_from_row,
+    record_points,
+    record_report_history,
+    record_row_history,
+)
 from .ledger import (
     LEDGER_SCHEMA,
     LEDGER_SCHEMA_VERSION,
@@ -57,6 +73,28 @@ from .ledger import (
     ledger_enabled,
     record_report,
     record_run,
+)
+from .sentinel import (
+    SENTINEL_SCHEMA,
+    SENTINEL_SCHEMA_VERSION,
+    POLARITY_TABLE,
+    SentinelConfig,
+    SentinelEntry,
+    SentinelResult,
+    analyze_history,
+    detect_series,
+    format_table,
+    metric_polarity,
+    render_trend_html,
+    sentinel_document,
+)
+from .slo import (
+    ALERTS_SCHEMA,
+    ALERTS_SCHEMA_VERSION,
+    SLOEngine,
+    SLORule,
+    empty_alerts_document,
+    parse_slo_rule,
 )
 from .flame import (
     DEFAULT_DIFF_THRESHOLD,
@@ -105,6 +143,7 @@ from .tail import (
     format_event,
     format_events,
     load_events,
+    parse_since,
 )
 from .top import fetch_metrics, format_top, frame_doc, parse_exposition, run_top
 from .trace import (
@@ -150,6 +189,35 @@ __all__ = [
     "ledger_enabled",
     "record_report",
     "record_run",
+    "HISTORY_SCHEMA",
+    "HISTORY_SCHEMA_VERSION",
+    "RunHistory",
+    "default_history_dir",
+    "get_history",
+    "history_enabled",
+    "points_from_report",
+    "points_from_row",
+    "record_points",
+    "record_report_history",
+    "record_row_history",
+    "SENTINEL_SCHEMA",
+    "SENTINEL_SCHEMA_VERSION",
+    "POLARITY_TABLE",
+    "SentinelConfig",
+    "SentinelEntry",
+    "SentinelResult",
+    "analyze_history",
+    "detect_series",
+    "format_table",
+    "metric_polarity",
+    "render_trend_html",
+    "sentinel_document",
+    "ALERTS_SCHEMA",
+    "ALERTS_SCHEMA_VERSION",
+    "SLOEngine",
+    "SLORule",
+    "empty_alerts_document",
+    "parse_slo_rule",
     "TraceContext",
     "current_trace",
     "current_trace_id",
@@ -200,6 +268,7 @@ __all__ = [
     "format_event",
     "format_events",
     "load_events",
+    "parse_since",
     "fetch_metrics",
     "format_top",
     "parse_exposition",

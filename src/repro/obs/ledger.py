@@ -44,6 +44,7 @@ import os
 import tempfile
 import time
 import warnings
+from collections import deque
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -236,12 +237,20 @@ class RunLedger:
 
     def rows(self, trace_id: Optional[str] = None,
              last: Optional[int] = None) -> List[Dict[str, object]]:
-        """Rows (optionally one trace's, optionally only the newest N)."""
-        out = [row for row in self.iter_rows()
-               if trace_id is None or row.get("trace_id") == trace_id]
+        """Rows (optionally one trace's, optionally only the newest N).
+
+        With ``last=N`` the scan holds at most N rows at a time (a
+        bounded ``deque`` over :meth:`iter_rows`), so ``repro trace ls``
+        stays cheap on long-lived ledgers instead of materializing the
+        whole ``runs.jsonl``.
+        """
+        matching = (row for row in self.iter_rows()
+                    if trace_id is None or row.get("trace_id") == trace_id)
         if last is not None and last >= 0:
-            out = out[-last:] if last else []
-        return out
+            if last == 0:
+                return []
+            return list(deque(matching, maxlen=last))
+        return list(matching)
 
     def traces(self) -> Dict[str, Dict[str, object]]:
         """Per-trace index summaries (``{trace_id: {rows, first_ts, ...}}``)."""
@@ -256,19 +265,29 @@ def get_ledger(directory: Optional[os.PathLike] = None) -> Optional[RunLedger]:
 
 
 def record_run(kind: str, directory: Optional[os.PathLike] = None,
+               history: bool = True,
                **fields) -> Optional[Dict[str, object]]:
     """Fail-soft append: never raises, returns the row or None.
 
     The write sites (CLI commands, sweeps, crash scopes) must keep
     working on read-only filesystems and with the ledger disabled.
+
+    Numeric headline fields of the row (makespan_s, compile_s, ...) are
+    also distilled into the run-history store for the perf-trend
+    sentinel; pass ``history=False`` when the caller records richer
+    history itself (:func:`record_report` does, to avoid double points).
     """
     ledger = get_ledger(directory)
-    if ledger is None:
-        return None
-    try:
-        return ledger.record(kind, **fields)
-    except (OSError, ValueError):
-        return None
+    row: Optional[Dict[str, object]] = None
+    if ledger is not None:
+        try:
+            row = ledger.record(kind, **fields)
+        except (OSError, ValueError):
+            row = None
+    if history:
+        from .history import record_row_history
+        record_row_history(kind, row if row is not None else fields)
+    return row
 
 
 def _cache_tiers(counters: Dict[str, object]) -> Dict[str, object]:
@@ -315,6 +334,12 @@ def record_report(report, kind: str = "run",
         if tiers:
             fields["cache"] = tiers
         fields.update(extra)
-        return record_run(kind, directory=directory, **fields)
+        # The full report distills into richer history points than the
+        # ledger row, so suppress the row-level hook and record from the
+        # report document instead (one point per metric, not two).
+        row = record_run(kind, directory=directory, history=False, **fields)
+        from .history import record_report_history
+        record_report_history(doc, source=kind)
+        return row
     except Exception:
         return None

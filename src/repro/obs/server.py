@@ -9,7 +9,11 @@ daemon thread next to an in-flight run:
 * ``GET /healthz``  -- JSON liveness; **HTTP 200** while the stall
   watchdog sees progress, **HTTP 503** once the run stops beating;
 * ``GET /events``   -- the newest structured events as a JSON array
-  (``?n=``, ``?severity=``, ``?subsystem=`` filters).
+  (``?n=``, ``?severity=``, ``?subsystem=`` filters);
+* ``GET /alerts``   -- the live SLO alert document
+  (``repro.obs.alerts`` v1, :mod:`repro.obs.slo`); the engine is
+  evaluated on every ``/metrics`` and ``/alerts`` request, so the alert
+  path needs no extra thread.
 
 The :class:`Watchdog` is the progress contract: instrumented hot paths
 call :func:`beat` (one global load + None check when no watchdog is
@@ -42,13 +46,16 @@ class Watchdog:
         self._lock = threading.Lock()
         self._last_beat = clock()
         self._started = self._last_beat
+        self._sources: Dict[str, float] = {}
         self.beats = 0
 
-    def beat(self) -> None:
-        """Record one unit of forward progress."""
+    def beat(self, source: Optional[str] = None) -> None:
+        """Record one unit of forward progress (optionally per-source)."""
         with self._lock:
             self._last_beat = self._clock()
             self.beats += 1
+            if source is not None:
+                self._sources[source] = self._last_beat
 
     @property
     def heartbeat_age_s(self) -> float:
@@ -65,8 +72,22 @@ class Watchdog:
         return self.heartbeat_age_s <= self.stall_after_s
 
     def status(self) -> Dict[str, object]:
-        """The /healthz document (see docs/OBSERVABILITY.md)."""
+        """The /healthz document (see docs/OBSERVABILITY.md).
+
+        ``uptime_s`` and per-source ``last_beat_age_s`` let consumers
+        (the perf-trend sentinel, a human with curl) tell "just started"
+        from "stalled": a young uptime with no beats is warming up, an
+        old uptime with one silent source names the stalled subsystem.
+        The 200/503 contract is unchanged -- only the global heartbeat
+        age decides health.
+        """
         age = self.heartbeat_age_s
+        with self._lock:
+            now = self._clock()
+            sources = {
+                name: {"last_beat_age_s": max(0.0, now - last)}
+                for name, last in sorted(self._sources.items())
+            }
         return {
             "status": "ok" if age <= self.stall_after_s else "stalled",
             "healthy": age <= self.stall_after_s,
@@ -74,6 +95,7 @@ class Watchdog:
             "stall_after_s": self.stall_after_s,
             "beats": self.beats,
             "uptime_s": self.uptime_s,
+            "sources": sources,
         }
 
     def health_section(self) -> Dict[str, object]:
@@ -98,11 +120,11 @@ def get_watchdog() -> Optional[Watchdog]:
     return _WATCHDOG
 
 
-def beat() -> None:
+def beat(source: Optional[str] = None) -> None:
     """Progress beat from instrumented hot paths (no-op when unarmed)."""
     wd = _WATCHDOG
     if wd is not None:
-        wd.beat()
+        wd.beat(source)
 
 
 class MetricsServer:
@@ -115,10 +137,14 @@ class MetricsServer:
         watchdog: Optional[Watchdog] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        slo=None,
     ):
         self.registry = registry if registry is not None else telemetry.get_registry()
         self.event_log = event_log if event_log is not None else get_event_log()
         self.watchdog = watchdog if watchdog is not None else Watchdog()
+        #: optional :class:`repro.obs.slo.SLOEngine`; evaluated on every
+        #: scrape so the alert path needs no extra thread.
+        self.slo = slo
         self.host = host
         self.port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -182,6 +208,7 @@ class MetricsServer:
         parsed = urlparse(path)
         route = parsed.path.rstrip("/") or "/"
         if route == "/metrics":
+            self._evaluate_slo()
             return (200, "text/plain; version=0.0.4; charset=utf-8",
                     self._metrics_body().encode("utf-8"))
         if route == "/healthz":
@@ -192,11 +219,28 @@ class MetricsServer:
         if route == "/events":
             return (200, "application/json; charset=utf-8",
                     self._events_body(parse_qs(parsed.query)))
+        if route == "/alerts":
+            self._evaluate_slo()
+            from .slo import empty_alerts_document
+            doc = (self.slo.document() if self.slo is not None
+                   else empty_alerts_document())
+            return (200, "application/json; charset=utf-8",
+                    (json.dumps(doc, indent=2, default=repr) + "\n")
+                    .encode("utf-8"))
         if route == "/":
-            index = {"endpoints": ["/metrics", "/healthz", "/events"]}
+            index = {"endpoints": ["/metrics", "/healthz", "/events",
+                                   "/alerts"]}
             return (200, "application/json; charset=utf-8",
                     (json.dumps(index) + "\n").encode("utf-8"))
         return 404, "text/plain; charset=utf-8", b"not found\n"
+
+    def _evaluate_slo(self) -> None:
+        if self.slo is None:
+            return
+        try:
+            self.slo.evaluate()
+        except Exception:  # alert evaluation must never break a scrape
+            pass
 
     def _metrics_body(self) -> str:
         wd = self.watchdog

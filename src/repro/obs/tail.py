@@ -61,6 +61,32 @@ def grep_blob(record: Dict[str, object]) -> str:
     return " ".join(parts)
 
 
+def parse_since(text: str) -> float:
+    """``--since`` value -> epoch seconds.
+
+    Accepts a raw epoch number (``1722950000`` / ``1722950000.5``) or an
+    ISO-8601 timestamp (``2026-08-08T12:00:00``, with or without a
+    timezone offset; naive stamps are taken in local time, matching how
+    :func:`format_event` displays them).  Raises :class:`ValueError` on
+    anything else -- the CLI maps that to exit 2.
+    """
+    raw = text.strip()
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    from datetime import datetime
+    try:
+        parsed = datetime.fromisoformat(raw)
+    except ValueError:
+        raise ValueError(
+            f"--since {text!r}: expected an epoch number or ISO-8601 "
+            "timestamp (e.g. 2026-08-08T12:00:00)")
+    if parsed.tzinfo is None:
+        parsed = parsed.astimezone()
+    return parsed.timestamp()
+
+
 def filter_events(
     events: Iterable[Dict[str, object]],
     subsystem: Optional[str] = None,
@@ -68,13 +94,16 @@ def filter_events(
     event_glob: Optional[str] = None,
     last: Optional[int] = None,
     pattern: Optional[Union[str, Pattern[str]]] = None,
+    since: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """Apply tail filters (all optional) preserving order.
 
     ``pattern`` is an (uncompiled or precompiled) regex searched against
-    :func:`grep_blob` -- the ``--grep`` filter.  It composes with the
-    other filters and is applied before ``last`` so "the newest N
-    matching events" means what it says.
+    :func:`grep_blob` -- the ``--grep`` filter.  ``since`` is an epoch
+    lower bound on the event ``ts`` (events without a numeric timestamp
+    are dropped when it is set) -- the ``--since`` filter for triaging
+    alert windows.  Both compose with the other filters and are applied
+    before ``last`` so "the newest N matching events" means what it says.
     """
     out = list(events)
     if subsystem:
@@ -85,6 +114,11 @@ def filter_events(
                if SEVERITY_RANK.get(str(e.get("severity")), 1) >= floor]
     if event_glob:
         out = [e for e in out if fnmatch(str(e.get("event", "")), event_glob)]
+    if since is not None:
+        out = [e for e in out
+               if isinstance(e.get("ts"), (int, float))
+               and not isinstance(e.get("ts"), bool)
+               and float(e["ts"]) >= since]
     if pattern is not None:
         rx = re.compile(pattern) if isinstance(pattern, str) else pattern
         out = [e for e in out if rx.search(grep_blob(e))]

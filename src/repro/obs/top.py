@@ -115,6 +115,16 @@ def format_top(samples: Samples, prev: Optional[Samples] = None,
     lines.append("repro top -- " + (" ".join(strip) if strip else "no health gauges"))
     lines.append("")
 
+    # -- alerts strip (live SLO engine, repro.obs.slo) ----------------------
+    active = samples.get(("repro_alerts_active", ()))
+    if active:
+        firing = sorted(lab.get("rule", "?")
+                        for lab, value in _by_name(samples, "repro_alerts_firing")
+                        if value)
+        lines.append(f"ALERTS ({int(active)} firing): "
+                     + (", ".join(firing) if firing else "?"))
+        lines.append("")
+
     # -- per-level utilization (busy stages + idle causes) ------------------
     busy = _by_name(samples, "repro_sim_busy_seconds_total")
     idle = _by_name(samples, "repro_sim_idle_seconds_total")

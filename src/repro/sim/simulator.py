@@ -461,7 +461,7 @@ class FractalSimulator:
                                        resident_regions, deferred_stores,
                                        sibling_regions)
         self.cache_stats.nodes_simulated += 1
-        obs.beat()  # progress for the stall watchdog (no-op when unarmed)
+        obs.beat("sim")  # progress for the stall watchdog (no-op when unarmed)
 
         private_rate, broadcast_rate = self._rates(level)
         memory = NodeMemoryManager(spec.mem_bytes)

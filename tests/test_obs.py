@@ -413,6 +413,26 @@ class TestWatchdog:
         obs.beat()
         assert wd.beats == 1
 
+    def test_status_reports_uptime_and_per_source_beat_ages(self):
+        """`uptime_s` and per-source `last_beat_age_s` distinguish "just
+        started" from "stalled" (PR 9 satellite); 200/503 unchanged."""
+        t = [0.0]
+        wd = Watchdog(stall_after_s=10.0, clock=lambda: t[0])
+        wd.beat("executor")
+        t[0] = 3.0
+        wd.beat("sim")
+        t[0] = 5.0
+        doc = wd.status()
+        assert doc["uptime_s"] == pytest.approx(5.0)
+        assert doc["sources"]["executor"]["last_beat_age_s"] == pytest.approx(5.0)
+        assert doc["sources"]["sim"]["last_beat_age_s"] == pytest.approx(2.0)
+        assert doc["healthy"]  # newest beat 2s ago < 10s budget
+
+    def test_unsourced_beats_do_not_grow_sources(self):
+        wd = Watchdog()
+        wd.beat()
+        assert wd.status()["sources"] == {}
+
     def test_executor_beats_when_armed(self):
         wd = obs.install_watchdog(Watchdog())
         run_functional(mm_fc_workload())
@@ -491,6 +511,18 @@ class TestMetricsServer:
             wd.beat()  # recovery
             status, body = http_get(server.url + "/healthz")
             assert status == 200
+
+    def test_healthz_document_carries_uptime_and_sources(self):
+        t = [0.0]
+        wd = Watchdog(stall_after_s=30.0, clock=lambda: t[0])
+        wd.beat("sim")
+        t[0] = 4.0
+        with MetricsServer(watchdog=wd) as server:
+            status, body = http_get(server.url + "/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["uptime_s"] == pytest.approx(4.0)
+        assert doc["sources"]["sim"]["last_beat_age_s"] == pytest.approx(4.0)
 
     def test_events_endpoint_filters(self):
         log = obs.get_event_log()

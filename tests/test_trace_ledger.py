@@ -144,6 +144,26 @@ class TestRunLedger:
         rows = ledger.rows()
         assert len(rows) == 1 and rows[0]["benchmark"] == "ok"
 
+    def test_rows_last_is_bounded_tail_and_skips_torn_lines(self, tmp_path):
+        """``rows(last=N)`` streams through a bounded deque (PR 9
+        satellite): the newest N decodable rows come back in order even
+        with a torn trailing line, without materializing the full log."""
+        ledger = RunLedger(tmp_path)
+        for i in range(20):
+            ledger.record("run", benchmark=f"b{i}")
+        with open(ledger.runs_path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": "repro.obs.ledger", "v": 1, "kind": "tor')
+        tail = ledger.rows(last=3)
+        assert [r["benchmark"] for r in tail] == ["b17", "b18", "b19"]
+        assert ledger.rows(last=0) == []
+        assert len(ledger.rows(last=100)) == 20
+        # composes with the trace filter
+        with ensure_trace() as ctx:
+            ledger.record("run", benchmark="traced1")
+            ledger.record("run", benchmark="traced2")
+        tail = ledger.rows(trace_id=ctx.trace_id, last=1)
+        assert [r["benchmark"] for r in tail] == ["traced2"]
+
     @pytest.mark.parametrize("value", ["off", "0", "none", "disabled", ""])
     def test_off_values_disable(self, value, monkeypatch):
         monkeypatch.setenv("REPRO_LEDGER", value)
