@@ -1172,22 +1172,30 @@ def cmd_compile(args) -> int:
     rng = np.random.default_rng(args.seed)
     bound = list(w.inputs.values()) + list(w.params.values())
     arrays = {t.uid: rng.normal(size=t.shape) for t in bound}
+    # Three-way: recursive execution, classic step-by-step replay, and
+    # vectorized (BatchedStep) replay must all agree bit-for-bit.
+    modes = (("recursive", None, None), ("replay", plan, False),
+             ("batched replay", plan, True))
     results = []
-    for use_plan in (None, plan):
+    for mode, use_plan, use_batch in modes:
         store = TensorStore()
         for t in bound:
             store.bind(t, arrays[t.uid])
-        FractalExecutor(machine, store).run_program(w.program, plan=use_plan)
+        FractalExecutor(machine, store).run_program(
+            w.program, plan=use_plan, batch=use_batch)
         results.append({name: store.read(t.region())
                         for name, t in w.outputs.items()})
-    for name in results[0]:
-        if not np.array_equal(results[0][name], results[1][name]):
-            print(f"compile: --verify FAILED: output {name!r} differs "
-                  f"between recursive and replayed execution",
-                  file=sys.stderr)
-            return 1
-    print(f"  verify              replay bit-identical "
-          f"({len(results[0])} output(s))")
+    for (mode, _, _), candidate in zip(modes[1:], results[1:]):
+        for name in results[0]:
+            if not np.array_equal(results[0][name], candidate[name]):
+                print(f"compile: --verify FAILED: output {name!r} differs "
+                      f"between recursive execution and {mode}",
+                      file=sys.stderr)
+                return 1
+    schedule = plan.replay_schedule()
+    print(f"  verify              replay and batched replay bit-identical "
+          f"({len(results[0])} output(s), {schedule.batched_steps} "
+          f"batched step(s))")
     return 0
 
 
@@ -1272,6 +1280,28 @@ def cmd_plan_lint(args) -> int:
     result.program_name = name
     gating = result.diagnostics if args.strict else result.errors
 
+    # Batching summary: what the vectorization pass lowered, which lanes
+    # must take the counted per-lane fallback (no bit-identical stacked
+    # kernel for their opcode), and the arena the schedule preallocates.
+    # ``--no-batch`` skips schedule construction entirely.
+    batching = None
+    if not getattr(args, "no_batch", False):
+        from .ops.batch import batched_kernel_for
+
+        schedule = plan.replay_schedule()
+        fallback_opcodes: dict = {}
+        for b in plan.batched:
+            if batched_kernel_for(b.opcode) is None:
+                fallback_opcodes[b.opcode.value] = (
+                    fallback_opcodes.get(b.opcode.value, 0) + b.n_lanes)
+        batching = {
+            "batched_steps": schedule.batched_steps,
+            "batched_lanes": schedule.batched_lanes,
+            "batch_fallback_opcodes": fallback_opcodes,
+            "arena_bytes": schedule.arena.nbytes,
+            "fully_batched": schedule.fully_batched,
+        }
+
     if getattr(args, "json", False):
         doc = diagnostics_document([result], tool="plan-lint")
         doc["plan"] = {
@@ -1282,6 +1312,8 @@ def cmd_plan_lint(args) -> int:
             "safe_zero_copy_steps": analysis.n_safe_zero_copy,
             "peak_live_bytes": analysis.peak_live_bytes,
         }
+        if batching is not None:
+            doc["plan"].update(batching)
         print(json.dumps(doc, indent=2))
         return 1 if gating else 0
 
@@ -1294,6 +1326,17 @@ def cmd_plan_lint(args) -> int:
     print(f"  safe zero-copy      {analysis.n_safe_zero_copy:12d}"
           f"/{plan.n_steps} steps")
     print(f"  peak live bytes     {analysis.peak_live_bytes:12d}")
+    if batching is not None:
+        print(f"  batched steps       {batching['batched_steps']:12d} "
+              f"covering {batching['batched_lanes']}/{plan.n_steps} steps")
+        print(f"  arena bytes         {batching['arena_bytes']:12d}")
+        if batching["batch_fallback_opcodes"]:
+            folded = ", ".join(
+                f"{op} ({lanes} lanes)" for op, lanes in
+                sorted(batching["batch_fallback_opcodes"].items()))
+            print(f"  per-lane fallbacks  {folded}")
+            print("  default engine      classic replay (fallback lanes "
+                  "present; batch=True forces the schedule)")
     return 1 if gating else 0
 
 
@@ -1442,6 +1485,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the schema-versioned repro.diag diagnostics "
                         "document (plus a plan summary section)")
+    p.add_argument("--no-batch", action="store_true",
+                   help="skip the batching summary (BatchedStep lowering, "
+                        "per-lane fallbacks, arena size)")
     p.set_defaults(fn=cmd_plan_lint)
 
     p = sub.add_parser("profile", help="run + simulate a benchmark with "

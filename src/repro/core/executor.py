@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from .. import obs, ops, telemetry
 from ..obs import prof as _prof
 from .decomposition import decompose_parallel, shrink_sequential
@@ -54,6 +56,16 @@ class ExecutionStats:
     #: tensor bytes read from / written to the store by kernels and LFUs.
     bytes_read: int = 0
     bytes_written: int = 0
+    #: batched replay: BatchedStep groups executed and the plan steps
+    #: (lanes) they covered with one stacked kernel call each.
+    batched_steps: int = 0
+    batched_lanes: int = 0
+    #: lanes executed by the counted per-lane fallback because their
+    #: opcode has no bit-identical stacked kernel (repro.ops.batch).
+    batch_fallbacks: int = 0
+    #: runtime operand-aliasing scans skipped because the schedule carries
+    #: the analyzer's interference result as a precomputed copy-mask.
+    alias_scan_skips: int = 0
 
     def count(self, level: int) -> None:
         self.instructions_per_level[level] = self.instructions_per_level.get(level, 0) + 1
@@ -91,6 +103,10 @@ class ExecutionStats:
             ("executor.seq_steps", ()): self.seq_steps,
             ("executor.bytes_read", ()): self.bytes_read,
             ("executor.bytes_written", ()): self.bytes_written,
+            ("plan.batched_steps", ()): self.batched_steps,
+            ("plan.batched_lanes", ()): self.batched_lanes,
+            ("ops.batch_fallbacks", ()): self.batch_fallbacks,
+            ("executor.alias_scan_skips", ()): self.alias_scan_skips,
         }
         for level, n in self.instructions_per_level.items():
             out[("executor.instructions", (("level", str(level)),))] = n
@@ -153,7 +169,8 @@ class FractalExecutor:
                                apply_sequential=self.apply_sequential)
 
     def run_program(self, program: Iterable[Instruction],
-                    plan: Optional["FractalPlan"] = None) -> TensorStore:
+                    plan: Optional["FractalPlan"] = None,
+                    batch: Optional[bool] = None) -> TensorStore:
         """Execute an instruction sequence top-down; returns the store.
 
         With ``preflight=True`` the program is first run through the static
@@ -163,10 +180,11 @@ class FractalExecutor:
 
         With ``plan`` (from :meth:`compile`) the decomposition recursion is
         skipped entirely and the flattened plan is replayed instead --
-        bit-identical results, compile-once/run-many cost.
+        bit-identical results, compile-once/run-many cost.  ``batch``
+        selects the replay mode (see :meth:`run_plan`).
         """
         if plan is not None:
-            return self.run_plan(plan)
+            return self.run_plan(plan, batch=batch)
         program = list(program)
         if self.preflight:
             from ..analysis import analyze  # deferred: keeps core import-light
@@ -206,7 +224,8 @@ class FractalExecutor:
         self._publish_counters()
         return self.store
 
-    def run_plan(self, plan: "FractalPlan") -> TensorStore:
+    def run_plan(self, plan: "FractalPlan",
+                 batch: Optional[bool] = None) -> TensorStore:
         """Replay a compiled plan: the warm path of compile-once/run-many.
 
         Executes the flattened kernel/LFU steps in their recorded order --
@@ -215,7 +234,24 @@ class FractalExecutor:
         The plan's precomputed stats are merged up front (replay performs
         exactly that work; on a mid-replay failure the stats overstate the
         completed portion, which errs on the visible side).
+
+        ``batch`` selects the replay engine:
+
+        * ``None`` (default): vectorized schedule replay when the plan
+          lowered at least one :class:`~repro.plan.batch.BatchedStep`
+          *and* every lowered lane has a stacked kernel -- a fallback
+          group pays gather/scatter copies with no stacked call to
+          amortize them, so partially covered (conv-heavy) plans keep
+          the classic loop;
+        * ``True``: always replay through the schedule (even all-singles
+          or all-fallback -- the verification/measurement mode);
+        * ``False``: always the classic loop -- the reference baseline the
+          batched engine is measured (and bit-compared) against.
         """
+        if batch is not False:
+            schedule = plan.replay_schedule()
+            if batch or schedule.fully_batched:
+                return self._run_schedule(plan, schedule)
         self.stats.merge_plan(plan.stats)
         tracer = telemetry.get_tracer()
         log = obs.logger("executor")
@@ -271,6 +307,175 @@ class FractalExecutor:
         self._publish_counters()
         return self.store
 
+    def _run_schedule(self, plan: "FractalPlan", schedule) -> TensorStore:
+        """Vectorized replay: one stacked kernel call per BatchedStep.
+
+        Walks the plan's precompiled :class:`~repro.plan.batch.
+        ReplaySchedule` -- singles with precomputed kernels/slices/copy-
+        masks interleaved with batched groups whose operands gather as
+        strided views -- and is bit-identical to the classic loop by
+        construction.  Plan-owned intermediates live in one flat arena
+        buffer attached up front; recycled slots are re-zeroed exactly
+        when the owning tensor's live interval opens, reproducing
+        ``TensorStore.ensure`` zero-fill semantics.
+
+        Observability contracts of the classic loop are preserved: one
+        watchdog beat per plan step (bulk form for groups), one
+        ``replay.progress`` event per :data:`REPLAY_PROGRESS_STRIDE`
+        steps, profiler step attribution per item, and per-opcode
+        ``ops.dispatch`` counts (one bulk increment per group).
+        """
+        self.stats.merge_plan(plan.stats)
+        self.stats.batched_steps += schedule.batched_steps
+        self.stats.batched_lanes += schedule.batched_lanes
+        tracer = telemetry.get_tracer()
+        registry = telemetry.get_registry()
+        log = obs.logger("executor")
+        store = self.store
+        # Hoisted once per replay (the classic loop re-checks inside every
+        # ops.execute): with telemetry dark, singles call their kernel
+        # directly and groups skip span/count bookkeeping.
+        fast = not tracer.enabled and not registry.enabled
+        with tracer.span("executor.replay", cat="program",
+                         machine=self.machine.name, steps=plan.n_steps,
+                         batched_steps=schedule.batched_steps):
+            log.info("replay.start", machine=self.machine.name,
+                     steps=plan.n_steps,
+                     batched_steps=schedule.batched_steps,
+                     batched_lanes=schedule.batched_lanes)
+            arena = schedule.arena
+            zero_queue: List = []
+            if arena.total_elems:
+                views = store.attach_arena(arena.bindings, arena.total_elems)
+                zero_queue = [(ordinal, views[bi])
+                              for ordinal, bi in arena.zero_items]
+            zq_pos, zq_len = 0, len(zero_queue)
+            set_step = _prof.set_step if _prof.profiling() else None
+            beat = obs.beat
+            stride = REPLAY_PROGRESS_STRIDE
+            next_progress = stride
+            for ordinal, item in enumerate(schedule.items):
+                while zq_pos < zq_len and zero_queue[zq_pos][0] <= ordinal:
+                    zero_queue[zq_pos][1][...] = 0.0
+                    zq_pos += 1
+                stop = item.stop
+                beat("executor", stop - item.start)
+                while next_progress < stop:
+                    log.debug("replay.progress", step=next_progress,
+                              steps=plan.n_steps)
+                    next_progress += stride
+                if set_step is not None:
+                    set_step(item.opval, item.level)
+                try:
+                    if item.batched:
+                        self._exec_batched_item(item, store, fast,
+                                                registry, tracer)
+                    else:
+                        self._exec_single_item(item, store, fast)
+                except Exception as err:
+                    log.error("replay.fail", opcode=item.opval,
+                              level=item.level, step=item.start,
+                              error=f"{type(err).__name__}: {err}")
+                    raise
+            log.info("replay.end", kernel_calls=self.stats.kernel_calls,
+                     batched_steps=schedule.batched_steps)
+        _prof.clear_step()
+        if registry.enabled and plan.stats.peak_live_bytes:
+            registry.gauge("plan.peak_live_bytes").set_max(
+                plan.stats.peak_live_bytes)
+        self._publish_counters()
+        return store
+
+    def _exec_single_item(self, item, store: TensorStore, fast: bool) -> None:
+        """One unfused schedule item: precomputed kernel, slices, mask."""
+        if item.copy_mask is None:
+            # Statically proven alias-free: read-only views, no scan.
+            ensure = store.ensure
+            operands = []
+            for tensor, sl in item.in_specs:
+                view = ensure(tensor)[sl]
+                view.flags.writeable = False
+                operands.append(view)
+            store.zero_copy_reads += item.n_in
+            store.static_zero_copy += item.n_in
+        else:
+            operands = self._read_operands(item.inst, item.copy_mask)
+        if fast:
+            result = item.kernel(operands, item.run_attrs)
+            outputs = result if isinstance(result, tuple) else (result,)
+        else:
+            outputs = ops.execute(item.opcode, operands, item.run_attrs)
+        out_specs = item.out_specs
+        if len(outputs) != len(out_specs):
+            raise RuntimeError(
+                f"{item.opcode} produced {len(outputs)} outputs, "
+                f"expected {len(out_specs)}")
+        accumulate = item.accumulate
+        for (tensor, sl, shape, nelems), value in zip(out_specs, outputs):
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != shape:
+                if value.size != nelems:
+                    verb = "accumulate" if accumulate else "write"
+                    raise ValueError(
+                        f"{verb} shape mismatch: region {shape}, "
+                        f"value {value.shape}")
+                value = value.reshape(shape)
+            if accumulate:
+                store.ensure(tensor)[sl] += value
+            else:
+                store.ensure(tensor)[sl] = value
+
+    def _exec_batched_item(self, item, store: TensorStore, fast: bool,
+                           registry, tracer) -> None:
+        """One BatchedStep: gather lanes, one stacked call, scatter back."""
+        k = item.k
+        operands = [g.gather(store) for g in item.gathers]
+        # Every lane read is statically proven scan-free by fusion
+        # legality; view gathers are zero-copy, loop gathers materialize.
+        for g in item.gathers:
+            if g.zero_copy:
+                store.zero_copy_reads += k
+            else:
+                store.copied_reads += k
+        store.static_zero_copy += item.n_in * k
+        if fast:
+            stacked = self._batched_call(item, operands)
+        else:
+            registry.count("ops.dispatch", k, labels={"opcode": item.opval})
+            obs.logger("ops").debug("dispatch.batched", opcode=item.opval,
+                                    lanes=k)
+            with tracer.span(f"op:{item.opval}", cat="op", lanes=k):
+                stacked = self._batched_call(item, operands)
+        stacked = np.asarray(stacked, dtype=np.float64)
+        want = (k,) + item.out_shape
+        if stacked.shape != want:
+            if stacked.size != k * item.out_nelems:
+                raise ValueError(
+                    f"batched write shape mismatch: lanes {want}, "
+                    f"value {stacked.shape}")
+            stacked = stacked.reshape(want)
+        item.scatter.scatter(store, stacked, item.accumulate)
+
+    def _batched_call(self, item, operands):
+        """The group's stacked kernel, or the counted per-lane fallback."""
+        kern = item.batched_kernel
+        if kern is not None:
+            return kern(operands, item.run_attrs)
+        self.stats.batch_fallbacks += item.k
+        lane_kern = item.kernel
+        attrs = item.run_attrs
+        n_in = item.n_in
+        out = np.empty((item.k,) + item.out_shape, dtype=np.float64)
+        for i in range(item.k):
+            lane = [operands[j][i] for j in range(n_in)]
+            value = lane_kern(lane, attrs)
+            if isinstance(value, tuple):
+                value = value[0]
+            value = np.asarray(value, dtype=np.float64)
+            out[i] = (value if value.shape == item.out_shape
+                      else value.reshape(item.out_shape))
+        return out
+
     def _publish_counters(self) -> None:
         """Mirror stats deltas into the telemetry registry (if enabled)."""
         registry = telemetry.get_registry()
@@ -286,6 +491,8 @@ class FractalExecutor:
                 registry.count(name, delta, dict(labels))
         registry.gauge("executor.max_depth").set_max(
             self.stats.max_depth_reached)
+        if self.store.arena_bytes:
+            registry.gauge("store.arena_bytes").set_max(self.store.arena_bytes)
         self._published = current
 
     # -- fractal recursion ----------------------------------------------------
@@ -343,7 +550,8 @@ class FractalExecutor:
         _prof.set_step(inst.opcode.value, level)
         self._apply(inst)
 
-    def _read_operands(self, inst: Instruction) -> List:
+    def _read_operands(self, inst: Instruction,
+                       copy_mask: Optional[Tuple[bool, ...]] = None) -> List:
         """Kernel operands for ``inst``, zero-copy wherever it is safe.
 
         Inputs are handed to kernels as read-only views into the store
@@ -352,9 +560,20 @@ class FractalExecutor:
         write-back would then stomp bytes a lazy/kept reference might still
         read, so those operands are materialized as copies, exactly as the
         old unconditional-copy path did.
+
+        ``copy_mask`` is the same per-operand verdict precomputed once per
+        plan from the analyzer's interference result (schedule replay,
+        :class:`repro.plan.batch.SingleItem`): passing it skips the dynamic
+        overlap scan entirely -- counted in ``executor.alias_scan_skips``.
         """
-        outputs = inst.outputs
         store = self.store
+        if copy_mask is not None:
+            self.stats.alias_scan_skips += 1
+            return [
+                store.read(r) if needs_copy else store.read(r, copy=False)
+                for r, needs_copy in zip(inst.inputs, copy_mask)
+            ]
+        outputs = inst.outputs
         return [
             store.read(r) if any(r.overlaps(o) for o in outputs)
             else store.read(r, copy=False)

@@ -8,7 +8,7 @@ the *timing* simulator is the component that accounts for the copies.)
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,9 +32,13 @@ class TensorStore:
     def __init__(self):
         self._arrays: Dict[int, np.ndarray] = {}
         self._tensors: Dict[int, Tensor] = {}
+        self._arena: Optional[np.ndarray] = None
         self.zero_copy_reads: int = 0
         self.copied_reads: int = 0
         self.static_zero_copy: int = 0
+        #: size of the last arena attached by :meth:`attach_arena` (the
+        #: executor mirrors it as the ``store.arena_bytes`` gauge).
+        self.arena_bytes: int = 0
 
     def bind(self, tensor: Tensor, array: np.ndarray) -> None:
         """Attach a concrete array (copied) as the tensor's contents."""
@@ -103,6 +107,35 @@ class TensorStore:
         base = self.ensure(region.tensor)
         slices = tuple(slice(lo, hi) for lo, hi in region.bounds)
         base[slices] += self._coerce(region, value, "accumulate")
+
+    def attach_arena(self, bindings: Sequence[Tuple[Tensor, int]],
+                     total_elems: int) -> List[np.ndarray]:
+        """Back a set of tensors with slots of one flat preallocated buffer.
+
+        ``bindings`` maps each tensor to its element offset (from
+        :class:`repro.plan.batch.ArenaLayout`); a fresh zeroed float64
+        buffer of ``total_elems`` is allocated and each tensor is bound to
+        a contiguous view of it, so batched replay resolves intermediates
+        with offset arithmetic instead of growing ``_arrays`` one
+        ``np.zeros`` at a time.  Returns the views in binding order (the
+        executor re-zeroes recycled slots through them).  Existing
+        bindings for the same uids are replaced; the caller guarantees
+        slot lifetimes do not overlap while their tensors are live.
+        """
+        buf = np.zeros(int(total_elems), dtype=np.float64)
+        self._arena = buf
+        self.arena_bytes = buf.nbytes
+        views: List[np.ndarray] = []
+        arrays, tensors = self._arrays, self._tensors
+        for tensor, offset in bindings:
+            shape = tensor.shape
+            view = buf[offset:offset + tensor.nelems]
+            if len(shape) != 1:  # rank-1 slots are already shaped
+                view = view.reshape(shape)
+            arrays[tensor.uid] = view
+            tensors[tensor.uid] = tensor
+            views.append(view)
+        return views
 
     def tensor(self, uid: int) -> Optional[Tensor]:
         return self._tensors.get(uid)

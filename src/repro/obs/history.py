@@ -385,6 +385,7 @@ def points_from_report(doc: Dict[str, object],
 
     counters = doc.get("counters") or {}
     add("peak_live_bytes", _counter_sum(counters, "plan.peak_live_bytes"))
+    add("batch_fallbacks", _counter_sum(counters, "ops.batch_fallbacks"))
     add("sig_cache_hit_rate", _rate(counters, "sim.sig_cache.hits",
                                     "sim.sig_cache.misses"))
     zero = (_counter_sum(counters, "store.zero_copy_reads") or 0.0) + \
@@ -400,6 +401,10 @@ def points_from_report(doc: Dict[str, object],
         micro_bench = micro.get("benchmark") or bench
         add("replay_speedup", micro.get("speedup"), benchmark=micro_bench)
         add("warm_replay_s", micro.get("warm_replay_s"),
+            benchmark=micro_bench)
+        add("batched_speedup", micro.get("batched_speedup"),
+            benchmark=micro_bench)
+        add("warm_batched_s", micro.get("warm_batched_s"),
             benchmark=micro_bench)
 
     benchmarks = notes.get("benchmarks") or {}

@@ -49,11 +49,16 @@ class Watchdog:
         self._sources: Dict[str, float] = {}
         self.beats = 0
 
-    def beat(self, source: Optional[str] = None) -> None:
-        """Record one unit of forward progress (optionally per-source)."""
+    def beat(self, source: Optional[str] = None, n: int = 1) -> None:
+        """Record ``n`` units of forward progress (optionally per-source).
+
+        ``n > 1`` is the bulk form used by batched plan replay: one lock
+        acquisition accounts for a whole lane group, keeping the
+        beats-per-step invariant without a per-lane call.
+        """
         with self._lock:
             self._last_beat = self._clock()
-            self.beats += 1
+            self.beats += n
             if source is not None:
                 self._sources[source] = self._last_beat
 
@@ -120,11 +125,11 @@ def get_watchdog() -> Optional[Watchdog]:
     return _WATCHDOG
 
 
-def beat(source: Optional[str] = None) -> None:
+def beat(source: Optional[str] = None, n: int = 1) -> None:
     """Progress beat from instrumented hot paths (no-op when unarmed)."""
     wd = _WATCHDOG
     if wd is not None:
-        wd.beat(source)
+        wd.beat(source, n)
 
 
 class MetricsServer:

@@ -35,6 +35,18 @@ from .analysis import (
     annotate_plan,
     verify_plan,
 )
+from .batch import (
+    ArenaLayout,
+    BatchedItem,
+    BatchedStep,
+    ReplaySchedule,
+    SingleItem,
+    batched_table,
+    build_arena_layout,
+    build_schedule,
+    lower_plan,
+    normalize_batched_docs,
+)
 from .cache import (
     DiskPlanCache,
     PlanCache,
@@ -59,6 +71,9 @@ __all__ = [
     "ANALYSIS_VERSION",
     "PLAN_SCHEMA",
     "PLAN_SCHEMA_VERSION",
+    "ArenaLayout",
+    "BatchedItem",
+    "BatchedStep",
     "DiskPlanCache",
     "FractalPlan",
     "InterferenceEdge",
@@ -68,14 +83,21 @@ __all__ = [
     "PlanFormatError",
     "PlanStats",
     "PlanStep",
+    "ReplaySchedule",
+    "SingleItem",
     "analyze_plan",
     "annotate_plan",
+    "batched_table",
+    "build_arena_layout",
+    "build_schedule",
     "compile_cached",
     "compile_program",
     "default_cache_dir",
     "fingerprint_digest",
     "get_plan_cache",
+    "lower_plan",
     "machine_fingerprint",
+    "normalize_batched_docs",
     "plan_from_doc",
     "plan_key",
     "reset_plan_cache",

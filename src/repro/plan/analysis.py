@@ -579,6 +579,10 @@ def annotate_plan(plan: FractalPlan,
     plan.fusion_groups = list(analysis.fusion_groups)
     plan.analysis = analysis.to_doc()
     plan.stats.peak_live_bytes = analysis.peak_live_bytes
+    # The lowering and replay schedule derive from the products stamped
+    # above; re-annotation invalidates them (rebuilt lazily on next use).
+    plan.batched = []
+    plan._schedule = None
     return analysis
 
 
@@ -607,4 +611,10 @@ def verify_plan(plan: FractalPlan) -> PlanAnalysis:
         raise ValueError("plan safe_zero_copy flags do not match analysis")
     if [tuple(g) for g in plan.fusion_groups] != analysis.fusion_groups:
         raise ValueError("plan fusion groups do not match analysis")
+    from .batch import batched_table, lower_plan  # deferred: import order
+
+    if batched_table(plan.ensure_lowered()) != batched_table(lower_plan(plan)):
+        raise ValueError(
+            "plan batched steps do not match a fresh lowering of its "
+            "fusion groups")
     return analysis

@@ -24,6 +24,7 @@ from ..core.isa import Instruction
 from ..core.machine import Machine
 from ..obs import prof as _prof
 from .analysis import annotate_plan
+from .batch import lower_plan
 from .plan import FractalPlan, PlanStats, PlanStep
 
 
@@ -118,10 +119,14 @@ def compile_program(
     # Analyze-on-compile: every plan that reaches the executor or a cache
     # tier carries zero-copy proofs, fusion groups and the live-byte peak.
     analysis = annotate_plan(plan)
+    # Lower-on-compile: the proven fusion groups become BatchedSteps so
+    # batched replay (and the schema-v3 document) never re-derives them.
+    plan.batched = lower_plan(plan)
     plan.compile_seconds = time.perf_counter() - t0
     log.info("compile.end", steps=len(steps),
              kernel_calls=stats.kernel_calls, lfu_calls=stats.lfu_calls,
              diagnostics=len(analysis.result.diagnostics),
              fusion_groups=len(plan.fusion_groups),
+             batched_steps=len(plan.batched),
              seconds=round(plan.compile_seconds, 6))
     return plan

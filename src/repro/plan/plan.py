@@ -24,9 +24,11 @@ from ..core.isa import Instruction, Opcode
 from ..core.tensor import DType, Region, Tensor
 
 #: version stamp of the serialized plan document; bump on any layout change
-#: (old entries then simply miss and are recompiled).
+#: (old entries then simply miss and are recompiled).  v3 added the
+#: ``batched`` BatchedStep table (verified against a fresh lowering on
+#: load), so v2 disk-cache entries miss and recompile.
 PLAN_SCHEMA = "repro.plan"
-PLAN_SCHEMA_VERSION = 2
+PLAN_SCHEMA_VERSION = 3
 
 #: instruction attributes that steer the executor's write-back, not the
 #: kernel itself; precomputed out of every step's ``run_attrs``.
@@ -159,6 +161,16 @@ class FractalPlan:
     #: (diagnostics + product counts + re-verification digest); ``None``
     #: only for plans that bypassed the compiler's annotate stage.
     analysis: Optional[dict] = None
+    #: fusion groups lowered for stacked execution
+    #: (:class:`repro.plan.batch.BatchedStep`); stamped by the compiler,
+    #: re-derived lazily by :meth:`ensure_lowered` for plans annotated by
+    #: hand, and schema-v3-serialized with verify-on-load.
+    batched: List = field(default_factory=list)
+    #: lazily built :class:`repro.plan.batch.ReplaySchedule` (kernel
+    #: callables, gather/scatter addressing, arena layout); per-plan
+    #: derived state, never serialized or compared.
+    _schedule: Optional[object] = field(default=None, repr=False,
+                                        compare=False)
 
     @property
     def n_steps(self) -> int:
@@ -166,6 +178,23 @@ class FractalPlan:
 
     def external_uids(self) -> Tuple[int, ...]:
         return tuple(t.uid for t in self.externals)
+
+    def ensure_lowered(self) -> List:
+        """``self.batched``, lowering the fusion groups on first use."""
+        if not self.batched and self.fusion_groups:
+            from .batch import lower_plan  # deferred: batch imports plan
+
+            self.batched = lower_plan(self)
+        return self.batched
+
+    def replay_schedule(self):
+        """The batched replay schedule (built once, cached on the plan)."""
+        if self._schedule is None:
+            from .batch import build_schedule  # deferred: cycle guard
+
+            self.ensure_lowered()
+            self._schedule = build_schedule(self)
+        return self._schedule
 
     # -- rebinding -----------------------------------------------------------
 
@@ -278,6 +307,7 @@ class FractalPlan:
             "compile_seconds": self.compile_seconds,
             "fusion_groups": [list(g) for g in self.fusion_groups],
             "analysis": self.analysis,
+            "batched": [b.to_doc() for b in self.ensure_lowered()],
         }
 
 
@@ -348,7 +378,7 @@ def plan_from_doc(doc: dict, externals: Sequence[Tensor],
         analysis = doc.get("analysis")
         if analysis is not None and not isinstance(analysis, dict):
             raise PlanFormatError("plan analysis section must be a mapping")
-        return FractalPlan(
+        plan = FractalPlan(
             machine_fingerprint=(machine_fingerprint
                                  if machine_fingerprint is not None
                                  else (doc["machine_fingerprint"],)),
@@ -360,6 +390,29 @@ def plan_from_doc(doc: dict, externals: Sequence[Tensor],
             fusion_groups=fusion_groups,
             analysis=analysis,
         )
+        # The stored BatchedStep table must match a fresh lowering of the
+        # rebuilt plan exactly -- a tampered or stale table must never
+        # steer the batched executor, so on mismatch the document is
+        # rejected (the cache then recompiles).  The fresh lowering is
+        # what the plan carries; the stored table is only a check.
+        from .batch import (batched_table, lower_plan,
+                            normalize_batched_docs)
+
+        plan.batched = lower_plan(plan)
+        stored = doc.get("batched")
+        if stored is None:
+            if plan.fusion_groups:
+                raise PlanFormatError(
+                    "plan document is missing its batched-step table")
+        else:
+            if not isinstance(stored, list):
+                raise PlanFormatError(
+                    "plan batched section must be a list")
+            if normalize_batched_docs(stored) != batched_table(plan.batched):
+                raise PlanFormatError(
+                    "batched-step table does not match a fresh lowering "
+                    "of the plan's fusion groups")
+        return plan
     except PlanFormatError:
         raise
     except (KeyError, IndexError, TypeError, ValueError) as err:

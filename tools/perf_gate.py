@@ -89,7 +89,20 @@ def main(argv=None) -> int:
                              "notes.plan_microbench (cold recursive s / warm "
                              "replay s); exit 3 below it.  Default 1.0 = "
                              "replay must never be slower; CI may demand 2.0")
+    parser.add_argument("--min-batched-speedup", type=float, default=1.0,
+                        metavar="X",
+                        help="floor for the batched-replay speedup recorded "
+                             "in notes.plan_microbench (warm unbatched s / "
+                             "warm batched s); exit 3 below it.  Default 1.0 "
+                             "= batching must never be slower; CI demands "
+                             "2.0 on f100")
+    parser.add_argument("--microbench-only", action="store_true",
+                        help="skip the suite simulation + diff and gate only "
+                             "the plan microbenchmark floors (fast CI mode)")
     args = parser.parse_args(argv)
+
+    if args.microbench_only:
+        return _microbench_gate(args)
 
     from repro.perf import DiffConfig, diff_documents
     from repro.telemetry import validate_document
@@ -134,11 +147,19 @@ def main(argv=None) -> int:
     else:
         print(result.format_table())
 
-    # Plan-replay gate: wall-clock on this host (not diffed against the
+    # Plan-replay gates: wall-clock on this host (not diffed against the
     # baseline document, which may come from different hardware) -- the
-    # candidate's own cold-recursive / warm-replay ratio must clear the
-    # floor.  Reports predating the plan compiler simply skip the gate.
+    # candidate's own replay ratios must clear their floors.  Reports
+    # predating the plan compiler simply skip them.
     micro = (candidate.get("notes") or {}).get("plan_microbench") or {}
+    code = _gate_microbench(micro, args)
+    if code:
+        return code
+    return result.exit_code
+
+
+def _gate_microbench(micro: dict, args) -> int:
+    """Apply both microbench floors; 0 ok / 3 below a floor."""
     speedup = micro.get("speedup")
     if speedup is not None:
         verdict = "ok" if speedup >= args.min_replay_speedup else "REGRESSED"
@@ -149,7 +170,40 @@ def main(argv=None) -> int:
               f"{args.min_replay_speedup:.2f}x) {verdict}")
         if speedup < args.min_replay_speedup:
             return 3
-    return result.exit_code
+    batched = micro.get("batched_speedup")
+    if batched is not None:
+        verdict = ("ok" if batched >= args.min_batched_speedup
+                   else "REGRESSED")
+        print(f"batched replay speedup: {batched:.2f}x "
+              f"(warm {micro.get('warm_replay_s', 0) * 1e3:.1f} ms -> "
+              f"batched {micro.get('warm_batched_s', 0) * 1e3:.1f} ms on "
+              f"{micro.get('benchmark', '?')}, "
+              f"{micro.get('batched_steps', 0)} batched step(s); floor "
+              f"{args.min_batched_speedup:.2f}x) {verdict}")
+        if batched < args.min_batched_speedup:
+            return 3
+    return 0
+
+
+def _microbench_gate(args) -> int:
+    """``--microbench-only``: run just the plan microbenchmark and gate it.
+
+    Skips the full suite simulation and baseline diff, so CI can enforce
+    the replay/batching floors on the expensive machine (f100) in seconds
+    instead of minutes.
+    """
+    import conftest  # benchmarks/conftest.py (sys.path above)
+
+    from repro import cambricon_f1, cambricon_f100
+
+    machine = {"f1": cambricon_f1, "f100": cambricon_f100}[args.machine]()
+    try:
+        micro = conftest._plan_microbench(machine)
+    except Exception as err:  # noqa: BLE001 - gate must report, not crash
+        print(f"perf_gate: plan microbenchmark failed: {err}",
+              file=sys.stderr)
+        return 2
+    return _gate_microbench(micro, args)
 
 
 if __name__ == "__main__":
